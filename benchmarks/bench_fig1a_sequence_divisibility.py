@@ -1,0 +1,64 @@
+"""E1 — Figure 1(a): GriPPS execution time vs. sequence block size.
+
+Paper protocol: ~300 motifs against a 38 000-sequence databank, block sizes
+from 1/20 of the databank to the whole databank, ten repetitions per size.
+Paper findings: the relationship is almost perfectly linear with a fixed
+overhead of about 1.1 s.
+
+The bench regenerates the series, prints the (block size, mean time) rows,
+fits the regression and checks the shape claims:
+
+* R² above 0.99 ("nearly perfectly linear"),
+* intercept within a factor of 2 of the 1.1 s the paper quotes,
+* full-databank time around 110 s.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentReport, format_table, linear_regression
+from repro.gripps import GrippsApplication, sequence_divisibility_experiment
+
+PAPER_OVERHEAD_SECONDS = 1.1
+PAPER_FULL_REQUEST_SECONDS = 110.0
+
+
+def _run_study(repetitions: int):
+    application = GrippsApplication(noise_sigma=0.02, seed=20050404)
+    return sequence_divisibility_experiment(application, repetitions=repetitions)
+
+
+def test_fig1a_sequence_divisibility(benchmark, bench_scale):
+    repetitions = 10 if bench_scale == "full" else 4
+    study = benchmark(_run_study, repetitions)
+
+    sizes, times = study.as_arrays()
+    fit = linear_regression(sizes, times)
+
+    rows = list(zip(study.block_sizes(), study.mean_times()))
+    print()
+    print(
+        format_table(
+            ["sequence block size", "mean execution time [s]"],
+            rows,
+            title="Figure 1(a) series (reproduced)",
+            float_format=".2f",
+        )
+    )
+
+    report = ExperimentReport("E1 / Figure 1(a)", "sequence databank divisibility")
+    report.add("regression intercept [s]", PAPER_OVERHEAD_SECONDS, fit.intercept,
+               note="paper: linear-regression overhead estimate")
+    report.add("full-databank request time [s]", PAPER_FULL_REQUEST_SECONDS,
+               fit.predict(38_000), note="read off Figure 1(a) at 38 000 sequences")
+    report.add("R^2 of the linear fit", 1.0, fit.r_squared,
+               note="paper: 'nearly perfectly linear'")
+    print()
+    print(report.render())
+
+    # Shape assertions (who wins / what the curve looks like), not exact numbers.
+    assert fit.r_squared > 0.99
+    assert 0.5 * PAPER_OVERHEAD_SECONDS < fit.intercept < 2.0 * PAPER_OVERHEAD_SECONDS
+    assert 0.8 * PAPER_FULL_REQUEST_SECONDS < fit.predict(38_000) < 1.2 * PAPER_FULL_REQUEST_SECONDS
+    # Times increase with the block size.
+    means = study.mean_times()
+    assert all(earlier < later for earlier, later in zip(means, means[1:]))

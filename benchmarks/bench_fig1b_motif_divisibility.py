@@ -1,0 +1,54 @@
+"""E2 — Figure 1(b): GriPPS execution time vs. motif subset size.
+
+Paper protocol: motif subsets of increasing size compared against the full
+38 000-sequence databank, ten repetitions per size.  Paper findings: linear
+growth with a much larger fixed overhead than the sequence dimension,
+estimated at 10.5 s by linear regression.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentReport, format_table, linear_regression
+from repro.gripps import GrippsApplication, motif_divisibility_experiment
+
+PAPER_OVERHEAD_SECONDS = 10.5
+PAPER_FULL_REQUEST_SECONDS = 110.0
+
+
+def _run_study(repetitions: int):
+    application = GrippsApplication(noise_sigma=0.02, seed=20050405)
+    return motif_divisibility_experiment(application, repetitions=repetitions)
+
+
+def test_fig1b_motif_divisibility(benchmark, bench_scale):
+    repetitions = 10 if bench_scale == "full" else 4
+    study = benchmark(_run_study, repetitions)
+
+    sizes, times = study.as_arrays()
+    fit = linear_regression(sizes, times)
+
+    rows = list(zip(study.block_sizes(), study.mean_times()))
+    print()
+    print(
+        format_table(
+            ["motif subset size", "mean execution time [s]"],
+            rows,
+            title="Figure 1(b) series (reproduced)",
+            float_format=".2f",
+        )
+    )
+
+    report = ExperimentReport("E2 / Figure 1(b)", "motif set divisibility")
+    report.add("regression intercept [s]", PAPER_OVERHEAD_SECONDS, fit.intercept,
+               note="paper: linear-regression overhead estimate")
+    report.add("full-motif-set request time [s]", PAPER_FULL_REQUEST_SECONDS, fit.predict(300),
+               note="read off Figure 1(b) at 300 motifs")
+    report.add("R^2 of the linear fit", 1.0, fit.r_squared)
+    print()
+    print(report.render())
+
+    assert fit.r_squared > 0.99
+    assert 0.5 * PAPER_OVERHEAD_SECONDS < fit.intercept < 1.5 * PAPER_OVERHEAD_SECONDS
+    assert 0.8 * PAPER_FULL_REQUEST_SECONDS < fit.predict(300) < 1.2 * PAPER_FULL_REQUEST_SECONDS
+    means = study.mean_times()
+    assert all(earlier < later for earlier, later in zip(means, means[1:]))

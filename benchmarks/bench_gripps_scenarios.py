@@ -1,0 +1,43 @@
+"""E10 — Extension: policy campaign over the named GriPPS scenarios.
+
+Not a paper figure.  The paper's introduction motivates several deployment
+shapes (replicated portals, hot databanks with little replication, bursty
+batch submissions); this bench runs the full policy campaign over the named
+scenarios of :mod:`repro.workload.scenarios` and checks that the Section 5
+conclusion — the LP-based on-line adaptation dominates the classical
+heuristics — is robust across deployment shapes, not just on the Poisson
+workloads of E4.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_policy_campaign
+from repro.workload import make_scenario
+
+POLICIES = ("mct", "fifo", "srpt", "deadline-driven", "online-offline")
+SCENARIOS_SMALL = ("bursty-batch", "unrelated-stress")
+SCENARIOS_FULL = ("bursty-batch", "unrelated-stress", "small-cluster", "hotspot")
+
+
+def _run(scenario_names):
+    instances = [make_scenario(name, seed=7) for name in scenario_names]
+    return run_policy_campaign(instances, POLICIES, labels=list(scenario_names))
+
+
+def test_policy_campaign_across_scenarios(benchmark, bench_scale):
+    names = SCENARIOS_FULL if bench_scale == "full" else SCENARIOS_SMALL
+    campaign = benchmark.pedantic(_run, args=(names,), rounds=1, iterations=1)
+
+    print()
+    print(campaign.as_table())
+    ranking = campaign.ranking()
+    print("ranking (best first):", ", ".join(ranking))
+
+    # The off-line optimum is the reference.
+    assert campaign.mean_degradation("offline-optimal") == 1.0
+    # Every policy respects the lower bound on every workload.
+    for record in campaign.records:
+        assert record.normalised >= 1.0 - 1e-6
+    # The LP-based adaptation is the best policy overall and beats MCT.
+    assert ranking[0] == "online-offline"
+    assert campaign.mean_degradation("online-offline") <= campaign.mean_degradation("mct")

@@ -1,0 +1,60 @@
+"""E7 — Ablation: LP backend (SciPy/HiGHS vs the in-house simplex).
+
+Any exact LP solver yields the same scheduling optima; this bench verifies it
+on the actual System (3) programs and records the performance gap between the
+production backend and the from-scratch simplex (which exists for
+self-containedness and cross-validation, not speed).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table
+from repro.core import minimize_max_weighted_flow
+from repro.workload import random_unrelated_instance
+
+
+def _solve_with(backend: str, instances):
+    values = []
+    for instance in instances:
+        values.append(minimize_max_weighted_flow(instance, backend=backend).objective)
+    return values
+
+
+def test_lp_backend_equivalence(benchmark, bench_scale):
+    num_instances = 4 if bench_scale == "full" else 2
+    num_jobs = 7 if bench_scale == "full" else 5
+    instances = [
+        random_unrelated_instance(num_jobs, 3, seed=seed) for seed in range(num_instances)
+    ]
+
+    start = time.perf_counter()
+    simplex_values = _solve_with("simplex", instances)
+    simplex_seconds = time.perf_counter() - start
+
+    scipy_values = benchmark.pedantic(
+        _solve_with, args=("scipy", instances), rounds=1, iterations=1
+    )
+    start = time.perf_counter()
+    _solve_with("scipy", instances)
+    scipy_seconds = time.perf_counter() - start
+
+    rows = [
+        (seed, scipy_value, simplex_value, abs(scipy_value - simplex_value))
+        for seed, (scipy_value, simplex_value) in enumerate(zip(scipy_values, simplex_values))
+    ]
+    print()
+    print(
+        format_table(
+            ["seed", "HiGHS optimum", "simplex optimum", "abs difference"],
+            rows,
+            title="E7: the two LP backends find the same scheduling optima",
+            float_format=".6g",
+        )
+    )
+    print(f"wall-clock: HiGHS {scipy_seconds:.2f}s vs in-house simplex {simplex_seconds:.2f}s "
+          f"({simplex_seconds / max(scipy_seconds, 1e-9):.1f}x slower)")
+
+    for scipy_value, simplex_value in zip(scipy_values, simplex_values):
+        assert abs(scipy_value - simplex_value) <= 1e-5 * (1.0 + abs(scipy_value))

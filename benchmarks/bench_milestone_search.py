@@ -1,0 +1,85 @@
+"""E6 — Ablation: milestone binary search vs. naive ε-bisection (Section 4.3.2).
+
+The paper explains why a plain binary search on the objective value is not
+enough (it cannot reach an arbitrary rational exactly) and introduces the
+milestone construction.  The bench compares the two on random instances:
+
+* both must agree on the objective value (up to the bisection's ε),
+* the milestone search solves a number of feasibility LPs logarithmic in the
+  number of milestones, whereas the ε-bisection needs a number growing with
+  the required precision.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import format_table, summarize
+from repro.core import minimize_max_weighted_flow, minimize_max_weighted_flow_bisection
+from repro.workload import random_unrelated_instance
+
+PRECISION = 1e-5
+
+
+def _run(num_instances: int, num_jobs: int):
+    records = []
+    for seed in range(num_instances):
+        instance = random_unrelated_instance(num_jobs, 3, seed=seed)
+        exact = minimize_max_weighted_flow(instance)
+        approx_value, approx_checks = minimize_max_weighted_flow_bisection(
+            instance, precision=PRECISION
+        )
+        records.append(
+            {
+                "seed": seed,
+                "milestones": len(exact.milestones),
+                "exact_checks": exact.feasibility_checks,
+                "bisection_checks": approx_checks,
+                "exact_value": exact.objective,
+                "bisection_value": approx_value,
+            }
+        )
+    return records
+
+
+def test_milestone_search_vs_bisection(benchmark, bench_scale):
+    num_instances = 6 if bench_scale == "full" else 3
+    num_jobs = 10 if bench_scale == "full" else 7
+    records = benchmark.pedantic(_run, args=(num_instances, num_jobs), rounds=1, iterations=1)
+
+    rows = [
+        (
+            record["seed"],
+            record["milestones"],
+            record["exact_checks"],
+            record["bisection_checks"],
+            record["exact_value"],
+            record["bisection_value"],
+        )
+        for record in records
+    ]
+    print()
+    print(
+        format_table(
+            ["seed", "milestones", "milestone-search LPs", "bisection LPs",
+             "exact optimum", "bisection value"],
+            rows,
+            title="E6: exact milestone search vs naive bisection",
+            float_format=".5g",
+        )
+    )
+
+    for record in records:
+        # Agreement: the bisection can only overshoot by its precision.
+        assert record["bisection_value"] >= record["exact_value"] - PRECISION
+        assert record["bisection_value"] <= record["exact_value"] + max(
+            10 * PRECISION, 1e-3 * record["exact_value"]
+        )
+        # Economy: the milestone search needs at most ceil(log2(milestones)) + 1 probes.
+        if record["milestones"] > 1:
+            budget = math.ceil(math.log2(record["milestones"])) + 2
+            assert record["exact_checks"] <= budget
+        assert record["exact_checks"] <= record["bisection_checks"]
+
+    checks = summarize([record["exact_checks"] for record in records])
+    print(f"milestone-search feasibility LPs: mean {checks.mean:.1f}, max {checks.maximum:.0f}")

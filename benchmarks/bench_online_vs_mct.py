@@ -1,0 +1,84 @@
+"""E4 — The Section 5 simulation claim: on-line adaptation beats MCT.
+
+"In some preliminary simulations, we see that a simple on-line adaptation of
+our off-line algorithm, enhanced by a simple preemption scheme, produces
+better schedules than classical scheduling heuristics like Minimum Completion
+Time, with respect to our objectives."
+
+The bench replays Poisson streams of GriPPS-like requests on heterogeneous
+platforms with restricted databank availability, runs MCT, FIFO, SRPT,
+round-robin and the on-line adaptation, and reports each policy's max
+weighted flow normalised by the off-line optimum.  The reproduced claim is
+the ranking: the on-line adaptation dominates MCT (and the other classical
+heuristics) on every workload, and stays close to the off-line bound.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentReport, format_table, geometric_mean
+from repro.core import minimize_max_weighted_flow
+from repro.heuristics import make_scheduler
+from repro.simulation import simulate
+from repro.workload import ArrivalProcess, random_restricted_instance
+
+POLICIES = ("mct", "fifo", "srpt", "round-robin", "online-offline")
+
+
+def _run_campaign(num_seeds: int, num_jobs: int):
+    """Return {policy: [normalised max weighted flow per seed]}."""
+    degradation = {policy: [] for policy in POLICIES}
+    for seed in range(num_seeds):
+        instance = random_restricted_instance(
+            num_jobs=num_jobs,
+            num_machines=4,
+            seed=seed,
+            arrivals=ArrivalProcess(kind="poisson", rate=1.0 / 1.5),
+            num_databanks=3,
+            replication=0.6,
+            size_range=(1.0, 6.0),
+            stretch_weights=True,
+        )
+        optimum = minimize_max_weighted_flow(instance).objective
+        for policy in POLICIES:
+            result = simulate(instance, make_scheduler(policy))
+            degradation[policy].append(result.max_weighted_flow / optimum)
+    return degradation
+
+
+def test_online_adaptation_beats_mct(benchmark, bench_scale):
+    num_seeds = 5 if bench_scale == "full" else 2
+    num_jobs = 12 if bench_scale == "full" else 8
+    degradation = benchmark.pedantic(
+        _run_campaign, args=(num_seeds, num_jobs), rounds=1, iterations=1
+    )
+
+    summary = {policy: geometric_mean(values) for policy, values in degradation.items()}
+    rows = sorted(summary.items(), key=lambda item: item[1])
+    print()
+    print(
+        format_table(
+            ["policy", "max weighted flow / off-line optimum (geometric mean)"],
+            rows,
+            title="E4: on-line policies vs the off-line optimum (1.0 = optimal)",
+            float_format=".3f",
+        )
+    )
+
+    report = ExperimentReport("E4 / Section 5", "on-line adaptation vs MCT")
+    report.add(
+        "MCT degradation / adaptation degradation (>1 means the adaptation wins)",
+        1.0,  # the paper only claims 'better'; 1.0 is the break-even reference
+        summary["mct"] / summary["online-offline"],
+        note="paper claims the adaptation produces better schedules than MCT",
+    )
+    print()
+    print(report.render())
+
+    # Reproduced claims: the adaptation (a) beats MCT, (b) beats every other
+    # classical heuristic in the pool, (c) stays within 15% of the off-line bound.
+    assert summary["online-offline"] < summary["mct"]
+    assert summary["online-offline"] == min(summary.values())
+    assert summary["online-offline"] < 1.15
+    # And the off-line optimum is indeed a lower bound for everything.
+    for values in degradation.values():
+        assert all(value >= 1.0 - 1e-6 for value in values)

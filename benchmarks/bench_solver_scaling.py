@@ -1,0 +1,74 @@
+"""E8 — Ablation: polynomial scaling of the max-weighted-flow solver.
+
+Theorem 2 asserts a polynomial-time algorithm.  The bench measures, as the
+number of jobs grows, (a) the number of milestones, (b) the size of the final
+System (3) LP and (c) the wall-clock time, and checks the structural bounds
+the paper states: at most n² − n milestones and an LP whose size grows
+polynomially (the number of allocation variables is at most
+m · n · (2n − 1)).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table
+from repro.core import minimize_max_weighted_flow
+from repro.workload import random_unrelated_instance
+
+NUM_MACHINES = 3
+
+
+def _solve_sizes(job_counts):
+    records = []
+    for num_jobs in job_counts:
+        instance = random_unrelated_instance(num_jobs, NUM_MACHINES, seed=num_jobs)
+        start = time.perf_counter()
+        result = minimize_max_weighted_flow(instance)
+        elapsed = time.perf_counter() - start
+        records.append(
+            {
+                "jobs": num_jobs,
+                "milestones": len(result.milestones),
+                "lp_variables": result.lp_variables,
+                "lp_constraints": result.lp_constraints,
+                "feasibility_checks": result.feasibility_checks,
+                "seconds": elapsed,
+            }
+        )
+    return records
+
+
+def test_solver_scaling(benchmark, bench_scale):
+    job_counts = (4, 8, 12, 16) if bench_scale == "full" else (4, 6, 8)
+    records = benchmark.pedantic(_solve_sizes, args=(job_counts,), rounds=1, iterations=1)
+
+    rows = [
+        (
+            record["jobs"],
+            record["milestones"],
+            record["lp_variables"],
+            record["lp_constraints"],
+            record["feasibility_checks"],
+            record["seconds"],
+        )
+        for record in records
+    ]
+    print()
+    print(
+        format_table(
+            ["jobs", "milestones", "LP variables", "LP constraints",
+             "feasibility LPs", "wall-clock [s]"],
+            rows,
+            title=f"E8: solver scaling on {NUM_MACHINES} unrelated machines",
+            float_format=".3f",
+        )
+    )
+
+    for record in records:
+        n = record["jobs"]
+        assert record["milestones"] <= n * n - n
+        # Variables: one per allowed (machine, job, interval) triple plus F.
+        assert record["lp_variables"] <= NUM_MACHINES * n * (2 * n - 1) + 1
+        # The binary search stays logarithmic in the milestone count.
+        assert record["feasibility_checks"] <= 2 + max(1, n * n).bit_length()

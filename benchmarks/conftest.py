@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench module reproduces one paper artefact (see DESIGN.md, Section 3).
+The benches print their reproduction tables to stdout — run with ``-s`` (or
+read the captured output) to see the paper-vs-measured comparisons alongside
+pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        action="store",
+        default="small",
+        choices=("small", "full"),
+        help="Workload scale for the reproduction benches: 'small' keeps every bench "
+        "under a few seconds; 'full' uses the paper-sized protocols.",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> str:
+    """Return the requested workload scale ('small' or 'full')."""
+    return request.config.getoption("--bench-scale")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Schedule a realistic GriPPS request stream on a heterogeneous cluster.
+
+The scenario mirrors the deployment the paper targets: several comparison
+servers of different speeds, protein databanks partially replicated across
+them, and a stream of motif-comparison requests arriving over time.  The
+script:
+
+1. generates the deployment and the request stream,
+2. computes the off-line optimal maximum stretch (the fairness metric the
+   paper recommends for this application),
+3. replays the same workload on line with every available policy,
+4. reports how far each policy is from the off-line optimum.
+
+Run with::
+
+    python examples/gripps_cluster.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import minimize_max_weighted_flow
+from repro.gripps import make_gripps_instance
+from repro.heuristics import available_schedulers, make_scheduler
+from repro.simulation import simulate
+
+
+def main() -> None:
+    instance = make_gripps_instance(
+        num_requests=14,
+        num_machines=6,
+        replication=0.5,
+        arrival_rate=1.0 / 30.0,
+        motif_range=(5, 80),
+        stretch_weights=True,   # weights 1/W_j: max weighted flow == max stretch
+        seed=42,
+    )
+    print(instance.describe())
+    print("databank replication:",
+          {bank: sum(1 for m in instance.machines if bank in m.databanks)
+           for bank in sorted({b for m in instance.machines for b in m.databanks})})
+    print()
+
+    # Off-line optimum: the lower bound every on-line policy is measured against.
+    offline = minimize_max_weighted_flow(instance)
+    offline.schedule.validate()
+    print(f"off-line optimal max stretch (divisible, Theorem 2): {offline.objective:.4f}")
+    print()
+
+    rows = []
+    for name in available_schedulers():
+        result = simulate(instance, make_scheduler(name))
+        result.schedule.validate()
+        metrics = result.metrics()
+        rows.append(
+            (
+                name,
+                metrics.max_weighted_flow,
+                metrics.max_weighted_flow / offline.objective,
+                metrics.makespan,
+                result.num_preemptions,
+            )
+        )
+    rows.sort(key=lambda row: row[1])
+
+    print(
+        format_table(
+            ["policy", "max stretch", "vs off-line optimum", "makespan [s]", "preemptions"],
+            rows,
+            title="On-line policies on the GriPPS request stream (lower is better)",
+        )
+    )
+    print()
+    best = rows[0][0]
+    print(f"Best on-line policy on this workload: {best}")
+    print("The on-line adaptation of the off-line algorithm tracks the optimum closely,")
+    print("while one-shot heuristics such as MCT pay for their irrevocable decisions —")
+    print("this is the qualitative claim of the paper's Section 5.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro — reproduction of Legrand, Su & Vivien (IPPS 2005).
+
+Off-line scheduling of divisible requests on an heterogeneous collection of
+databanks: polynomial-time minimisation of the maximum weighted flow on
+unrelated machines, in the divisible-load and preemptive models, plus the
+GriPPS application study and the on-line simulation the paper's conclusion
+refers to.
+
+Subpackages
+-----------
+``repro.core``
+    Instance model, LP formulations, milestone search, schedules (Sections 3–4).
+``repro.lp``
+    Self-contained LP modelling layer with SciPy/HiGHS and pure-Python
+    simplex backends.
+``repro.gripps``
+    Synthetic GriPPS application: protein databanks, motifs, scanning engine
+    and the calibrated cost model behind Figure 1.
+``repro.simulation``
+    Discrete-event simulator for on-line scheduling experiments.
+``repro.heuristics``
+    On-line policies: MCT, FIFO, SPT, SRPT, EDF, round-robin and the on-line
+    adaptation of the off-line algorithm.
+``repro.workload``
+    Random instance generators, named scenarios and trace I/O.
+``repro.analysis``
+    Linear regression, statistics, ASCII tables and plots used by the benches.
+"""
+
+from .core import (
+    Instance,
+    Job,
+    Machine,
+    MakespanResult,
+    MaxWeightedFlowResult,
+    Platform,
+    Schedule,
+    SchedulePiece,
+    check_deadline_feasibility,
+    check_deadline_feasibility_preemptive,
+    compute_milestones,
+    minimize_makespan,
+    minimize_makespan_preemptive,
+    minimize_max_stretch,
+    minimize_max_stretch_preemptive,
+    minimize_max_weighted_flow,
+    minimize_max_weighted_flow_preemptive,
+)
+from .exceptions import (
+    InfeasibleProblemError,
+    InvalidInstanceError,
+    InvalidScheduleError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    UnboundedProblemError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Instance",
+    "Job",
+    "Machine",
+    "MakespanResult",
+    "MaxWeightedFlowResult",
+    "Platform",
+    "Schedule",
+    "SchedulePiece",
+    "check_deadline_feasibility",
+    "check_deadline_feasibility_preemptive",
+    "compute_milestones",
+    "minimize_makespan",
+    "minimize_makespan_preemptive",
+    "minimize_max_stretch",
+    "minimize_max_stretch_preemptive",
+    "minimize_max_weighted_flow",
+    "minimize_max_weighted_flow_preemptive",
+    "InfeasibleProblemError",
+    "InvalidInstanceError",
+    "InvalidScheduleError",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "UnboundedProblemError",
+    "WorkloadError",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Analysis toolkit (substrate S13): regression, statistics, tables, plots, reports."""
+
+from .campaign import CampaignRecord, CampaignResult, run_policy_campaign
+from .fairness import FairnessReport, compare_fairness, fairness_report, jain_index
+from .plots import ascii_scatter, ascii_series
+from .regression import LinearFit, linear_regression
+from .reporting import ComparisonRecord, ExperimentReport
+from .stats import (
+    SummaryStatistics,
+    confidence_interval,
+    geometric_mean,
+    ratio_table,
+    summarize,
+)
+from .tables import format_key_values, format_table
+
+__all__ = [
+    "CampaignRecord",
+    "CampaignResult",
+    "ComparisonRecord",
+    "ExperimentReport",
+    "FairnessReport",
+    "compare_fairness",
+    "fairness_report",
+    "jain_index",
+    "run_policy_campaign",
+    "LinearFit",
+    "SummaryStatistics",
+    "ascii_scatter",
+    "ascii_series",
+    "confidence_interval",
+    "format_key_values",
+    "format_table",
+    "geometric_mean",
+    "linear_regression",
+    "ratio_table",
+    "summarize",
+]

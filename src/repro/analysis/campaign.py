@@ -1,0 +1,166 @@
+"""Experiment campaigns: run many (instance, policy) combinations and aggregate.
+
+The benches of this repository each reproduce one paper artefact; a *campaign*
+is the general-purpose version a downstream user needs: sweep a family of
+workloads, run the off-line solvers and a set of on-line policies on each,
+collect normalised metrics and render a report.  The on-line-vs-off-line
+example and several benches are thin wrappers around this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..core.instance import Instance
+from ..core.maxflow import minimize_max_weighted_flow
+from ..exceptions import WorkloadError
+from ..heuristics import make_scheduler
+from ..simulation import simulate
+from .stats import geometric_mean, summarize
+from .tables import format_table
+
+__all__ = ["CampaignRecord", "CampaignResult", "run_policy_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """One (workload, policy) measurement.
+
+    Attributes
+    ----------
+    workload:
+        Label of the workload (e.g. ``"seed 3"`` or a scenario name).
+    policy:
+        Policy name (``"offline-optimal"`` for the LP optimum itself).
+    max_weighted_flow, max_stretch, makespan:
+        Raw metric values of the executed (or optimal) schedule.
+    normalised:
+        ``max_weighted_flow`` divided by the off-line optimum of the same
+        workload (1.0 for the optimum itself).
+    preemptions:
+        Preemption count (0 for off-line schedules).
+    """
+
+    workload: str
+    policy: str
+    max_weighted_flow: float
+    max_stretch: float
+    makespan: float
+    normalised: float
+    preemptions: int = 0
+
+
+@dataclass
+class CampaignResult:
+    """All the records of a campaign plus aggregation helpers."""
+
+    records: List[CampaignRecord] = field(default_factory=list)
+
+    def policies(self) -> List[str]:
+        """Distinct policy names, off-line optimum first."""
+        names = sorted({record.policy for record in self.records})
+        if "offline-optimal" in names:
+            names.remove("offline-optimal")
+            names.insert(0, "offline-optimal")
+        return names
+
+    def records_for(self, policy: str) -> List[CampaignRecord]:
+        """All records of one policy."""
+        return [record for record in self.records if record.policy == policy]
+
+    def mean_degradation(self, policy: str) -> float:
+        """Geometric-mean normalised max weighted flow of one policy."""
+        values = [record.normalised for record in self.records_for(policy)]
+        if not values:
+            raise WorkloadError(f"no records for policy {policy!r}")
+        return geometric_mean(values)
+
+    def ranking(self) -> List[str]:
+        """Policies ordered from best (lowest mean degradation) to worst."""
+        return sorted(
+            (p for p in self.policies() if p != "offline-optimal"),
+            key=self.mean_degradation,
+        )
+
+    def as_table(self) -> str:
+        """Aggregate table: one row per policy."""
+        rows = []
+        for policy in self.policies():
+            values = [record.normalised for record in self.records_for(policy)]
+            stats = summarize(values)
+            rows.append((policy, geometric_mean(values), stats.minimum, stats.maximum))
+        return format_table(
+            ["policy", "geo-mean vs optimum", "min", "max"],
+            rows,
+            title="Campaign summary (max weighted flow normalised by the off-line optimum)",
+            float_format=".3f",
+        )
+
+
+def run_policy_campaign(
+    instances: Iterable[Instance],
+    policies: Sequence[str],
+    *,
+    labels: Optional[Sequence[str]] = None,
+    include_offline: bool = True,
+    scheduler_factory: Callable[[str], object] = make_scheduler,
+) -> CampaignResult:
+    """Run every policy on every instance and collect normalised metrics.
+
+    Parameters
+    ----------
+    instances:
+        The workloads to schedule.
+    policies:
+        Policy names understood by ``scheduler_factory``.
+    labels:
+        Optional workload labels (defaults to ``"workload 0"``, ...).
+    include_offline:
+        Also record the off-line optimum itself (policy ``"offline-optimal"``),
+        which every normalisation is relative to.
+    scheduler_factory:
+        Factory mapping a policy name to a scheduler object (defaults to
+        :func:`repro.heuristics.make_scheduler`).
+    """
+    instances = list(instances)
+    if not instances:
+        raise WorkloadError("a campaign needs at least one instance")
+    if labels is None:
+        labels = [f"workload {index}" for index in range(len(instances))]
+    if len(labels) != len(instances):
+        raise WorkloadError("labels and instances must have the same length")
+
+    result = CampaignResult()
+    for label, instance in zip(labels, instances):
+        offline = minimize_max_weighted_flow(instance)
+        optimum = offline.objective
+        if optimum <= 0:
+            raise WorkloadError(f"degenerate workload {label!r}: zero optimal objective")
+        if include_offline:
+            metrics = offline.schedule.metrics()
+            result.records.append(
+                CampaignRecord(
+                    workload=label,
+                    policy="offline-optimal",
+                    max_weighted_flow=metrics.max_weighted_flow,
+                    max_stretch=metrics.max_stretch or 0.0,
+                    makespan=metrics.makespan,
+                    normalised=1.0,
+                )
+            )
+        for policy in policies:
+            simulation = simulate(instance, scheduler_factory(policy))
+            metrics = simulation.metrics()
+            result.records.append(
+                CampaignRecord(
+                    workload=label,
+                    policy=policy,
+                    max_weighted_flow=metrics.max_weighted_flow,
+                    max_stretch=metrics.max_stretch or 0.0,
+                    makespan=metrics.makespan,
+                    normalised=metrics.max_weighted_flow / optimum,
+                    preemptions=simulation.num_preemptions,
+                )
+            )
+    return result

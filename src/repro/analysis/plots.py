@@ -1,0 +1,124 @@
+"""Minimal ASCII plotting for terminal-friendly bench output.
+
+The paper's Figure 1 is a scatter plot of execution time against block size.
+Without a plotting dependency, the benches render an ASCII scatter so that the
+linear shape (and the non-zero intercept of Figure 1(b)) is visible directly
+in the terminal and in the captured bench output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+
+__all__ = ["ascii_scatter", "ascii_series"]
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    width: int = 70,
+    height: int = 20,
+    marker: str = "*",
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a scatter plot of ``y`` versus ``x`` as ASCII art.
+
+    The y axis always starts at zero (matching the paper's figures, which show
+    the intercept), while the x axis spans the data range.
+    """
+    x_array = np.asarray(list(x), dtype=float)
+    y_array = np.asarray(list(y), dtype=float)
+    if x_array.size == 0 or x_array.shape != y_array.shape:
+        raise WorkloadError("ascii_scatter needs two equally sized, non-empty samples")
+    if width < 10 or height < 5:
+        raise WorkloadError("plot area too small")
+
+    x_min, x_max = float(x_array.min()), float(x_array.max())
+    y_min, y_max = 0.0, float(y_array.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for x_value, y_value in zip(x_array, y_array):
+        column = int(round((x_value - x_min) / (x_max - x_min) * (width - 1)))
+        row = int(round((y_value - y_min) / (y_max - y_min) * (height - 1)))
+        grid[height - 1 - row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif row_index == height // 2:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(prefix + " |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + "  "
+        + f"{x_min:.4g}".ljust(width // 2)
+        + f"{x_label} -> {x_max:.4g}".rjust(width // 2)
+    )
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: Sequence[float],
+    series: dict,
+    *,
+    width: int = 70,
+    height: int = 20,
+    title: Optional[str] = None,
+    x_label: str = "x",
+) -> str:
+    """Overlay several named series on one ASCII plot, one marker per series."""
+    markers = "*o+x#@%&"
+    if not series:
+        raise WorkloadError("ascii_series needs at least one series")
+    x_array = np.asarray(list(x), dtype=float)
+    all_y = np.concatenate([np.asarray(list(values), dtype=float) for values in series.values()])
+    y_max = float(all_y.max()) if all_y.size else 1.0
+    y_min = 0.0
+    x_min, x_max = float(x_array.min()), float(x_array.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    legend = []
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        legend.append(f"{marker} = {name}")
+        y_array = np.asarray(list(values), dtype=float)
+        for x_value, y_value in zip(x_array, y_array):
+            column = int(round((x_value - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((y_value - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(legend))
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_min:.4g}".ljust(width // 2) + f"{x_label} -> {x_max:.4g}".rjust(width // 2))
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Paper-versus-measured reporting helpers.
+
+Every bench compares a quantity the paper reports (an overhead, a ratio, a
+winner) with the value measured by the reproduction.  This module gives those
+comparisons a uniform shape so that EXPERIMENTS.md and the bench output tell
+the same story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .tables import format_table
+
+__all__ = ["ComparisonRecord", "ExperimentReport"]
+
+
+@dataclass(frozen=True)
+class ComparisonRecord:
+    """One paper-vs-measured comparison.
+
+    Attributes
+    ----------
+    quantity:
+        What is being compared (e.g. ``"sequence-partition overhead [s]"``).
+    paper_value:
+        The value (or textual claim) reported by the paper.
+    measured_value:
+        The value measured by the reproduction.
+    tolerance_note:
+        Free-form note on how close the two are expected to be.
+    """
+
+    quantity: str
+    paper_value: float
+    measured_value: float
+    tolerance_note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """``measured / paper`` when the paper value is non-zero."""
+        if self.paper_value == 0:
+            return None
+        return self.measured_value / self.paper_value
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        """``|measured - paper| / |paper|`` when the paper value is non-zero."""
+        if self.paper_value == 0:
+            return None
+        return abs(self.measured_value - self.paper_value) / abs(self.paper_value)
+
+
+@dataclass
+class ExperimentReport:
+    """A named experiment with its paper-vs-measured comparisons."""
+
+    experiment_id: str
+    description: str
+    records: List[ComparisonRecord] = field(default_factory=list)
+
+    def add(self, quantity: str, paper_value: float, measured_value: float, note: str = "") -> None:
+        """Append one comparison to the report."""
+        self.records.append(
+            ComparisonRecord(
+                quantity=quantity,
+                paper_value=paper_value,
+                measured_value=measured_value,
+                tolerance_note=note,
+            )
+        )
+
+    def render(self) -> str:
+        """Render the report as an ASCII table (used in bench output)."""
+        rows = []
+        for record in self.records:
+            ratio = record.ratio
+            rows.append(
+                (
+                    record.quantity,
+                    record.paper_value,
+                    record.measured_value,
+                    "n/a" if ratio is None else f"{ratio:.3f}",
+                    record.tolerance_note,
+                )
+            )
+        return format_table(
+            ["quantity", "paper", "measured", "measured/paper", "note"],
+            rows,
+            title=f"[{self.experiment_id}] {self.description}",
+        )
+
+    def max_relative_error(self) -> float:
+        """Largest relative error across records (0.0 when empty)."""
+        errors = [record.relative_error for record in self.records if record.relative_error is not None]
+        return max(errors, default=0.0)

@@ -1,0 +1,84 @@
+"""Summary statistics used by the benches and examples."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from ..exceptions import WorkloadError
+
+__all__ = ["SummaryStatistics", "summarize", "confidence_interval", "geometric_mean", "ratio_table"]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean / spread summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Compute count/mean/std/min/max/median of a non-empty sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise WorkloadError("cannot summarise an empty sample")
+    return SummaryStatistics(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        median=float(np.median(array)),
+    )
+
+
+def confidence_interval(values: Sequence[float], confidence: float = 0.95) -> Tuple[float, float]:
+    """Student-t confidence interval for the mean of a sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size < 2:
+        raise WorkloadError("a confidence interval needs at least two observations")
+    if not 0.0 < confidence < 1.0:
+        raise WorkloadError(f"confidence must be in (0, 1), got {confidence}")
+    mean = float(array.mean())
+    sem = float(array.std(ddof=1) / math.sqrt(array.size))
+    quantile = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, array.size - 1))
+    return (mean - quantile * sem, mean + quantile * sem)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values (used for ratio aggregation)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise WorkloadError("cannot take the geometric mean of an empty sample")
+    if (array <= 0).any():
+        raise WorkloadError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def ratio_table(reference: Dict[str, float], measured: Dict[str, float]) -> Dict[str, float]:
+    """Return ``measured / reference`` for every key present in both mappings."""
+    ratios: Dict[str, float] = {}
+    for key, ref_value in reference.items():
+        if key in measured and ref_value != 0:
+            ratios[key] = measured[key] / ref_value
+    return ratios

@@ -1,0 +1,79 @@
+"""ASCII table rendering for bench output and examples.
+
+The benchmark harness prints, for every reproduced figure/table, the same
+rows or series the paper reports.  This module renders them as plain-text
+tables so that the bench output is readable in a terminal and diff-able in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_key_values"]
+
+Cell = Union[str, int, float]
+
+
+def _render_cell(value: Cell, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    float_format: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of rows as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row cells; numbers are formatted with ``float_format``.
+    float_format:
+        ``format()`` spec applied to floats.
+    title:
+        Optional title printed above the table.
+    """
+    rendered_rows: List[List[str]] = [
+        [_render_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = render_line(list(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)
+
+
+def format_key_values(pairs: Sequence[tuple], *, float_format: str = ".4g") -> str:
+    """Render ``(key, value)`` pairs as an aligned two-column block."""
+    if not pairs:
+        return ""
+    key_width = max(len(str(key)) for key, _ in pairs)
+    lines = []
+    for key, value in pairs:
+        lines.append(f"{str(key).ljust(key_width)} : {_render_cell(value, float_format)}")
+    return "\n".join(lines)

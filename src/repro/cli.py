@@ -1,0 +1,263 @@
+"""Command-line interface.
+
+The CLI exposes the library's main workflows without writing any Python:
+
+``repro-sched info``
+    Version, registered policies, registered scenarios.
+``repro-sched scenario list`` / ``repro-sched scenario build NAME``
+    Inspect and materialise named workload scenarios (JSON instance files).
+``repro-sched solve INSTANCE.json``
+    Off-line optimisation (max weighted flow by default; makespan and
+    max-stretch via ``--objective``; ``--preemptive`` for Section 4.4).
+``repro-sched simulate INSTANCE.json --policy mct`` (or ``--all-policies``)
+    On-line replay of the instance with one or all policies.
+``repro-sched divisibility --dimension sequences|motifs``
+    Regenerate the Figure 1 series and its regression.
+
+Every command prints human-readable tables; ``--output`` writes machine-readable
+JSON next to them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from . import __version__
+from .analysis import format_table, linear_regression
+from .core import (
+    Instance,
+    minimize_makespan,
+    minimize_max_stretch,
+    minimize_max_weighted_flow,
+    render_gantt,
+)
+from .exceptions import ReproError
+from .gripps import motif_divisibility_experiment, sequence_divisibility_experiment
+from .heuristics import available_schedulers, make_scheduler
+from .simulation import simulate
+from .workload import (
+    available_scenarios,
+    load_instance,
+    make_scenario,
+    save_instance,
+    save_schedule,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# Parser                                                                       #
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="Off-line and on-line scheduling of divisible requests "
+        "(reproduction of Legrand, Su & Vivien, IPPS 2005).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # info ------------------------------------------------------------------
+    subparsers.add_parser("info", help="show version, policies and scenarios")
+
+    # scenario ---------------------------------------------------------------
+    scenario = subparsers.add_parser("scenario", help="inspect or build named scenarios")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    scenario_sub.add_parser("list", help="list available scenarios")
+    scenario_build = scenario_sub.add_parser("build", help="materialise a scenario to JSON")
+    scenario_build.add_argument("name", help="scenario name (see 'scenario list')")
+    scenario_build.add_argument("--seed", type=int, default=None, help="RNG seed")
+    scenario_build.add_argument("--output", help="write the instance to this JSON file")
+
+    # solve -------------------------------------------------------------------
+    solve = subparsers.add_parser("solve", help="off-line optimisation of an instance file")
+    solve.add_argument("instance", help="instance JSON file (see 'scenario build')")
+    solve.add_argument(
+        "--objective",
+        choices=("max-weighted-flow", "max-stretch", "makespan"),
+        default="max-weighted-flow",
+        help="objective to optimise (default: max-weighted-flow)",
+    )
+    solve.add_argument(
+        "--preemptive",
+        action="store_true",
+        help="use the preemptive (non-divisible) model of Section 4.4",
+    )
+    solve.add_argument("--backend", choices=("scipy", "simplex"), default="scipy")
+    solve.add_argument("--output", help="write the optimal schedule to this JSON file")
+    solve.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+
+    # simulate ------------------------------------------------------------------
+    simulate_cmd = subparsers.add_parser("simulate", help="on-line replay of an instance file")
+    simulate_cmd.add_argument("instance", help="instance JSON file, or a scenario name")
+    simulate_cmd.add_argument("--policy", default="online-offline",
+                              help="policy name (see 'info'); default: online-offline")
+    simulate_cmd.add_argument("--all-policies", action="store_true",
+                              help="run every registered policy and rank them")
+    simulate_cmd.add_argument("--seed", type=int, default=None,
+                              help="seed when the instance argument is a scenario name")
+
+    # divisibility ---------------------------------------------------------------
+    divisibility = subparsers.add_parser(
+        "divisibility", help="regenerate the Figure 1 divisibility series"
+    )
+    divisibility.add_argument(
+        "--dimension", choices=("sequences", "motifs"), default="sequences"
+    )
+    divisibility.add_argument("--repetitions", type=int, default=10)
+
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Command implementations                                                      #
+# --------------------------------------------------------------------------- #
+def _cmd_info() -> int:
+    print(f"repro {__version__} — reproduction of Legrand, Su & Vivien (IPPS 2005)")
+    print()
+    print("on-line policies:  " + ", ".join(available_schedulers()))
+    print("scenarios:         " + ", ".join(available_scenarios()))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.scenario_command == "list":
+        for name in available_scenarios():
+            print(name)
+        return 0
+    instance = make_scenario(args.name, seed=args.seed)
+    print(instance.describe())
+    if args.output:
+        save_instance(instance, args.output)
+        print(f"instance written to {args.output}")
+    return 0
+
+
+def _load_instance_argument(argument: str, seed: Optional[int]) -> Instance:
+    """Interpret an instance argument as a file path or a scenario name."""
+    if argument in available_scenarios():
+        return make_scenario(argument, seed=seed)
+    return load_instance(argument)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    instance = load_instance(args.instance)
+    print(instance.describe())
+
+    if args.objective == "makespan":
+        result = minimize_makespan(instance, preemptive=args.preemptive, backend=args.backend)
+        schedule = result.schedule
+        print(f"optimal makespan: {result.makespan:.6g}")
+    elif args.objective == "max-stretch":
+        result = minimize_max_stretch(instance, preemptive=args.preemptive, backend=args.backend)
+        schedule = result.schedule
+        print(f"optimal max stretch: {result.objective:.6g}")
+    else:
+        result = minimize_max_weighted_flow(
+            instance, preemptive=args.preemptive, backend=args.backend
+        )
+        schedule = result.schedule
+        print(f"optimal max weighted flow: {result.objective:.6g}")
+
+    schedule.validate()
+    metrics = schedule.metrics()
+    print(metrics.summary())
+    if args.gantt:
+        print()
+        print(render_gantt(schedule))
+    if args.output:
+        save_schedule(schedule, args.output)
+        print(f"schedule written to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    instance = _load_instance_argument(args.instance, args.seed)
+    print(instance.describe())
+    offline = minimize_max_weighted_flow(instance).objective
+    print(f"off-line optimal max weighted flow: {offline:.6g}")
+    print()
+
+    policy_names = available_schedulers() if args.all_policies else [args.policy]
+    rows = []
+    for name in policy_names:
+        result = simulate(instance, make_scheduler(name))
+        metrics = result.metrics()
+        rows.append(
+            (
+                name,
+                metrics.max_weighted_flow,
+                metrics.max_weighted_flow / offline,
+                metrics.makespan,
+                result.num_preemptions,
+            )
+        )
+    rows.sort(key=lambda row: row[1])
+    print(
+        format_table(
+            ["policy", "max weighted flow", "vs optimum", "makespan", "preemptions"],
+            rows,
+            float_format=".4g",
+        )
+    )
+    return 0
+
+
+def _cmd_divisibility(args: argparse.Namespace) -> int:
+    if args.dimension == "sequences":
+        study = sequence_divisibility_experiment(repetitions=args.repetitions)
+        paper_overhead = 1.1
+    else:
+        study = motif_divisibility_experiment(repetitions=args.repetitions)
+        paper_overhead = 10.5
+    fit = linear_regression(*study.as_arrays())
+    print(
+        format_table(
+            [f"{args.dimension} block size", "mean time [s]"],
+            list(zip(study.block_sizes(), study.mean_times())),
+            title=f"Divisibility study ({args.dimension})",
+            float_format=".2f",
+        )
+    )
+    print()
+    print(f"linear fit: {fit.summary()}")
+    print(f"fixed overhead: {fit.intercept:.2f} s (paper: {paper_overhead} s)")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Entry point                                                                  #
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        if args.command == "info":
+            return _cmd_info()
+        if args.command == "scenario":
+            return _cmd_scenario(args)
+        if args.command == "solve":
+            return _cmd_solve(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "divisibility":
+            return _cmd_divisibility(args)
+    except (ReproError, FileNotFoundError, json.JSONDecodeError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises SystemExit
+
+
+def _script_entry() -> None:  # pragma: no cover - exercised via console script only
+    sys.exit(main())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

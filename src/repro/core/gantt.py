@@ -1,0 +1,111 @@
+"""ASCII Gantt-chart rendering of schedules.
+
+Schedules produced by the LP solvers and the simulator are piecewise and
+preemptive; a textual Gantt chart is the quickest way to eyeball them in a
+terminal (examples) or in captured bench output.  One row per machine, time
+flowing left to right, one character column per time quantum, job identity
+encoded by a letter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+#: Characters used to identify jobs on the chart, in job-index order.
+_JOB_GLYPHS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+
+#: Character used for idle time.
+_IDLE = "."
+
+#: Character used when two pieces of *different* jobs fall in the same cell —
+#: either because the pieces genuinely overlap (an invalid schedule) or simply
+#: because the character resolution is coarser than a piece boundary.
+_CLASH = "#"
+
+
+def _glyph(job_index: int) -> str:
+    return _JOB_GLYPHS[job_index % len(_JOB_GLYPHS)]
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    width: int = 80,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    show_legend: bool = True,
+) -> str:
+    """Render ``schedule`` as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to draw.
+    width:
+        Number of character columns used for the time axis.
+    start, end:
+        Time window to draw; defaults to ``[min start, makespan]``.
+    show_legend:
+        Append a job-glyph legend below the chart.
+
+    Returns
+    -------
+    str
+        The chart, one line per machine plus an axis line (and a legend).
+    """
+    instance = schedule.instance
+    if not schedule.pieces:
+        return "(empty schedule)"
+    if width < 10:
+        raise ValueError("gantt width must be at least 10 columns")
+
+    chart_start = min(piece.start for piece in schedule.pieces) if start is None else start
+    chart_end = schedule.makespan if end is None else end
+    if chart_end <= chart_start:
+        chart_end = chart_start + 1.0
+    span = chart_end - chart_start
+    quantum = span / width
+
+    label_width = max(len(machine.name) for machine in instance.machines) + 1
+
+    rows: List[str] = []
+    for machine_index, machine in enumerate(instance.machines):
+        cells = [_IDLE] * width
+        for piece in schedule.pieces_on_machine(machine_index):
+            if piece.end <= chart_start or piece.start >= chart_end:
+                continue
+            first = int((max(piece.start, chart_start) - chart_start) / quantum)
+            last = int((min(piece.end, chart_end) - chart_start) / quantum - 1e-12)
+            first = max(0, min(first, width - 1))
+            last = max(first, min(last, width - 1))
+            glyph = _glyph(piece.job_index)
+            for column in range(first, last + 1):
+                if cells[column] == _IDLE or cells[column] == glyph:
+                    cells[column] = glyph
+                else:
+                    cells[column] = _CLASH
+        rows.append(f"{machine.name:<{label_width}}|{''.join(cells)}|")
+
+    axis = (
+        " " * label_width
+        + f"+{'-' * width}+\n"
+        + " " * label_width
+        + f" {chart_start:<10.3g}"
+        + f"{chart_end:>{width - 10}.4g}"
+    )
+    lines = rows + [axis]
+
+    if show_legend:
+        seen: Dict[int, str] = {}
+        for piece in schedule.pieces:
+            seen.setdefault(piece.job_index, _glyph(piece.job_index))
+        legend = "  ".join(
+            f"{glyph}={instance.jobs[job_index].name}"
+            for job_index, glyph in sorted(seen.items())
+        )
+        lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Preemptive (non-divisible) scheduling — Section 4.4 of the paper.
+
+The divisible-load model lets a job run on several machines at the same time.
+The classical preemptive model does not: a job may be interrupted and resumed
+on another machine, but at any instant it occupies at most one machine.
+Section 4.4 shows that the max-weighted-flow problem remains polynomial in
+this model: System (5) adds to System (3) the per-job interval constraints
+(5b), and a feasible allocation is turned into an actual preemptive schedule
+inside every interval with the Lawler–Labetoulle construction.
+
+This module exposes the preemptive entry points under their own names; they
+are thin wrappers over the shared implementations with ``preemptive=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .deadline import DeadlineFeasibility, check_deadline_feasibility
+from .instance import Instance
+from .makespan import MakespanResult, minimize_makespan
+from .maxflow import (
+    MaxWeightedFlowResult,
+    minimize_max_stretch,
+    minimize_max_weighted_flow,
+)
+
+__all__ = [
+    "minimize_max_weighted_flow_preemptive",
+    "minimize_max_stretch_preemptive",
+    "minimize_makespan_preemptive",
+    "check_deadline_feasibility_preemptive",
+]
+
+
+def minimize_max_weighted_flow_preemptive(
+    instance: Instance, *, backend: str = "scipy"
+) -> MaxWeightedFlowResult:
+    """Minimise the maximum weighted flow with preemption but no divisibility.
+
+    This is the algorithm of Section 4.4: milestone binary search over
+    System (5) followed by the Lawler–Labetoulle reconstruction of a concrete
+    preemptive schedule.  The returned schedule never runs a job on two
+    machines at the same instant (``Schedule.divisible`` is ``False`` and
+    validation enforces the property).
+    """
+    return minimize_max_weighted_flow(instance, preemptive=True, backend=backend)
+
+
+def minimize_max_stretch_preemptive(
+    instance: Instance, *, backend: str = "scipy"
+) -> MaxWeightedFlowResult:
+    """Minimise the maximum stretch in the preemptive (non-divisible) model."""
+    return minimize_max_stretch(instance, preemptive=True, backend=backend)
+
+
+def minimize_makespan_preemptive(instance: Instance, *, backend: str = "scipy") -> MakespanResult:
+    """Minimise the makespan with preemption but no divisibility.
+
+    Not stated as a theorem in the paper but an immediate corollary of the
+    same technique (and of Lawler & Labetoulle's original result extended
+    with release dates); provided as an extension.
+    """
+    return minimize_makespan(instance, preemptive=True, backend=backend)
+
+
+def check_deadline_feasibility_preemptive(
+    instance: Instance,
+    deadlines: Sequence[float],
+    *,
+    build_schedule: bool = True,
+    backend: str = "scipy",
+) -> DeadlineFeasibility:
+    """Deadline feasibility in the preemptive (non-divisible) model."""
+    return check_deadline_feasibility(
+        instance,
+        deadlines,
+        preemptive=True,
+        build_schedule=build_schedule,
+        backend=backend,
+    )

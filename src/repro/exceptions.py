@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by the :mod:`repro` package."""
+
+
+class InvalidInstanceError(ReproError):
+    """An :class:`~repro.core.instance.Instance` violates a model assumption.
+
+    Typical causes: negative release dates, non-positive weights, a job whose
+    processing time is infinite on every machine (it can never complete), or
+    mismatched dimensions between the job list and the cost matrix.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """A scheduling problem (or one of its LP relaxations) has no solution.
+
+    Raised, for instance, when a deadline-scheduling instance admits no valid
+    schedule (Lemma 1 of the paper) or when an LP backend reports primal
+    infeasibility for a system that the caller expected to be feasible.
+    """
+
+
+class UnboundedProblemError(ReproError):
+    """An LP is unbounded in the direction of optimisation.
+
+    This never happens for well-formed instances of the paper's systems (all
+    of them have bounded feasible regions), so encountering it indicates a
+    modelling bug rather than a property of the input.
+    """
+
+
+class SolverError(ReproError):
+    """An LP backend failed for a reason other than infeasibility.
+
+    Wraps numerical failures, iteration-limit hits and backend-specific status
+    codes that do not map onto :class:`InfeasibleProblemError` or
+    :class:`UnboundedProblemError`.
+    """
+
+
+class InvalidScheduleError(ReproError):
+    """A :class:`~repro.core.schedule.Schedule` violates a model constraint.
+
+    Produced by :meth:`repro.core.schedule.Schedule.validate` when a schedule
+    processes a job before its release date, overbooks a machine, fails to
+    complete a job, or (in preemptive mode) runs a job on two machines at the
+    same instant.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state.
+
+    For example a scheduler returned an allocation referencing an unknown job
+    or machine, or an event was scheduled in the past.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator or trace reader received invalid parameters."""

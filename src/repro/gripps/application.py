@@ -1,0 +1,240 @@
+"""The GriPPS application simulator and the divisibility experiments of Section 2.
+
+This module is the reproduction's stand-in for the real GriPPS deployment:
+
+* :class:`GrippsApplication` runs *virtual* requests (times produced by the
+  calibrated :class:`~repro.gripps.cost_model.GrippsCostModel`) or *real*
+  requests (the scanning engine of :mod:`repro.gripps.matching` on a synthetic
+  databank, timed with a wall clock);
+* :func:`sequence_divisibility_experiment` and
+  :func:`motif_divisibility_experiment` reproduce the measurement protocols of
+  Figure 1(a) and Figure 1(b): a series of block sizes, ten repetitions per
+  size with randomly drawn subsets, one (virtual) timing per repetition;
+* :func:`communication_study` reproduces the paper's final Section 2
+  observation that transferring the motif set and the result report is
+  negligible compared to the computation.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from .cost_model import REFERENCE_MODEL, GrippsCostModel
+from .matching import ScanReport, scan_databank
+from .motifs import MotifSet
+from .sequences import SequenceDatabank
+
+__all__ = [
+    "DivisibilityMeasurement",
+    "DivisibilityStudy",
+    "GrippsApplication",
+    "sequence_divisibility_experiment",
+    "motif_divisibility_experiment",
+    "communication_study",
+    "CommunicationStudy",
+]
+
+
+@dataclass(frozen=True)
+class DivisibilityMeasurement:
+    """One timed request of the divisibility studies."""
+
+    block_size: int
+    repetition: int
+    elapsed_seconds: float
+
+
+@dataclass
+class DivisibilityStudy:
+    """A complete divisibility study (all block sizes, all repetitions).
+
+    Attributes
+    ----------
+    dimension:
+        ``"sequences"`` (Figure 1(a)) or ``"motifs"`` (Figure 1(b)).
+    measurements:
+        The individual timings.
+    """
+
+    dimension: str
+    measurements: List[DivisibilityMeasurement] = field(default_factory=list)
+
+    def block_sizes(self) -> List[int]:
+        """The distinct block sizes, in increasing order."""
+        return sorted({m.block_size for m in self.measurements})
+
+    def times_for(self, block_size: int) -> List[float]:
+        """All timings measured for one block size."""
+        return [m.elapsed_seconds for m in self.measurements if m.block_size == block_size]
+
+    def mean_times(self) -> List[float]:
+        """Mean timing per block size (aligned with :meth:`block_sizes`)."""
+        return [float(np.mean(self.times_for(size))) for size in self.block_sizes()]
+
+    def as_arrays(self):
+        """Return ``(sizes, times)`` arrays with one row per measurement."""
+        sizes = np.array([m.block_size for m in self.measurements], dtype=float)
+        times = np.array([m.elapsed_seconds for m in self.measurements], dtype=float)
+        return sizes, times
+
+
+class GrippsApplication:
+    """A GriPPS comparison server: accepts a motif set and a databank block.
+
+    Parameters
+    ----------
+    cost_model:
+        The calibrated execution-time model (defaults to the paper's).
+    speed_factor:
+        Machine heterogeneity factor (1.0 = the paper's reference machine).
+    noise_sigma:
+        Multiplicative measurement noise for virtual runs.
+    seed:
+        RNG seed for the noise.
+    """
+
+    def __init__(
+        self,
+        cost_model: GrippsCostModel = REFERENCE_MODEL,
+        speed_factor: float = 1.0,
+        noise_sigma: float = 0.01,
+        seed: Optional[int] = None,
+    ) -> None:
+        if speed_factor <= 0:
+            raise WorkloadError(f"speed_factor must be positive, got {speed_factor}")
+        self.cost_model = cost_model.with_noise(noise_sigma)
+        self.speed_factor = speed_factor
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def run_virtual(self, num_motifs: int, num_sequences: int) -> float:
+        """Return the (noisy) virtual execution time of a request."""
+        return self.cost_model.measured_time(
+            num_motifs, num_sequences, speed_factor=self.speed_factor, rng=self._rng
+        )
+
+    def run_real(self, motifs: MotifSet, databank: SequenceDatabank):
+        """Actually scan the databank and return ``(wall_clock_seconds, ScanReport)``.
+
+        Only used by examples and tests on small databanks; the Figure 1
+        benches use the calibrated virtual timings.
+        """
+        start = _time.perf_counter()
+        report: ScanReport = scan_databank(motifs, databank)
+        elapsed = _time.perf_counter() - start
+        return elapsed, report
+
+
+# --------------------------------------------------------------------------- #
+# Figure 1 experimental protocols                                              #
+# --------------------------------------------------------------------------- #
+def sequence_divisibility_experiment(
+    application: Optional[GrippsApplication] = None,
+    block_sizes: Optional[Sequence[int]] = None,
+    repetitions: int = 10,
+    num_motifs: int = 300,
+    seed: Optional[int] = 20050404,
+) -> DivisibilityStudy:
+    """Reproduce the protocol of Figure 1(a): time vs. sequence block size.
+
+    The paper uses a fixed set of ~300 motifs, a databank of ~38 000
+    sequences, block sizes from 1/20 of the databank up to the full databank,
+    and ten repetitions per block size with randomly drawn subsets.
+    """
+    if application is None:
+        application = GrippsApplication(seed=seed)
+    full = application.cost_model.reference_sequences
+    if block_sizes is None:
+        step = full // 20
+        block_sizes = [step * k for k in range(1, 21)]
+    study = DivisibilityStudy(dimension="sequences")
+    for size in block_sizes:
+        for repetition in range(repetitions):
+            elapsed = application.run_virtual(num_motifs=num_motifs, num_sequences=int(size))
+            study.measurements.append(
+                DivisibilityMeasurement(
+                    block_size=int(size), repetition=repetition, elapsed_seconds=elapsed
+                )
+            )
+    return study
+
+
+def motif_divisibility_experiment(
+    application: Optional[GrippsApplication] = None,
+    subset_sizes: Optional[Sequence[int]] = None,
+    repetitions: int = 10,
+    num_sequences: int = 38_000,
+    seed: Optional[int] = 20050405,
+) -> DivisibilityStudy:
+    """Reproduce the protocol of Figure 1(b): time vs. motif subset size."""
+    if application is None:
+        application = GrippsApplication(seed=seed)
+    full = application.cost_model.reference_motifs
+    if subset_sizes is None:
+        step = max(full // 20, 1)
+        subset_sizes = [step * k for k in range(1, 21)]
+    study = DivisibilityStudy(dimension="motifs")
+    for size in subset_sizes:
+        for repetition in range(repetitions):
+            elapsed = application.run_virtual(num_motifs=int(size), num_sequences=num_sequences)
+            study.measurements.append(
+                DivisibilityMeasurement(
+                    block_size=int(size), repetition=repetition, elapsed_seconds=elapsed
+                )
+            )
+    return study
+
+
+# --------------------------------------------------------------------------- #
+# Communication study (Section 2, last paragraph)                              #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CommunicationStudy:
+    """Estimated communication costs of a request versus its computation time."""
+
+    motif_transfer_seconds: float
+    result_transfer_seconds: float
+    computation_seconds: float
+
+    @property
+    def total_communication_seconds(self) -> float:
+        """Motif upload plus result download."""
+        return self.motif_transfer_seconds + self.result_transfer_seconds
+
+    @property
+    def communication_ratio(self) -> float:
+        """Communication time as a fraction of computation time."""
+        return self.total_communication_seconds / self.computation_seconds
+
+
+def communication_study(
+    num_motifs: int = 300,
+    num_sequences: int = 38_000,
+    motif_bytes: float = 64.0,
+    matches_per_request: int = 5_000,
+    match_record_bytes: float = 48.0,
+    bandwidth_mbps: float = 100.0,
+    latency_seconds: float = 1e-3,
+    cost_model: GrippsCostModel = REFERENCE_MODEL,
+) -> CommunicationStudy:
+    """Estimate transfer vs. computation time on a typical cluster interconnect.
+
+    Defaults model a 100 Mbit/s switched Ethernet (the typical 2004-era
+    cluster fabric), ~64 bytes per motif and ~48 bytes per reported match.
+    The point of the study is qualitative and matches the paper: the ratio is
+    a fraction of a percent, so data transfer can be neglected.
+    """
+    bytes_per_second = bandwidth_mbps * 1e6 / 8.0
+    motif_transfer = latency_seconds + num_motifs * motif_bytes / bytes_per_second
+    result_transfer = latency_seconds + matches_per_request * match_record_bytes / bytes_per_second
+    computation = cost_model.expected_time(num_motifs, num_sequences)
+    return CommunicationStudy(
+        motif_transfer_seconds=motif_transfer,
+        result_transfer_seconds=result_transfer,
+        computation_seconds=computation,
+    )

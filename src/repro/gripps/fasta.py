@@ -1,0 +1,99 @@
+"""FASTA import/export for protein databanks.
+
+Real deployments store protein databanks as FASTA files; supporting the
+format lets a downstream user plug their own databank into the divisibility
+experiments and the platform generators.  The parser is deliberately strict
+about structure (a record must have a header and at least one sequence line)
+but forgiving about formatting details (wrapped lines, blank lines, ``*``
+terminators, lower-case residues).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from ..exceptions import WorkloadError
+from .sequences import SequenceDatabank, SequenceRecord
+
+__all__ = ["parse_fasta", "format_fasta", "read_fasta", "write_fasta"]
+
+PathLike = Union[str, Path]
+
+#: Default line width used when writing sequences.
+_WRAP = 60
+
+
+def parse_fasta(text: str, name: str = "fasta") -> SequenceDatabank:
+    """Parse FASTA-formatted text into a :class:`SequenceDatabank`.
+
+    Raises
+    ------
+    WorkloadError
+        If the text contains no record, sequence data appears before the
+        first header, or a record has an empty sequence.
+    """
+    records: List[SequenceRecord] = []
+    identifier: Union[str, None] = None
+    chunks: List[str] = []
+
+    def flush() -> None:
+        if identifier is None:
+            return
+        sequence = "".join(chunks).replace("*", "").upper()
+        if not sequence:
+            raise WorkloadError(f"FASTA record {identifier!r} has an empty sequence")
+        records.append(SequenceRecord(identifier=identifier, sequence=sequence))
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            flush()
+            identifier = line[1:].split()[0] if len(line) > 1 and line[1:].split() else ""
+            if not identifier:
+                raise WorkloadError(f"line {line_number}: FASTA header without an identifier")
+            chunks = []
+        else:
+            if identifier is None:
+                raise WorkloadError(
+                    f"line {line_number}: sequence data before the first '>' header"
+                )
+            if not all(ch.isalpha() or ch == "*" for ch in line):
+                raise WorkloadError(
+                    f"line {line_number}: invalid characters in sequence data: {line!r}"
+                )
+            chunks.append(line)
+    flush()
+
+    if not records:
+        raise WorkloadError("no FASTA records found")
+    return SequenceDatabank(name=name, records=records)
+
+
+def format_fasta(databank: Union[SequenceDatabank, Iterable[SequenceRecord]], wrap: int = _WRAP) -> str:
+    """Render a databank (or any iterable of records) as FASTA text."""
+    if wrap <= 0:
+        raise WorkloadError("wrap width must be positive")
+    records: Iterator[SequenceRecord] = iter(databank)  # type: ignore[arg-type]
+    lines: List[str] = []
+    for record in records:
+        lines.append(f">{record.identifier}")
+        sequence = record.sequence
+        for start in range(0, len(sequence), wrap):
+            lines.append(sequence[start : start + wrap])
+    return "\n".join(lines) + "\n"
+
+
+def read_fasta(path: PathLike, name: Union[str, None] = None) -> SequenceDatabank:
+    """Read a FASTA file into a databank (named after the file by default)."""
+    path = Path(path)
+    return parse_fasta(path.read_text(), name=name or path.stem)
+
+
+def write_fasta(databank: SequenceDatabank, path: PathLike, wrap: int = _WRAP) -> Tuple[int, int]:
+    """Write a databank to a FASTA file; returns ``(num_records, num_residues)``."""
+    path = Path(path)
+    path.write_text(format_fasta(databank, wrap=wrap))
+    return len(databank), databank.total_residues

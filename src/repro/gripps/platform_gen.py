@@ -1,0 +1,201 @@
+"""Generation of GriPPS-like platforms and request streams.
+
+Section 3 of the paper models the deployment as a heterogeneous collection of
+comparison servers, each co-located with some protein databanks; a request
+can only run where its databank is replicated.  This module builds such
+platforms and converts streams of motif-comparison requests into scheduling
+:class:`~repro.core.instance.Instance` objects (the
+uniform-machines-with-restricted-availabilities model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.job import Job
+from ..core.machine import Machine, Platform
+from ..exceptions import WorkloadError
+from .cost_model import REFERENCE_MODEL, GrippsCostModel
+
+__all__ = ["DatabankSpec", "make_gripps_platform", "make_request_stream", "make_gripps_instance"]
+
+
+@dataclass(frozen=True)
+class DatabankSpec:
+    """Static description of a databank available in the deployment.
+
+    Attributes
+    ----------
+    name:
+        Databank name (e.g. ``"sprot"``, ``"trembl"``, ``"pdb-seqres"``).
+    num_sequences:
+        Number of protein sequences it contains.
+    popularity:
+        Relative probability that a request targets this databank.
+    """
+
+    name: str
+    num_sequences: int
+    popularity: float = 1.0
+
+
+#: A plausible set of databanks for examples and benches (sizes loosely modelled
+#: on the public protein databanks of the paper's era).
+DEFAULT_DATABANKS: Sequence[DatabankSpec] = (
+    DatabankSpec("sprot", 38_000, popularity=4.0),
+    DatabankSpec("trembl", 120_000, popularity=2.0),
+    DatabankSpec("pdb-seqres", 25_000, popularity=1.0),
+    DatabankSpec("local-strains", 8_000, popularity=1.5),
+)
+
+
+def make_gripps_platform(
+    num_machines: int,
+    databanks: Sequence[DatabankSpec] = DEFAULT_DATABANKS,
+    replication: float = 0.5,
+    speed_range: tuple = (0.5, 2.0),
+    seed: Optional[int] = None,
+) -> Platform:
+    """Build a heterogeneous platform with partially replicated databanks.
+
+    Parameters
+    ----------
+    num_machines:
+        Number of comparison servers.
+    databanks:
+        The databanks existing in the deployment.
+    replication:
+        Probability that a given machine hosts a given databank.  Every
+        databank is guaranteed to be hosted somewhere (one machine is forced
+        when the random draw leaves it unhosted).
+    speed_range:
+        Uniform range for the machines' cycle times (seconds per Mflop,
+        relative to the reference machine).
+    seed:
+        RNG seed.
+    """
+    if num_machines <= 0:
+        raise WorkloadError("num_machines must be positive")
+    if not 0.0 < replication <= 1.0:
+        raise WorkloadError("replication must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+
+    hosted: List[set] = [set() for _ in range(num_machines)]
+    for spec in databanks:
+        hosts = [i for i in range(num_machines) if rng.random() < replication]
+        if not hosts:
+            hosts = [int(rng.integers(0, num_machines))]
+        for i in hosts:
+            hosted[i].add(spec.name)
+
+    machines = []
+    low, high = speed_range
+    for i in range(num_machines):
+        cycle_time = float(rng.uniform(low, high))
+        machines.append(
+            Machine(name=f"server{i:02d}", cycle_time=cycle_time, databanks=frozenset(hosted[i]))
+        )
+    return Platform(machines)
+
+
+def make_request_stream(
+    num_requests: int,
+    databanks: Sequence[DatabankSpec] = DEFAULT_DATABANKS,
+    arrival_rate: float = 1.0 / 30.0,
+    motif_range: tuple = (5, 100),
+    cost_model: GrippsCostModel = REFERENCE_MODEL,
+    stretch_weights: bool = True,
+    seed: Optional[int] = None,
+) -> List[Job]:
+    """Generate a stream of motif-comparison requests as scheduling jobs.
+
+    Parameters
+    ----------
+    num_requests:
+        Number of requests.
+    databanks:
+        The databanks requests may target (drawn with their popularities).
+    arrival_rate:
+        Poisson arrival rate in requests per second.
+    motif_range:
+        Uniform range for the number of motifs per request.
+    cost_model:
+        Used to convert a request into an abstract size ``W_j`` (Mflop).
+    stretch_weights:
+        When ``True`` the job weights are set to ``1 / W_j`` so that the
+        max-weighted-flow objective is the max-stretch objective (the natural
+        fairness metric for interactive portals); otherwise all weights are 1.
+    seed:
+        RNG seed.
+    """
+    if num_requests <= 0:
+        raise WorkloadError("num_requests must be positive")
+    if arrival_rate <= 0:
+        raise WorkloadError("arrival_rate must be positive")
+    rng = np.random.default_rng(seed)
+
+    popularity = np.array([spec.popularity for spec in databanks], dtype=float)
+    popularity = popularity / popularity.sum()
+
+    jobs: List[Job] = []
+    clock = 0.0
+    for index in range(num_requests):
+        clock += float(rng.exponential(1.0 / arrival_rate))
+        spec = databanks[int(rng.choice(len(databanks), p=popularity))]
+        num_motifs = int(rng.integers(motif_range[0], motif_range[1] + 1))
+        size = cost_model.request_size_mflop(num_motifs, spec.num_sequences)
+        weight = 1.0 / size if stretch_weights else 1.0
+        jobs.append(
+            Job(
+                name=f"req{index:04d}[{spec.name}x{num_motifs}]",
+                release_date=round(clock, 6),
+                weight=weight,
+                size=size,
+                databanks=frozenset({spec.name}),
+            )
+        )
+    return jobs
+
+
+def make_gripps_instance(
+    num_requests: int,
+    num_machines: int,
+    *,
+    databanks: Sequence[DatabankSpec] = DEFAULT_DATABANKS,
+    replication: float = 0.5,
+    arrival_rate: float = 1.0 / 30.0,
+    motif_range: tuple = (5, 100),
+    speed_range: tuple = (0.5, 2.0),
+    stretch_weights: bool = True,
+    cost_model: GrippsCostModel = REFERENCE_MODEL,
+    seed: Optional[int] = None,
+) -> Instance:
+    """Generate a complete GriPPS scheduling instance (platform + request stream).
+
+    Convenience wrapper combining :func:`make_gripps_platform` and
+    :func:`make_request_stream`; the resulting instance uses the
+    uniform-machines-with-restricted-availabilities cost matrix
+    (``W_j * c_i`` where the databank is replicated, ``+inf`` elsewhere).
+    """
+    rng = np.random.default_rng(seed)
+    platform = make_gripps_platform(
+        num_machines,
+        databanks=databanks,
+        replication=replication,
+        speed_range=speed_range,
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+    jobs = make_request_stream(
+        num_requests,
+        databanks=databanks,
+        arrival_rate=arrival_rate,
+        motif_range=motif_range,
+        cost_model=cost_model,
+        stretch_weights=stretch_weights,
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+    return Instance.from_platform(jobs, platform)

@@ -1,0 +1,198 @@
+"""Synthetic protein sequence databanks.
+
+The paper's Section 2 experiments run the real GriPPS code against a real
+databank of roughly 38 000 protein sequences.  That databank is not
+available, so this module generates synthetic amino-acid sequences with
+realistic length statistics (log-normal around ~350 residues, the typical
+mean protein length in curated databanks) and composition (frequencies close
+to the Swiss-Prot background distribution).  The divisibility experiments
+only rely on the *amount* of data per block, which the synthetic databank
+reproduces faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+
+__all__ = ["AMINO_ACIDS", "BACKGROUND_FREQUENCIES", "SequenceRecord", "SequenceDatabank"]
+
+#: The twenty standard amino acids (one-letter codes).
+AMINO_ACIDS: str = "ACDEFGHIKLMNPQRSTVWY"
+
+#: Approximate background frequencies of the twenty amino acids in curated
+#: protein databanks (Swiss-Prot composition statistics, rounded).  They only
+#: need to be plausible: the scanning engine and the cost model treat all
+#: residues alike.
+BACKGROUND_FREQUENCIES: Dict[str, float] = {
+    "A": 0.0826, "C": 0.0137, "D": 0.0546, "E": 0.0672, "F": 0.0386,
+    "G": 0.0708, "H": 0.0227, "I": 0.0593, "K": 0.0580, "L": 0.0965,
+    "M": 0.0241, "N": 0.0406, "P": 0.0472, "Q": 0.0393, "R": 0.0553,
+    "S": 0.0660, "T": 0.0535, "V": 0.0687, "W": 0.0110, "Y": 0.0292,
+}
+
+
+@dataclass(frozen=True)
+class SequenceRecord:
+    """One protein sequence with its identifier."""
+
+    identifier: str
+    sequence: str
+
+    @property
+    def length(self) -> int:
+        """Number of residues."""
+        return len(self.sequence)
+
+
+@dataclass
+class SequenceDatabank:
+    """An in-memory protein databank.
+
+    Attributes
+    ----------
+    name:
+        Databank name (e.g. ``"sprot-synthetic"``).
+    records:
+        The sequences.
+    """
+
+    name: str
+    records: List[SequenceRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Generation                                                          #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def synthetic(
+        name: str,
+        num_sequences: int,
+        mean_length: float = 350.0,
+        length_sigma: float = 0.45,
+        seed: Optional[int] = None,
+    ) -> "SequenceDatabank":
+        """Generate a synthetic databank.
+
+        Parameters
+        ----------
+        name:
+            Databank name.
+        num_sequences:
+            Number of sequences to generate.
+        mean_length:
+            Mean protein length in residues.
+        length_sigma:
+            Log-normal shape parameter for the length distribution.
+        seed:
+            RNG seed for reproducibility.
+        """
+        if num_sequences <= 0:
+            raise WorkloadError(f"num_sequences must be positive, got {num_sequences}")
+        rng = np.random.default_rng(seed)
+        letters = np.array(list(BACKGROUND_FREQUENCIES.keys()))
+        probabilities = np.array(list(BACKGROUND_FREQUENCIES.values()))
+        probabilities = probabilities / probabilities.sum()
+
+        mu = np.log(mean_length) - 0.5 * length_sigma**2
+        lengths = np.maximum(
+            30, rng.lognormal(mean=mu, sigma=length_sigma, size=num_sequences).astype(int)
+        )
+        records = []
+        for index, length in enumerate(lengths):
+            residues = rng.choice(letters, size=int(length), p=probabilities)
+            records.append(
+                SequenceRecord(identifier=f"{name}|seq{index:06d}", sequence="".join(residues))
+            )
+        return SequenceDatabank(name=name, records=records)
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> SequenceRecord:
+        return self.records[index]
+
+    @property
+    def total_residues(self) -> int:
+        """Total number of residues across all sequences."""
+        return sum(record.length for record in self.records)
+
+    @property
+    def mean_length(self) -> float:
+        """Mean sequence length."""
+        if not self.records:
+            return 0.0
+        return self.total_residues / len(self.records)
+
+    # ------------------------------------------------------------------ #
+    # Partitioning (the heart of the divisibility experiments)            #
+    # ------------------------------------------------------------------ #
+    def block(self, start: int, size: int) -> "SequenceDatabank":
+        """Return the contiguous block ``records[start : start + size]``."""
+        if size <= 0:
+            raise WorkloadError(f"block size must be positive, got {size}")
+        subset = self.records[start : start + size]
+        return SequenceDatabank(name=f"{self.name}[{start}:{start + size}]", records=list(subset))
+
+    def partition(self, num_blocks: int) -> List["SequenceDatabank"]:
+        """Split the databank into ``num_blocks`` near-equal contiguous blocks."""
+        if num_blocks <= 0:
+            raise WorkloadError(f"num_blocks must be positive, got {num_blocks}")
+        if num_blocks > len(self.records):
+            raise WorkloadError(
+                f"cannot split {len(self.records)} sequences into {num_blocks} blocks"
+            )
+        boundaries = np.linspace(0, len(self.records), num_blocks + 1).astype(int)
+        blocks = []
+        for k in range(num_blocks):
+            start, end = int(boundaries[k]), int(boundaries[k + 1])
+            blocks.append(
+                SequenceDatabank(
+                    name=f"{self.name}#part{k}", records=list(self.records[start:end])
+                )
+            )
+        return blocks
+
+    def sample(self, size: int, seed: Optional[int] = None) -> "SequenceDatabank":
+        """Return a random subset of ``size`` sequences (without replacement).
+
+        This mirrors the paper's protocol for Figure 1(a): block sizes are
+        drawn randomly from the full databank for each repetition.
+        """
+        if size <= 0 or size > len(self.records):
+            raise WorkloadError(
+                f"sample size must be in [1, {len(self.records)}], got {size}"
+            )
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(len(self.records), size=size, replace=False)
+        return SequenceDatabank(
+            name=f"{self.name}#sample{size}",
+            records=[self.records[i] for i in sorted(indices)],
+        )
+
+    def concatenate(self, other: "SequenceDatabank", name: Optional[str] = None) -> "SequenceDatabank":
+        """Return the union of two databanks."""
+        return SequenceDatabank(
+            name=name or f"{self.name}+{other.name}",
+            records=list(self.records) + list(other.records),
+        )
+
+    def statistics(self) -> Dict[str, float]:
+        """Return summary statistics used by the examples."""
+        lengths = np.array([record.length for record in self.records], dtype=float)
+        return {
+            "num_sequences": float(len(self.records)),
+            "total_residues": float(lengths.sum()),
+            "mean_length": float(lengths.mean()) if len(lengths) else 0.0,
+            "min_length": float(lengths.min()) if len(lengths) else 0.0,
+            "max_length": float(lengths.max()) if len(lengths) else 0.0,
+        }

@@ -1,0 +1,72 @@
+"""On-line scheduling policies (substrate S11).
+
+The policies are the baselines and the paper's own on-line adaptation used in
+experiment E4 (Section 5 simulation claim):
+
+========================  ==============================================  ==========
+Name                      Class                                            Model
+========================  ==============================================  ==========
+``fifo``                  :class:`FIFOScheduler`                           non-preemptive
+``spt``                   :class:`SPTScheduler`                            non-preemptive
+``mct``                   :class:`MCTScheduler`                            non-preemptive
+``srpt``                  :class:`SRPTScheduler`                           preemptive
+``greedy-weighted-flow``  :class:`GreedyWeightedFlowScheduler`             preemptive
+``round-robin``           :class:`RoundRobinScheduler`                     divisible
+``deadline-driven``       :class:`DeadlineDrivenScheduler`                 preemptive
+``online-offline``        :class:`OnlineOfflineAdaptationScheduler`        divisible (LP based)
+========================  ==============================================  ==========
+"""
+
+from typing import Callable, Dict, List
+
+from .base import OnlineScheduler, cheapest_eligible_machine, exclusive_allocation
+from .deadline_driven import DeadlineDrivenScheduler
+from .list_scheduling import FIFOScheduler, SPTScheduler
+from .mct import MCTScheduler
+from .online_offline import OnlineOfflineAdaptationScheduler
+from .preemptive_policies import GreedyWeightedFlowScheduler, SRPTScheduler
+from .round_robin import RoundRobinScheduler
+
+__all__ = [
+    "DeadlineDrivenScheduler",
+    "FIFOScheduler",
+    "GreedyWeightedFlowScheduler",
+    "MCTScheduler",
+    "OnlineOfflineAdaptationScheduler",
+    "OnlineScheduler",
+    "RoundRobinScheduler",
+    "SPTScheduler",
+    "SRPTScheduler",
+    "available_schedulers",
+    "cheapest_eligible_machine",
+    "exclusive_allocation",
+    "make_scheduler",
+]
+
+#: Factory registry used by the benches and examples.
+_REGISTRY: Dict[str, Callable[[], OnlineScheduler]] = {
+    "fifo": FIFOScheduler,
+    "spt": SPTScheduler,
+    "mct": MCTScheduler,
+    "srpt": SRPTScheduler,
+    "greedy-weighted-flow": GreedyWeightedFlowScheduler,
+    "round-robin": RoundRobinScheduler,
+    "deadline-driven": DeadlineDrivenScheduler,
+    "online-offline": OnlineOfflineAdaptationScheduler,
+}
+
+
+def available_schedulers() -> List[str]:
+    """Return the names of all registered on-line policies."""
+    return sorted(_REGISTRY)
+
+
+def make_scheduler(name: str, **kwargs) -> OnlineScheduler:
+    """Instantiate a policy by name (see :func:`available_schedulers`)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,106 @@
+"""Deadline-driven on-line policy (EDF on the weighted-flow deadlines).
+
+The transformation of Section 4.3.1 — a max-weighted-flow target ``F`` turns
+into per-job deadlines ``d_j(F) = r_j + F / w_j`` — also suggests a very cheap
+on-line heuristic that needs no LP at all:
+
+1. maintain a current target ``F`` (starting from an optimistic fluid bound);
+2. order active jobs by their induced deadline (earliest deadline first) and
+   give each its fastest free machine;
+3. whenever a job misses its induced deadline, raise the target (the classic
+   doubling scheme used by on-line max-stretch algorithms) so that deadlines
+   stay achievable.
+
+The policy is preemptive but never divides a job across machines, so it is a
+fair middle ground between the classical heuristics (MCT, SRPT) and the
+LP-based adaptation: it uses the paper's *structure* (deadlines induced by
+the objective) without its *machinery* (linear programming).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from ..core.instance import Instance
+from ..simulation.state import AllocationDecision, SimulationState
+from .base import OnlineScheduler, exclusive_allocation
+
+__all__ = ["DeadlineDrivenScheduler"]
+
+
+class DeadlineDrivenScheduler(OnlineScheduler):
+    """Earliest-deadline-first on the deadlines induced by a weighted-flow target.
+
+    Parameters
+    ----------
+    initial_target:
+        Initial max-weighted-flow target ``F``.  When ``None`` the policy
+        starts from the fluid lower bound of the first jobs it sees.
+    growth_factor:
+        Multiplicative increase applied to the target whenever some active
+        job can no longer meet its induced deadline.
+    """
+
+    name = "deadline-driven"
+    divisible = False
+
+    def __init__(self, initial_target: float | None = None, growth_factor: float = 1.5) -> None:
+        if growth_factor <= 1.0:
+            raise ValueError("growth_factor must be greater than 1")
+        self.initial_target = initial_target
+        self.growth_factor = growth_factor
+        self._target = initial_target or 0.0
+
+    def reset(self, instance: Instance) -> None:
+        self._target = self.initial_target or 0.0
+
+    # ------------------------------------------------------------------ #
+    def _fluid_flow_bound(self, state: SimulationState, job_index: int) -> float:
+        """Fluid-time weighted flow the job would reach finishing as fast as possible."""
+        job = state.instance.jobs[job_index]
+        best_finish = state.time + state.fastest_remaining_work(job_index)
+        return job.weight * (best_finish - job.release_date)
+
+    def _raise_target_if_needed(self, state: SimulationState, active: List[int]) -> None:
+        """Ensure every active job can still (optimistically) meet its deadline."""
+        needed = max((self._fluid_flow_bound(state, j) for j in active), default=0.0)
+        if self._target <= 0.0:
+            self._target = max(needed, 1e-9)
+            return
+        while self._target < needed:
+            self._target *= self.growth_factor
+
+    def _deadline(self, state: SimulationState, job_index: int) -> float:
+        job = state.instance.jobs[job_index]
+        return job.release_date + self._target / job.weight
+
+    # ------------------------------------------------------------------ #
+    def decide(self, state: SimulationState) -> AllocationDecision:
+        instance = state.instance
+        active = state.active_jobs()
+        self._raise_target_if_needed(state, active)
+
+        ranked = sorted(active, key=lambda j: self._deadline(state, j))
+        free_machines = set(range(instance.num_machines))
+        assignments: Dict[int, int] = {}
+        for job_index in ranked:
+            best_machine = None
+            best_cost = math.inf
+            for machine_index in free_machines:
+                cost = instance.cost(machine_index, job_index)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_machine = machine_index
+            if best_machine is None or math.isinf(best_cost):
+                continue
+            assignments[best_machine] = job_index
+            free_machines.discard(best_machine)
+            if not free_machines:
+                break
+        return exclusive_allocation(assignments)
+
+    @property
+    def current_target(self) -> float:
+        """The policy's current max-weighted-flow target (useful for inspection)."""
+        return self._target

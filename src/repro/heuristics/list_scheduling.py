@@ -1,0 +1,99 @@
+"""Non-preemptive list-scheduling policies: FIFO and SPT.
+
+Both policies keep a single global queue of jobs waiting to start.  Whenever
+a machine is idle it takes the highest-priority queued job it is able to run
+(databank present), and then runs it to completion without interruption.
+
+* **FIFO** orders the queue by release date (then name) — the most common
+  baseline in production bioinformatics portals.
+* **SPT** (shortest processing time) orders the queue by the job's processing
+  time on the machine under consideration, a classical flow-time heuristic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..core.instance import Instance
+from ..simulation.state import AllocationDecision, SimulationState
+from .base import OnlineScheduler, exclusive_allocation
+
+__all__ = ["FIFOScheduler", "SPTScheduler"]
+
+
+class _ListScheduler(OnlineScheduler):
+    """Shared machinery: sticky job→machine commitments plus a ranked queue."""
+
+    divisible = False
+
+    def __init__(self) -> None:
+        self._commitment: Dict[int, int] = {}  # job_index -> machine_index
+
+    def reset(self, instance: Instance) -> None:
+        self._commitment = {}
+
+    # -- to be provided by subclasses -------------------------------------
+    def _priority(self, state: SimulationState, job_index: int, machine_index: int) -> float:
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------------
+    def decide(self, state: SimulationState) -> AllocationDecision:
+        instance = state.instance
+        active = set(state.active_jobs())
+
+        # Drop commitments of finished jobs.
+        self._commitment = {
+            job: machine for job, machine in self._commitment.items() if job in active
+        }
+
+        busy_machines = set(self._commitment.values())
+        committed_jobs = set(self._commitment)
+
+        # Give idle machines to the best uncommitted job they can run.
+        for machine_index in range(instance.num_machines):
+            if machine_index in busy_machines:
+                continue
+            best_job: Optional[int] = None
+            best_priority = math.inf
+            for job_index in active:
+                if job_index in committed_jobs:
+                    continue
+                if math.isinf(instance.cost(machine_index, job_index)):
+                    continue
+                priority = self._priority(state, job_index, machine_index)
+                if priority < best_priority:
+                    best_priority = priority
+                    best_job = job_index
+            if best_job is not None:
+                self._commitment[best_job] = machine_index
+                busy_machines.add(machine_index)
+                committed_jobs.add(best_job)
+
+        assignments = {machine: job for job, machine in self._commitment.items()}
+        return exclusive_allocation(assignments)
+
+
+class FIFOScheduler(_ListScheduler):
+    """First-in first-out list scheduling (non-preemptive)."""
+
+    name = "fifo"
+
+    def _priority(self, state: SimulationState, job_index: int, machine_index: int) -> float:
+        job = state.instance.jobs[job_index]
+        return job.release_date
+
+    def __init__(self) -> None:
+        super().__init__()
+
+
+class SPTScheduler(_ListScheduler):
+    """Shortest-processing-time-first list scheduling (non-preemptive)."""
+
+    name = "spt"
+
+    def _priority(self, state: SimulationState, job_index: int, machine_index: int) -> float:
+        return state.instance.cost(machine_index, job_index)
+
+    def __init__(self) -> None:
+        super().__init__()

@@ -1,0 +1,242 @@
+"""On-line adaptation of the off-line algorithm (Section 5 of the paper).
+
+The paper's conclusion reports that "a simple on-line adaptation of our
+off-line algorithm, enhanced by a simple preemption scheme, produces better
+schedules than classical scheduling heuristics like Minimum Completion Time".
+This module implements that adaptation:
+
+* every time the set of active jobs changes (an arrival or a completion), the
+  policy re-optimises the *remaining* work: it looks for the smallest
+  objective ``F`` such that every active job ``J_j`` can finish by the
+  deadline ``d_j(F) = r_j + F / w_j`` — note that the *original* release
+  dates are used, so the weighted flow already accumulated while waiting is
+  accounted for — given that no processing can happen before the current
+  time;
+* the witness schedule of the best feasible ``F`` becomes the current *plan*;
+* between events the policy simply follows the plan, asking the engine to
+  wake it up at the plan's next assignment boundary.
+
+Feasibility of an objective value is decided with the paper's Lemma 1
+(:func:`repro.core.deadline.check_deadline_feasibility`) applied to the
+sub-instance of remaining work.  The objective value itself is located with a
+bounded-precision bisection: unlike the off-line solver we do not need the
+exact optimum here — the plan is re-built at the next event anyway — and the
+paper describes the adaptation as deliberately simple.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.deadline import check_deadline_feasibility
+from ..core.instance import Instance
+from ..core.job import Job
+from ..core.schedule import Schedule
+from ..simulation.state import AllocationDecision, SimulationState
+from .base import OnlineScheduler
+
+__all__ = ["OnlineOfflineAdaptationScheduler"]
+
+
+class OnlineOfflineAdaptationScheduler(OnlineScheduler):
+    """Plan-following on-line adaptation of the off-line LP algorithm.
+
+    Parameters
+    ----------
+    relative_precision:
+        Relative precision of the bisection on the objective value.
+    max_bisection_steps:
+        Hard cap on bisection iterations per re-planning.
+    preemptive:
+        When ``True`` the plan is built in the preemptive (non-divisible)
+        model; the default ``False`` uses the divisible model, matching the
+        paper's framework.
+    backend:
+        LP backend used for the feasibility probes.
+    """
+
+    divisible = True
+
+    def __init__(
+        self,
+        relative_precision: float = 1e-3,
+        max_bisection_steps: int = 40,
+        preemptive: bool = False,
+        backend: str = "scipy",
+    ) -> None:
+        self.relative_precision = relative_precision
+        self.max_bisection_steps = max_bisection_steps
+        self.preemptive = preemptive
+        self.backend = backend
+        self.name = "online-offline" + ("-preemptive" if preemptive else "")
+        self.divisible = not preemptive
+        self._plan: Optional[List[Tuple[int, int, float, float]]] = None
+        self._plan_active: Optional[frozenset] = None
+        self.replanning_count = 0
+
+    # ------------------------------------------------------------------ #
+    def reset(self, instance: Instance) -> None:
+        self._plan = None
+        self._plan_active = None
+        self.replanning_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Re-planning                                                          #
+    # ------------------------------------------------------------------ #
+    def _build_sub_instance(self, state: SimulationState) -> Tuple[Instance, List[int]]:
+        """Build the instance of remaining work for the currently active jobs.
+
+        Returns the sub-instance and the list mapping sub-instance job
+        positions back to original job indices.
+        """
+        instance = state.instance
+        active = sorted(state.active_jobs())
+        jobs = []
+        columns = []
+        for job_index in active:
+            original = instance.jobs[job_index]
+            remaining = max(state.remaining_fraction(job_index), 1e-9)
+            jobs.append(
+                Job(
+                    name=original.name,
+                    release_date=state.time,
+                    weight=original.weight,
+                    size=(original.size * remaining) if original.size is not None else None,
+                    databanks=original.databanks,
+                )
+            )
+            columns.append([instance.cost(i, job_index) * remaining
+                            for i in range(instance.num_machines)])
+        costs = [[columns[j][i] for j in range(len(active))]
+                 for i in range(instance.num_machines)]
+        sub_instance = Instance.from_costs(jobs, costs, machines=list(instance.machines))
+        # ``from_costs`` re-sorts by release date; all release dates are equal
+        # to ``state.time`` so the original order (by ``active``) is preserved
+        # because Python's sort is stable.
+        return sub_instance, active
+
+    def _feasible(
+        self, sub_instance: Instance, active: List[int], state: SimulationState, objective: float
+    ):
+        """Deadline-feasibility probe at objective value ``objective``."""
+        instance = state.instance
+        deadlines = []
+        for job_index in active:
+            original = instance.jobs[job_index]
+            deadlines.append(original.release_date + objective / original.weight)
+        if any(deadline < state.time for deadline in deadlines):
+            return None
+        return check_deadline_feasibility(
+            sub_instance,
+            deadlines,
+            preemptive=self.preemptive,
+            build_schedule=True,
+            backend=self.backend,
+        )
+
+    def _replan(self, state: SimulationState) -> None:
+        """Recompute the plan for the current active set."""
+        self.replanning_count += 1
+        instance = state.instance
+        sub_instance, active = self._build_sub_instance(state)
+
+        # Lower bound: even instantaneous completion cannot beat the weighted
+        # flow already accumulated (plus the fluid lower bound on remaining work).
+        lower = 0.0
+        for position, job_index in enumerate(active):
+            original = instance.jobs[job_index]
+            already = state.time - original.release_date
+            fluid = sub_instance.lower_bound_flow(position)
+            lower = max(lower, original.weight * (already + fluid))
+
+        # Upper bound: process the remaining work sequentially, each job on its
+        # fastest machine, in active order.
+        cursor = state.time
+        upper = lower
+        for position, job_index in enumerate(active):
+            original = instance.jobs[job_index]
+            cursor += sub_instance.min_cost(position)
+            upper = max(upper, original.weight * (cursor - original.release_date))
+        upper = max(upper, lower * (1.0 + self.relative_precision) + 1e-9)
+
+        best = self._feasible(sub_instance, active, state, upper)
+        steps = 0
+        low, high = lower, upper
+        while (
+            best is not None
+            and high - low > self.relative_precision * max(1.0, high)
+            and steps < self.max_bisection_steps
+        ):
+            mid = 0.5 * (low + high)
+            probe = self._feasible(sub_instance, active, state, mid)
+            if probe is not None and probe.feasible:
+                high = mid
+                best = probe
+            else:
+                low = mid
+            steps += 1
+
+        plan: List[Tuple[int, int, float, float]] = []
+        if best is not None and best.feasible and best.schedule is not None:
+            plan = self._plan_from_schedule(best.schedule, active)
+        self._plan = plan
+        self._plan_active = frozenset(active)
+
+    @staticmethod
+    def _plan_from_schedule(
+        schedule: Schedule, active: List[int]
+    ) -> List[Tuple[int, int, float, float]]:
+        """Map a sub-instance schedule to (machine, original job, start, end) tuples."""
+        plan = []
+        for piece in schedule.pieces:
+            original_job = active[piece.job_index]
+            plan.append((piece.machine_index, original_job, piece.start, piece.end))
+        plan.sort(key=lambda item: (item[0], item[2]))
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Plan following                                                       #
+    # ------------------------------------------------------------------ #
+    def decide(self, state: SimulationState) -> AllocationDecision:
+        active = frozenset(state.active_jobs())
+        if self._plan is None or self._plan_active != active:
+            self._replan(state)
+
+        if not self._plan:
+            # Fallback: no feasible plan was produced (should not happen for a
+            # valid instance); behave like a greedy exclusive policy so that
+            # the simulation still terminates.
+            assignments: Dict[int, int] = {}
+            used = set()
+            for job_index in sorted(active):
+                for machine_index in range(state.instance.num_machines):
+                    if machine_index in used:
+                        continue
+                    if state.instance.cost(machine_index, job_index) != float("inf"):
+                        assignments[machine_index] = job_index
+                        used.add(machine_index)
+                        break
+            return AllocationDecision(
+                shares={m: [(j, 1.0)] for m, j in assignments.items()}
+            )
+
+        now = state.time
+        epsilon = 1e-9
+        shares: Dict[int, List[Tuple[int, float]]] = {}
+        wake_candidates: List[float] = []
+        for machine_index, job_index, start, end in self._plan:
+            if job_index not in active:
+                continue
+            if end <= now + epsilon:
+                continue
+            if start <= now + epsilon:
+                # Piece currently running on this machine.
+                if machine_index not in shares:
+                    shares[machine_index] = [(job_index, 1.0)]
+                    wake_candidates.append(end)
+            else:
+                # Future piece: make sure we are woken up when it starts.
+                wake_candidates.append(start)
+
+        wake_up_at = min((t for t in wake_candidates if t > now + epsilon), default=None)
+        return AllocationDecision(shares=shares, wake_up_at=wake_up_at)

@@ -1,0 +1,43 @@
+"""Round-robin processor sharing — a simple divisible baseline.
+
+Every machine divides its time equally among all the active jobs it is able
+to process.  This is the "fair share" policy many clusters implement by
+default; it exploits divisibility but ignores priorities and heterogeneity,
+which is exactly why the LP-based policies beat it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.instance import Instance
+from ..simulation.state import AllocationDecision, SimulationState
+from .base import OnlineScheduler
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(OnlineScheduler):
+    """Equal processor sharing among the eligible active jobs (divisible)."""
+
+    name = "round-robin"
+    divisible = True
+
+    def reset(self, instance: Instance) -> None:
+        return None
+
+    def decide(self, state: SimulationState) -> AllocationDecision:
+        instance = state.instance
+        active = state.active_jobs()
+        shares = {}
+        for machine_index in range(instance.num_machines):
+            eligible = [
+                job_index
+                for job_index in active
+                if not math.isinf(instance.cost(machine_index, job_index))
+            ]
+            if not eligible:
+                continue
+            share = 1.0 / len(eligible)
+            shares[machine_index] = [(job_index, share) for job_index in eligible]
+        return AllocationDecision(shares=shares)

@@ -1,0 +1,37 @@
+"""Self-contained linear-programming modelling layer (substrate S1).
+
+The paper expresses all of its scheduling results as linear programs; this
+subpackage provides the modelling objects used to state them and two
+interchangeable solving backends:
+
+* :mod:`repro.lp.scipy_backend` — SciPy's HiGHS wrapper (production backend);
+* :mod:`repro.lp.simplex` — an in-house dense two-phase simplex used for
+  cross-validation and the backend-ablation bench.
+
+Public API
+----------
+:class:`LinearProgram`
+    The model object (variables, constraints, objective, ``solve``).
+:class:`Variable`, :class:`LinearExpression`, :func:`linear_sum`
+    Building blocks for stating constraints.
+:class:`Constraint`
+    Normalised constraint object produced by comparisons.
+:class:`LPSolution`, :class:`LPStatus`
+    Solve results.
+"""
+
+from .constraint import Constraint
+from .expression import LinearExpression, Variable, as_expression, linear_sum
+from .model import LinearProgram
+from .solution import LPSolution, LPStatus
+
+__all__ = [
+    "Constraint",
+    "LinearExpression",
+    "LinearProgram",
+    "LPSolution",
+    "LPStatus",
+    "Variable",
+    "as_expression",
+    "linear_sum",
+]

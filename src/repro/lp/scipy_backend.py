@@ -1,0 +1,96 @@
+"""SciPy/HiGHS backend for the LP modelling layer.
+
+This is the production backend.  :func:`scipy.optimize.linprog` with
+``method="highs"`` solves the dense matrix form produced by
+:mod:`repro.lp.standard_form`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from scipy.optimize import linprog
+
+from .model import LinearProgram
+from .solution import LPSolution, LPStatus
+from .standard_form import to_matrix_form
+
+__all__ = ["solve_with_scipy"]
+
+#: Mapping from scipy ``OptimizeResult.status`` codes to our statuses.
+_SCIPY_STATUS = {
+    0: LPStatus.OPTIMAL,
+    1: LPStatus.ERROR,       # iteration limit
+    2: LPStatus.INFEASIBLE,
+    3: LPStatus.UNBOUNDED,
+    4: LPStatus.ERROR,       # numerical difficulties
+}
+
+
+def solve_with_scipy(model: LinearProgram, method: str = "highs", **options) -> LPSolution:
+    """Solve ``model`` with :func:`scipy.optimize.linprog`.
+
+    Parameters
+    ----------
+    model:
+        The linear program to solve.
+    method:
+        SciPy method name; ``"highs"`` (dual simplex / interior point chosen
+        automatically by HiGHS) is the default and the only method exercised
+        by the test-suite.
+    options:
+        Extra keyword options forwarded to ``linprog(options=...)``.
+    """
+    form = to_matrix_form(model)
+
+    if form.num_variables == 0:
+        # Degenerate but legal: a model with no variables is feasible iff all
+        # constraints hold with every variable absent (i.e. constants only).
+        violations = model.check_solution({})
+        if violations:
+            return LPSolution(status=LPStatus.INFEASIBLE, backend="scipy-highs",
+                              message="; ".join(violations))
+        return LPSolution(
+            status=LPStatus.OPTIMAL,
+            objective_value=form.objective_constant,
+            values={},
+            backend="scipy-highs",
+        )
+
+    result = linprog(
+        c=form.c,
+        A_ub=form.a_ub if form.num_inequalities else None,
+        b_ub=form.b_ub if form.num_inequalities else None,
+        A_eq=form.a_eq if form.num_equalities else None,
+        b_eq=form.b_eq if form.num_equalities else None,
+        bounds=form.bounds,
+        method=method,
+        options=options or None,
+    )
+
+    status = _SCIPY_STATUS.get(result.status, LPStatus.ERROR)
+    if not result.success and status is LPStatus.OPTIMAL:
+        status = LPStatus.ERROR
+
+    values: Dict[int, float] = {}
+    objective = None
+    if status is LPStatus.OPTIMAL and result.x is not None:
+        values = {i: float(v) for i, v in enumerate(result.x)}
+        objective = form.restore_objective(float(result.fun))
+
+    iterations = None
+    nit = getattr(result, "nit", None)
+    if nit is not None:
+        try:
+            iterations = int(nit)
+        except (TypeError, ValueError):
+            iterations = None
+
+    return LPSolution(
+        status=status,
+        objective_value=objective,
+        values=values,
+        backend="scipy-highs",
+        iterations=iterations,
+        message=str(getattr(result, "message", "")),
+    )

@@ -1,0 +1,30 @@
+"""Discrete-event simulation of on-line scheduling policies (substrate S10).
+
+The paper's conclusion reports "preliminary simulations" in which an on-line
+adaptation of the off-line algorithm outperforms classical heuristics such as
+Minimum Completion Time.  This subpackage provides the simulator used to
+reproduce that claim (experiment E4 in DESIGN.md).
+
+Public API
+----------
+:func:`simulate`
+    Run an on-line policy over an instance and obtain a validated schedule.
+:class:`SimulationResult`
+    Executed schedule, events, preemption counts and metrics.
+:class:`SimulationState`, :class:`AllocationDecision`
+    The engine/policy interface (see :mod:`repro.heuristics.base`).
+"""
+
+from .engine import simulate
+from .result import EventRecord, SimulationResult
+from .state import AllocationDecision, JobProgress, MachineShare, SimulationState
+
+__all__ = [
+    "AllocationDecision",
+    "EventRecord",
+    "JobProgress",
+    "MachineShare",
+    "SimulationResult",
+    "SimulationState",
+    "simulate",
+]

@@ -1,0 +1,173 @@
+"""Simulation state shared between the discrete-event engine and the schedulers.
+
+The engine (:mod:`repro.simulation.engine`) advances virtual time between
+*events* (job arrivals, job completions, scheduler wake-ups).  At every event
+it hands the scheduling policy a read-only :class:`SimulationState` and gets
+back an :class:`AllocationDecision`: the machine shares to apply until the
+next event, plus an optional wake-up request.
+
+The share model is the divisible-load model of the paper: during a window a
+machine ``i`` may devote a fraction ``s`` of its time to job ``j``, making the
+job progress at rate ``s / c[i, j]`` (fraction of the job per second).
+Non-divisible policies simply return one job per machine with share 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.instance import Instance
+from ..exceptions import SimulationError
+
+__all__ = ["JobProgress", "SimulationState", "AllocationDecision", "MachineShare"]
+
+#: A machine's allocation: list of ``(job_index, share)`` pairs, shares summing to at most 1.
+MachineShare = List[Tuple[int, float]]
+
+
+@dataclass
+class JobProgress:
+    """Dynamic state of one job during the simulation.
+
+    Attributes
+    ----------
+    job_index:
+        Index of the job in the instance.
+    remaining_fraction:
+        Fraction of the job still to be processed (1.0 at arrival, 0.0 when
+        done).
+    arrived:
+        Whether the job's release date has passed.
+    completion_time:
+        Set when the job finishes.
+    """
+
+    job_index: int
+    remaining_fraction: float = 1.0
+    arrived: bool = False
+    completion_time: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        """Return ``True`` once the job has been fully processed."""
+        return self.completion_time is not None
+
+
+@dataclass
+class SimulationState:
+    """Snapshot handed to the scheduling policy at every event.
+
+    Attributes
+    ----------
+    instance:
+        The full scheduling instance (costs, weights, release dates).
+    time:
+        Current simulation time.
+    jobs:
+        Per-job dynamic state, indexed like ``instance.jobs``.
+    next_arrival:
+        Release date of the next not-yet-arrived job (``None`` when all jobs
+        have arrived).  On-line policies are allowed to *peek* at this value
+        only to bound their planning horizon; clairvoyant policies that
+        exploit it further should say so in their documentation.
+    """
+
+    instance: Instance
+    time: float
+    jobs: List[JobProgress]
+    next_arrival: Optional[float]
+
+    # ------------------------------------------------------------------ #
+    def active_jobs(self) -> List[int]:
+        """Indices of jobs that have arrived and are not finished."""
+        return [
+            progress.job_index
+            for progress in self.jobs
+            if progress.arrived and not progress.finished
+        ]
+
+    def remaining_fraction(self, job_index: int) -> float:
+        """Remaining fraction of job ``job_index``."""
+        return self.jobs[job_index].remaining_fraction
+
+    def remaining_work(self, job_index: int, machine_index: int) -> float:
+        """Remaining processing time of job ``job_index`` if run only on ``machine_index``."""
+        return self.jobs[job_index].remaining_fraction * self.instance.cost(
+            machine_index, job_index
+        )
+
+    def fastest_remaining_work(self, job_index: int) -> float:
+        """Remaining processing time of the job on its fastest machine."""
+        return self.jobs[job_index].remaining_fraction * self.instance.min_cost(job_index)
+
+    def current_weighted_flow(self, job_index: int) -> float:
+        """Weighted flow the job would have if it completed right now."""
+        job = self.instance.jobs[job_index]
+        return job.weight * (self.time - job.release_date)
+
+
+@dataclass
+class AllocationDecision:
+    """A policy's answer: machine shares to apply until the next event.
+
+    Attributes
+    ----------
+    shares:
+        Mapping ``machine_index -> [(job_index, share), ...]``.  Shares on a
+        machine must be positive and sum to at most 1; jobs must be active
+        and runnable on the machine.  Machines absent from the mapping stay
+        idle.
+    wake_up_at:
+        Optional absolute time at which the policy wants to be invoked again
+        even if no arrival/completion happens before (used by plan-following
+        policies).
+    """
+
+    shares: Dict[int, MachineShare] = field(default_factory=dict)
+    wake_up_at: Optional[float] = None
+
+    def validate(self, state: SimulationState, tol: float = 1e-9) -> None:
+        """Check the decision against the current state; raise :class:`SimulationError`."""
+        instance = state.instance
+        active = set(state.active_jobs())
+        for machine_index, share_list in self.shares.items():
+            if not (0 <= machine_index < instance.num_machines):
+                raise SimulationError(f"allocation references unknown machine #{machine_index}")
+            total = 0.0
+            for job_index, share in share_list:
+                if not (0 <= job_index < instance.num_jobs):
+                    raise SimulationError(f"allocation references unknown job #{job_index}")
+                if job_index not in active:
+                    raise SimulationError(
+                        f"allocation gives machine #{machine_index} to job #{job_index}, "
+                        "which is not active"
+                    )
+                if share <= tol:
+                    raise SimulationError(
+                        f"allocation share {share} for job #{job_index} must be positive"
+                    )
+                cost = instance.cost(machine_index, job_index)
+                if cost == float("inf"):
+                    raise SimulationError(
+                        f"job #{job_index} cannot run on machine #{machine_index} "
+                        "(required databank missing)"
+                    )
+                total += share
+            if total > 1.0 + 1e-6:
+                raise SimulationError(
+                    f"machine #{machine_index} is allocated {total:.6g} > 1 of its capacity"
+                )
+        if self.wake_up_at is not None and self.wake_up_at < state.time - tol:
+            raise SimulationError(
+                f"wake-up requested at {self.wake_up_at}, before current time {state.time}"
+            )
+
+    def job_rates(self, state: SimulationState) -> Dict[int, float]:
+        """Return the progress rate (fraction per second) of every allocated job."""
+        rates: Dict[int, float] = {}
+        for machine_index, share_list in self.shares.items():
+            for job_index, share in share_list:
+                cost = state.instance.cost(machine_index, job_index)
+                rates[job_index] = rates.get(job_index, 0.0) + share / cost
+        return rates

@@ -1,0 +1,45 @@
+"""Workload generation, named scenarios and trace I/O (substrate S12)."""
+
+from .generators import (
+    ArrivalProcess,
+    poisson_arrivals,
+    random_correlated_instance,
+    random_restricted_instance,
+    random_unrelated_instance,
+    uniform_arrivals,
+)
+from .perturbation import perturb_costs, perturb_release_dates, scale_load
+from .scenarios import Scenario, available_scenarios, make_scenario
+from .traces import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "Scenario",
+    "available_scenarios",
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_instance",
+    "load_schedule",
+    "make_scenario",
+    "perturb_costs",
+    "perturb_release_dates",
+    "poisson_arrivals",
+    "random_correlated_instance",
+    "random_restricted_instance",
+    "random_unrelated_instance",
+    "save_instance",
+    "scale_load",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "uniform_arrivals",
+]

@@ -1,0 +1,93 @@
+"""Instance perturbation utilities for sensitivity / robustness studies.
+
+The off-line model assumes exact knowledge of processing times and release
+dates; in the deployment the paper targets, both are estimates.  These helpers
+produce controlled perturbations of an instance so that users (and the
+robustness tests) can measure how much the optimal objective and the policies'
+behaviour move when the inputs are wrong by a known amount.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.job import Job
+from ..exceptions import WorkloadError
+
+__all__ = ["perturb_costs", "perturb_release_dates", "scale_load"]
+
+
+def perturb_costs(
+    instance: Instance,
+    relative_error: float,
+    seed: Optional[int] = None,
+) -> Instance:
+    """Multiply every finite ``c_{i,j}`` by an independent ``1 + U(-e, +e)`` factor.
+
+    Parameters
+    ----------
+    instance:
+        The instance to perturb (not modified).
+    relative_error:
+        Maximum relative error ``e``; must lie in ``[0, 1)`` so that perturbed
+        times stay positive.
+    seed:
+        RNG seed.
+    """
+    if not 0.0 <= relative_error < 1.0:
+        raise WorkloadError("relative_error must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    factors = 1.0 + rng.uniform(-relative_error, relative_error, size=instance.costs.shape)
+    costs = np.where(np.isfinite(instance.costs), instance.costs * factors, np.inf)
+    return Instance(jobs=instance.jobs, machines=instance.machines, costs=costs)
+
+
+def perturb_release_dates(
+    instance: Instance,
+    max_shift: float,
+    seed: Optional[int] = None,
+) -> Instance:
+    """Shift every release date by an independent ``U(-max_shift, +max_shift)``.
+
+    Shifts are clipped at zero (release dates stay non-negative) and the jobs
+    are re-sorted, so the result is a valid instance.
+    """
+    if max_shift < 0:
+        raise WorkloadError("max_shift must be non-negative")
+    rng = np.random.default_rng(seed)
+    new_jobs = []
+    for job in instance.jobs:
+        shift = float(rng.uniform(-max_shift, max_shift))
+        new_jobs.append(job.with_release_date(max(0.0, job.release_date + shift)))
+    # Re-sorting is required because shifts may reorder the jobs; the cost
+    # columns must be permuted accordingly.
+    order = sorted(range(len(new_jobs)), key=lambda k: new_jobs[k].release_date)
+    jobs = tuple(new_jobs[k] for k in order)
+    costs = instance.costs[:, order].copy()
+    return Instance(jobs=jobs, machines=instance.machines, costs=costs)
+
+
+def scale_load(instance: Instance, factor: float) -> Instance:
+    """Scale every processing time by ``factor`` (> 0) — a uniform load change.
+
+    Useful for crossover studies: the optimal max weighted flow scales
+    sub-linearly at light load (idle capacity absorbs the increase) and
+    linearly once the platform saturates.
+    """
+    if factor <= 0:
+        raise WorkloadError("factor must be positive")
+    costs = np.where(np.isfinite(instance.costs), instance.costs * factor, np.inf)
+    jobs = tuple(
+        Job(
+            name=job.name,
+            release_date=job.release_date,
+            weight=job.weight,
+            size=(job.size * factor) if job.size is not None else None,
+            databanks=job.databanks,
+        )
+        for job in instance.jobs
+    )
+    return Instance(jobs=jobs, machines=instance.machines, costs=costs)

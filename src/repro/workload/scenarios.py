@@ -1,0 +1,145 @@
+"""Named workload scenarios used by the examples and the benches.
+
+Each scenario captures one of the situations the paper's introduction
+motivates: a small community cluster with partially replicated databanks, a
+heavily loaded portal with bursty arrivals, a platform with one fast central
+server and several slow satellites, etc.  Scenarios are deterministic for a
+given seed, so bench numbers are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.instance import Instance
+from ..exceptions import WorkloadError
+from ..gripps.platform_gen import DatabankSpec, make_gripps_instance
+from .generators import ArrivalProcess, random_restricted_instance, random_unrelated_instance
+
+__all__ = ["Scenario", "available_scenarios", "make_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, parameterised workload scenario."""
+
+    name: str
+    description: str
+    builder: Callable[[Optional[int]], Instance]
+
+    def build(self, seed: Optional[int] = None) -> Instance:
+        """Materialise the scenario into an :class:`Instance`."""
+        return self.builder(seed)
+
+
+def _small_cluster(seed: Optional[int]) -> Instance:
+    """Six servers, four databanks, moderate load — the canonical GriPPS setup."""
+    return make_gripps_instance(
+        num_requests=15,
+        num_machines=6,
+        replication=0.5,
+        arrival_rate=1.0 / 40.0,
+        motif_range=(5, 60),
+        seed=seed if seed is not None else 1,
+    )
+
+
+def _replicated_portal(seed: Optional[int]) -> Instance:
+    """A large portal where every databank is replicated everywhere (no restrictions)."""
+    return make_gripps_instance(
+        num_requests=20,
+        num_machines=8,
+        replication=1.0,
+        arrival_rate=1.0 / 20.0,
+        motif_range=(10, 120),
+        seed=seed if seed is not None else 2,
+    )
+
+
+def _hotspot(seed: Optional[int]) -> Instance:
+    """One popular databank hosted on a single slow machine — the worst case for affinity."""
+    banks = (
+        DatabankSpec("hot-bank", 60_000, popularity=8.0),
+        DatabankSpec("cold-bank-a", 20_000, popularity=1.0),
+        DatabankSpec("cold-bank-b", 15_000, popularity=1.0),
+    )
+    return make_gripps_instance(
+        num_requests=12,
+        num_machines=5,
+        databanks=banks,
+        replication=0.35,
+        arrival_rate=1.0 / 60.0,
+        motif_range=(10, 80),
+        seed=seed if seed is not None else 3,
+    )
+
+
+def _bursty_batch(seed: Optional[int]) -> Instance:
+    """Many small requests released almost simultaneously (a batch submission)."""
+    return random_restricted_instance(
+        num_jobs=18,
+        num_machines=5,
+        arrivals=ArrivalProcess(kind="uniform", horizon=2.0),
+        num_databanks=3,
+        replication=0.6,
+        size_range=(2.0, 15.0),
+        stretch_weights=True,
+        seed=seed if seed is not None else 4,
+    )
+
+
+def _unrelated_stress(seed: Optional[int]) -> Instance:
+    """A fully unrelated instance exercising the general model of Section 3."""
+    return random_unrelated_instance(
+        num_jobs=14,
+        num_machines=4,
+        cost_range=(1.0, 25.0),
+        forbidden_probability=0.25,
+        seed=seed if seed is not None else 5,
+    )
+
+
+_SCENARIOS: Dict[str, Scenario] = {
+    "small-cluster": Scenario(
+        "small-cluster",
+        "six comparison servers, four partially replicated databanks, moderate load",
+        _small_cluster,
+    ),
+    "replicated-portal": Scenario(
+        "replicated-portal",
+        "eight servers with full databank replication (no placement restrictions)",
+        _replicated_portal,
+    ),
+    "hotspot": Scenario(
+        "hotspot",
+        "one very popular databank with low replication — strong task affinity",
+        _hotspot,
+    ),
+    "bursty-batch": Scenario(
+        "bursty-batch",
+        "a burst of small stretch-weighted requests released within two seconds",
+        _bursty_batch,
+    ),
+    "unrelated-stress": Scenario(
+        "unrelated-stress",
+        "fully unrelated machines with 25% forbidden pairs",
+        _unrelated_stress,
+    ),
+}
+
+
+def available_scenarios() -> List[str]:
+    """Return the names of all registered scenarios."""
+    return sorted(_SCENARIOS)
+
+
+def make_scenario(name: str, seed: Optional[int] = None) -> Instance:
+    """Build the named scenario (see :func:`available_scenarios`)."""
+    try:
+        scenario = _SCENARIOS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+        ) from None
+    return scenario.build(seed)

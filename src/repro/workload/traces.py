@@ -1,0 +1,107 @@
+"""JSON trace I/O for instances, schedules and simulation summaries.
+
+A downstream user needs to persist generated workloads and computed schedules
+(to rerun experiments, to feed a visualiser, to archive bench inputs).  The
+format is deliberately plain JSON so that it stays readable and
+toolchain-independent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule, SchedulePiece
+from ..exceptions import WorkloadError
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]
+
+PathLike = Union[str, Path]
+
+#: Format version written into every trace file.
+TRACE_FORMAT_VERSION = 1
+
+
+def instance_to_dict(instance: Instance) -> Dict:
+    """Serialise an instance to JSON-compatible types."""
+    payload = instance.to_dict()
+    payload["format"] = "repro-instance"
+    payload["version"] = TRACE_FORMAT_VERSION
+    return payload
+
+
+def instance_from_dict(data: Dict) -> Instance:
+    """Rebuild an instance from :func:`instance_to_dict` output."""
+    if data.get("format") not in (None, "repro-instance"):
+        raise WorkloadError(f"not an instance trace: format={data.get('format')!r}")
+    return Instance.from_dict(data)
+
+
+def save_instance(instance: Instance, path: PathLike) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance), indent=2))
+
+
+def load_instance(path: PathLike) -> Instance:
+    """Read an instance from a JSON file."""
+    return instance_from_dict(json.loads(Path(path).read_text()))
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict:
+    """Serialise a schedule (pieces plus the instance it refers to)."""
+    return {
+        "format": "repro-schedule",
+        "version": TRACE_FORMAT_VERSION,
+        "divisible": schedule.divisible,
+        "instance": instance_to_dict(schedule.instance),
+        "pieces": [
+            {
+                "job": piece.job_index,
+                "machine": piece.machine_index,
+                "start": piece.start,
+                "end": piece.end,
+                "fraction": piece.fraction,
+            }
+            for piece in schedule.pieces
+        ],
+    }
+
+
+def schedule_from_dict(data: Dict) -> Schedule:
+    """Rebuild a schedule from :func:`schedule_to_dict` output."""
+    if data.get("format") != "repro-schedule":
+        raise WorkloadError(f"not a schedule trace: format={data.get('format')!r}")
+    instance = instance_from_dict(data["instance"])
+    schedule = Schedule(instance=instance, divisible=bool(data.get("divisible", True)))
+    for item in data["pieces"]:
+        schedule.pieces.append(
+            SchedulePiece(
+                job_index=int(item["job"]),
+                machine_index=int(item["machine"]),
+                start=float(item["start"]),
+                end=float(item["end"]),
+                fraction=float(item["fraction"]),
+            )
+        )
+    return schedule
+
+
+def save_schedule(schedule: Schedule, path: PathLike) -> None:
+    """Write a schedule (and its instance) to a JSON file."""
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: PathLike) -> Schedule:
+    """Read a schedule from a JSON file."""
+    return schedule_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,54 @@
+"""Unit tests for the experiment-campaign runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_policy_campaign
+from repro.exceptions import WorkloadError
+from repro.workload import random_restricted_instance
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    instances = [
+        random_restricted_instance(6, 3, seed=seed, num_databanks=2, stretch_weights=True)
+        for seed in (0, 1)
+    ]
+    return run_policy_campaign(instances, policies=("mct", "fifo"), labels=("w0", "w1"))
+
+
+class TestCampaign:
+    def test_record_counts(self, campaign):
+        # 2 workloads x (offline + 2 policies) = 6 records.
+        assert len(campaign.records) == 6
+        assert set(campaign.policies()) == {"offline-optimal", "mct", "fifo"}
+        assert campaign.policies()[0] == "offline-optimal"
+
+    def test_normalisation_against_offline_optimum(self, campaign):
+        for record in campaign.records:
+            if record.policy == "offline-optimal":
+                assert record.normalised == pytest.approx(1.0)
+            else:
+                assert record.normalised >= 1.0 - 1e-6
+
+    def test_mean_degradation_and_ranking(self, campaign):
+        ranking = campaign.ranking()
+        assert set(ranking) == {"mct", "fifo"}
+        degradations = [campaign.mean_degradation(policy) for policy in ranking]
+        assert degradations == sorted(degradations)
+
+    def test_table_rendering(self, campaign):
+        table = campaign.as_table()
+        assert "offline-optimal" in table and "mct" in table
+
+    def test_records_for_unknown_policy(self, campaign):
+        with pytest.raises(WorkloadError):
+            campaign.mean_degradation("nope")
+
+    def test_input_validation(self):
+        with pytest.raises(WorkloadError):
+            run_policy_campaign([], policies=("mct",))
+        instance = random_restricted_instance(4, 2, seed=3)
+        with pytest.raises(WorkloadError):
+            run_policy_campaign([instance], policies=("mct",), labels=("a", "b"))

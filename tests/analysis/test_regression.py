@@ -1,0 +1,72 @@
+"""Unit tests for linear regression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import linear_regression
+from repro.exceptions import WorkloadError
+
+
+class TestExactFits:
+    def test_perfect_line(self):
+        x = np.array([0.0, 1.0, 2.0, 3.0])
+        y = 2.5 + 1.5 * x
+        fit = linear_regression(x, y)
+        assert fit.slope == pytest.approx(1.5)
+        assert fit.intercept == pytest.approx(2.5)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(10.0) == pytest.approx(17.5)
+
+    def test_flat_line(self):
+        fit = linear_regression([1.0, 2.0, 3.0], [4.0, 4.0, 4.0])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.intercept == pytest.approx(4.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_matches_numpy_polyfit(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 100, size=50)
+        y = 3.0 + 0.7 * x + rng.normal(0, 2.0, size=50)
+        fit = linear_regression(x, y)
+        slope_ref, intercept_ref = np.polyfit(x, y, 1)
+        assert fit.slope == pytest.approx(slope_ref)
+        assert fit.intercept == pytest.approx(intercept_ref)
+
+
+class TestStatistics:
+    def test_noisy_fit_confidence_interval_contains_truth(self):
+        rng = np.random.default_rng(2)
+        x = np.linspace(0, 50, 200)
+        y = 5.0 + 2.0 * x + rng.normal(0, 1.0, size=200)
+        fit = linear_regression(x, y)
+        low, high = fit.intercept_confidence_interval(0.99)
+        assert low <= 5.0 <= high
+        low, high = fit.slope_confidence_interval(0.99)
+        assert low <= 2.0 <= high
+        assert 0.99 < fit.r_squared <= 1.0
+
+    def test_summary_format(self):
+        fit = linear_regression([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        text = fit.summary()
+        assert "R^2" in text and "n = 3" in text
+
+    def test_invalid_confidence_rejected(self):
+        fit = linear_regression([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        with pytest.raises(WorkloadError):
+            fit.intercept_confidence_interval(1.5)
+
+
+class TestInputValidation:
+    def test_mismatched_shapes(self):
+        with pytest.raises(WorkloadError):
+            linear_regression([1.0, 2.0], [1.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(WorkloadError):
+            linear_regression([1.0], [2.0])
+
+    def test_constant_abscissa(self):
+        with pytest.raises(WorkloadError):
+            linear_regression([3.0, 3.0, 3.0], [1.0, 2.0, 3.0])

@@ -1,0 +1,102 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, Job, Machine, Platform
+from repro.workload import random_restricted_instance, random_unrelated_instance
+
+
+@pytest.fixture
+def tiny_instance() -> Instance:
+    """Three jobs, two unrelated machines, no restrictions.
+
+    Small enough that optima can be checked by hand, large enough to exercise
+    multiple release-date intervals.
+    """
+    jobs = [
+        Job("J1", 0.0, weight=1.0),
+        Job("J2", 1.0, weight=2.0),
+        Job("J3", 2.5, weight=1.0),
+    ]
+    costs = [
+        [3.0, 2.0, 4.0],
+        [6.0, 4.0, 2.0],
+    ]
+    return Instance.from_costs(jobs, costs)
+
+
+@pytest.fixture
+def single_job_instance() -> Instance:
+    """One job on two machines — the simplest non-trivial divisible instance."""
+    jobs = [Job("solo", 0.0, weight=1.0)]
+    costs = [[4.0], [12.0]]
+    return Instance.from_costs(jobs, costs)
+
+
+@pytest.fixture
+def restricted_instance() -> Instance:
+    """Uniform machines with databank restrictions (the GriPPS situation)."""
+    machines = [
+        Machine("fast", cycle_time=0.5, databanks=frozenset({"sprot"})),
+        Machine("slow", cycle_time=2.0, databanks=frozenset({"sprot", "pdb"})),
+        Machine("medium", cycle_time=1.0, databanks=frozenset({"pdb"})),
+    ]
+    jobs = [
+        Job("r1", 0.0, weight=1.0, size=4.0, databanks=frozenset({"sprot"})),
+        Job("r2", 1.0, weight=1.0, size=6.0, databanks=frozenset({"pdb"})),
+        Job("r3", 2.0, weight=2.0, size=2.0, databanks=frozenset({"sprot"})),
+        Job("r4", 2.0, weight=1.0, size=8.0, databanks=frozenset({"pdb"})),
+    ]
+    return Instance.from_platform(jobs, Platform(machines))
+
+
+@pytest.fixture
+def batch_instance() -> Instance:
+    """All jobs released at time zero (single time interval)."""
+    jobs = [Job(f"B{j}", 0.0, weight=1.0 + 0.5 * j) for j in range(4)]
+    costs = [
+        [2.0, 3.0, 5.0, 4.0],
+        [4.0, 2.0, 3.0, 6.0],
+        [8.0, 7.0, 2.0, 3.0],
+    ]
+    return Instance.from_costs(jobs, costs)
+
+
+@pytest.fixture
+def random_instances():
+    """Factory fixture: a list of small random instances with fixed seeds."""
+
+    def factory(count: int = 5, num_jobs: int = 6, num_machines: int = 3):
+        instances = []
+        for seed in range(count):
+            if seed % 2 == 0:
+                instances.append(
+                    random_unrelated_instance(
+                        num_jobs,
+                        num_machines,
+                        seed=seed,
+                        forbidden_probability=0.2,
+                    )
+                )
+            else:
+                instances.append(
+                    random_restricted_instance(
+                        num_jobs,
+                        num_machines,
+                        seed=seed,
+                        num_databanks=3,
+                        replication=0.6,
+                    )
+                )
+        return instances
+
+    return factory
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy random generator."""
+    return np.random.default_rng(123456)

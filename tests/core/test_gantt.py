@@ -1,0 +1,70 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Job, Schedule, minimize_max_weighted_flow, render_gantt
+
+
+@pytest.fixture
+def instance() -> Instance:
+    jobs = [Job("alpha", 0.0), Job("beta", 1.0)]
+    costs = [[4.0, 2.0], [8.0, 4.0]]
+    return Instance.from_costs(jobs, costs)
+
+
+class TestRenderGantt:
+    def test_empty_schedule(self, instance):
+        assert render_gantt(Schedule(instance)) == "(empty schedule)"
+
+    def test_rows_and_legend(self, instance):
+        schedule = Schedule(instance)
+        schedule.add_piece(0, 0, 0.0, 4.0, 1.0)
+        schedule.add_piece(1, 1, 2.0, 6.0, 1.0)
+        art = render_gantt(schedule, width=40)
+        lines = art.splitlines()
+        # One line per machine, plus two axis lines and the legend.
+        assert len(lines) == 2 + 2 + 1
+        assert lines[0].startswith("M0")
+        assert lines[1].startswith("M1")
+        assert "legend:" in lines[-1]
+        assert "A=alpha" in lines[-1] and "B=beta" in lines[-1]
+
+    def test_busy_and_idle_cells(self, instance):
+        schedule = Schedule(instance)
+        schedule.add_piece(0, 0, 0.0, 4.0, 1.0)   # machine 0 busy over the whole span
+        schedule.add_piece(1, 1, 2.0, 4.0, 0.5)   # machine 1 idle then busy
+        art = render_gantt(schedule, width=40, show_legend=False)
+        machine0, machine1 = art.splitlines()[:2]
+        assert "A" in machine0 and "." not in machine0.split("|")[1]
+        cells1 = machine1.split("|")[1]
+        assert cells1.startswith(".")
+        assert "B" in cells1
+
+    def test_window_clipping(self, instance):
+        schedule = Schedule(instance)
+        schedule.add_piece(0, 0, 0.0, 4.0, 1.0)
+        schedule.add_piece(1, 1, 2.0, 6.0, 1.0)
+        art = render_gantt(schedule, width=20, start=5.0, end=6.0, show_legend=False)
+        machine0 = art.splitlines()[0].split("|")[1]
+        machine1 = art.splitlines()[1].split("|")[1]
+        # Job A finished before the window: machine 0 is idle; job B covers it.
+        assert set(machine0) == {"."}
+        assert "B" in machine1
+
+    def test_width_validation(self, instance):
+        schedule = Schedule(instance)
+        schedule.add_piece(0, 0, 0.0, 4.0, 1.0)
+        with pytest.raises(ValueError):
+            render_gantt(schedule, width=3)
+
+    def test_optimal_schedule_renders_every_job_and_machine(self, batch_instance):
+        schedule = minimize_max_weighted_flow(batch_instance).schedule
+        art = render_gantt(schedule, width=120)
+        lines = art.splitlines()
+        # One row per machine plus axis and legend lines.
+        assert len(lines) == batch_instance.num_machines + 3
+        chart = art.split("legend:")[0]
+        for job_index in range(batch_instance.num_jobs):
+            assert "ABCD"[job_index] in chart

@@ -1,0 +1,127 @@
+"""Unit tests for the Lawler-Labetoulle preemptive reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lawler_labetoulle import build_preemptive_pieces, decompose_matrix
+from repro.exceptions import InvalidScheduleError
+
+
+def _check_decomposition(times: np.ndarray, capacity: float) -> None:
+    """Assert the defining properties of a correct decomposition."""
+    steps = decompose_matrix(times, capacity)
+    total = sum(step.duration for step in steps)
+    assert total <= capacity * (1 + 1e-6) + 1e-9
+
+    processed = np.zeros_like(times)
+    for step in steps:
+        machines = list(step.assignment.keys())
+        jobs = list(step.assignment.values())
+        # One job per machine and one machine per job within a step.
+        assert len(set(machines)) == len(machines)
+        assert len(set(jobs)) == len(jobs)
+        for machine, job in step.assignment.items():
+            processed[machine, job] += step.duration
+    # Every requirement is covered (a machine may be assigned slightly longer
+    # than strictly needed never happens: durations are bounded by entries).
+    np.testing.assert_allclose(processed, times, atol=1e-6)
+
+
+class TestDecomposition:
+    def test_identity_matrix(self):
+        times = np.diag([2.0, 3.0, 1.0])
+        _check_decomposition(times, 3.0)
+
+    def test_single_machine_row(self):
+        times = np.array([[1.0, 2.0, 3.0]])
+        _check_decomposition(times, 6.0)
+
+    def test_single_job_column(self):
+        times = np.array([[2.0], [1.0]])
+        _check_decomposition(times, 3.0)
+
+    def test_square_dense_matrix(self):
+        times = np.array(
+            [
+                [1.0, 2.0, 1.0],
+                [2.0, 1.0, 1.0],
+                [1.0, 1.0, 2.0],
+            ]
+        )
+        _check_decomposition(times, 4.0)
+
+    def test_rectangular_matrix_more_jobs_than_machines(self):
+        times = np.array(
+            [
+                [1.0, 0.5, 1.0, 0.5],
+                [0.5, 1.0, 0.5, 1.0],
+            ]
+        )
+        _check_decomposition(times, 3.0)
+
+    def test_zero_matrix_gives_no_steps(self):
+        assert decompose_matrix(np.zeros((2, 3)), 5.0) == []
+
+    def test_zero_capacity_with_work_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            decompose_matrix(np.ones((1, 1)), 0.0)
+
+    def test_overloaded_machine_rejected(self):
+        times = np.array([[3.0, 3.0]])
+        with pytest.raises(InvalidScheduleError):
+            decompose_matrix(times, 4.0)
+
+    def test_overloaded_job_rejected(self):
+        times = np.array([[3.0], [3.0]])
+        with pytest.raises(InvalidScheduleError):
+            decompose_matrix(times, 4.0)
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            decompose_matrix(np.array([[-1.0]]), 2.0)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_feasible_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        m, n = int(rng.integers(1, 5)), int(rng.integers(1, 6))
+        times = rng.uniform(0.0, 1.0, size=(m, n))
+        capacity = max(times.sum(axis=1).max(), times.sum(axis=0).max()) * rng.uniform(1.0, 1.5)
+        _check_decomposition(times, float(capacity))
+
+
+class TestPreemptivePieces:
+    def test_pieces_are_non_overlapping_per_machine_and_per_job(self):
+        times = np.array(
+            [
+                [1.0, 2.0],
+                [2.0, 1.0],
+            ]
+        )
+        pieces = build_preemptive_pieces(times, 3.0, window_start=10.0)
+        assert all(10.0 - 1e-12 <= start and end <= 13.0 + 1e-9 for _, _, start, end in pieces)
+
+        # No machine processes two jobs at once, no job uses two machines at once.
+        for axis in ("machine", "job"):
+            key_index = 0 if axis == "machine" else 1
+            timeline = {}
+            for piece in pieces:
+                timeline.setdefault(piece[key_index], []).append((piece[2], piece[3]))
+            for intervals in timeline.values():
+                intervals.sort()
+                for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                    assert s2 >= e1 - 1e-9
+
+    def test_total_time_per_pair_matches_requirement(self):
+        times = np.array(
+            [
+                [0.7, 1.3, 0.0],
+                [0.5, 0.0, 1.5],
+            ]
+        )
+        pieces = build_preemptive_pieces(times, 2.5, window_start=0.0)
+        totals = np.zeros_like(times)
+        for machine, job, start, end in pieces:
+            totals[machine, job] += end - start
+        np.testing.assert_allclose(totals, times, atol=1e-6)

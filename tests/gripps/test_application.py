@@ -1,0 +1,83 @@
+"""Unit tests for the Figure 1 experimental protocols and the communication study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import linear_regression
+from repro.gripps import (
+    GrippsApplication,
+    MotifSet,
+    SequenceDatabank,
+    communication_study,
+    motif_divisibility_experiment,
+    sequence_divisibility_experiment,
+)
+
+
+class TestDivisibilityStudies:
+    def test_sequence_study_protocol_shape(self):
+        study = sequence_divisibility_experiment(repetitions=3)
+        # 20 block sizes (1/20 steps of 38 000), 3 repetitions each.
+        assert len(study.block_sizes()) == 20
+        assert len(study.measurements) == 60
+        assert study.dimension == "sequences"
+        assert max(study.block_sizes()) == 38_000
+
+    def test_motif_study_protocol_shape(self):
+        study = motif_divisibility_experiment(repetitions=2)
+        assert len(study.block_sizes()) == 20
+        assert max(study.block_sizes()) == 300
+        assert study.dimension == "motifs"
+
+    def test_sequence_regression_matches_paper_overhead(self):
+        study = sequence_divisibility_experiment(repetitions=5)
+        fit = linear_regression(*study.as_arrays())
+        assert fit.r_squared > 0.995            # "nearly perfectly linear"
+        assert fit.intercept == pytest.approx(1.1, abs=0.6)
+
+    def test_motif_regression_matches_paper_overhead(self):
+        study = motif_divisibility_experiment(repetitions=5)
+        fit = linear_regression(*study.as_arrays())
+        assert fit.r_squared > 0.995
+        assert fit.intercept == pytest.approx(10.5, abs=1.5)
+
+    def test_mean_times_align_with_block_sizes(self):
+        study = sequence_divisibility_experiment(repetitions=2)
+        sizes = study.block_sizes()
+        means = study.mean_times()
+        assert len(sizes) == len(means)
+        # Times must be increasing with the block size.
+        assert all(earlier < later for earlier, later in zip(means, means[1:]))
+
+    def test_custom_application_and_sizes(self):
+        application = GrippsApplication(noise_sigma=0.0, seed=1)
+        study = sequence_divisibility_experiment(
+            application, block_sizes=[1000, 2000], repetitions=1
+        )
+        times = dict(zip(study.block_sizes(), study.mean_times()))
+        assert times[2000] > times[1000]
+
+
+class TestRealScan:
+    def test_real_scan_returns_report_and_positive_time(self):
+        application = GrippsApplication(seed=5)
+        databank = SequenceDatabank.synthetic("mini", 25, mean_length=100, seed=6)
+        motifs = MotifSet.random("m", 4, seed=7, mean_length=5)
+        elapsed, report = application.run_real(motifs, databank)
+        assert elapsed > 0
+        assert report.num_sequences == 25
+        assert report.residue_comparisons == databank.total_residues * 4
+
+
+class TestCommunicationStudy:
+    def test_communication_is_negligible(self):
+        study = communication_study()
+        assert study.communication_ratio < 0.01  # well under one percent
+        assert study.computation_seconds == pytest.approx(110.0, rel=0.02)
+
+    def test_slower_network_increases_ratio(self):
+        fast = communication_study(bandwidth_mbps=1000.0)
+        slow = communication_study(bandwidth_mbps=10.0)
+        assert slow.communication_ratio > fast.communication_ratio
+        assert slow.total_communication_seconds > fast.total_communication_seconds

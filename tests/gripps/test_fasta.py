@@ -1,0 +1,81 @@
+"""Unit tests for FASTA import/export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.gripps import SequenceDatabank, format_fasta, parse_fasta, read_fasta, write_fasta
+
+SAMPLE = """\
+>sp|P12345|TEST_ONE description text here
+MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ
+APILSRVGDGTQDNLSGAEKAVQVKVKALPDAQ
+>sp|P67890|TEST_TWO
+mlkfvavaa*
+"""
+
+
+class TestParsing:
+    def test_parse_two_records(self):
+        databank = parse_fasta(SAMPLE, name="sample")
+        assert len(databank) == 2
+        assert databank[0].identifier == "sp|P12345|TEST_ONE"
+        # Wrapped lines are joined.
+        assert databank[0].length == 66
+        # Lower case is upper-cased and '*' terminators dropped.
+        assert databank[1].sequence == "MLKFVAVAA"
+
+    def test_blank_lines_are_ignored(self):
+        databank = parse_fasta(">a\nACD\n\nEFG\n\n>b\nKLM\n")
+        assert databank[0].sequence == "ACDEFG"
+        assert len(databank) == 2
+
+    def test_sequence_before_header_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_fasta("ACDEFG\n>late\nACD\n")
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_fasta(">only-header\n>next\nACD\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_fasta(">\nACD\n")
+
+    def test_no_records_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_fasta("\n\n")
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_fasta(">a\nAC-DE\n")
+
+
+class TestFormatting:
+    def test_round_trip(self):
+        databank = SequenceDatabank.synthetic("db", 15, mean_length=120, seed=3)
+        text = format_fasta(databank)
+        rebuilt = parse_fasta(text, name="db")
+        assert len(rebuilt) == len(databank)
+        assert [r.sequence for r in rebuilt] == [r.sequence for r in databank]
+
+    def test_wrapping(self):
+        databank = SequenceDatabank.synthetic("db", 1, mean_length=200, seed=4)
+        text = format_fasta(databank, wrap=50)
+        sequence_lines = [line for line in text.splitlines() if not line.startswith(">")]
+        assert all(len(line) <= 50 for line in sequence_lines)
+        with pytest.raises(WorkloadError):
+            format_fasta(databank, wrap=0)
+
+
+class TestFileIO:
+    def test_write_and_read(self, tmp_path):
+        databank = SequenceDatabank.synthetic("db", 10, seed=5)
+        path = tmp_path / "bank.fasta"
+        num_records, num_residues = write_fasta(databank, path)
+        assert num_records == 10
+        assert num_residues == databank.total_residues
+        rebuilt = read_fasta(path)
+        assert rebuilt.name == "bank"
+        assert [r.sequence for r in rebuilt] == [r.sequence for r in databank]

@@ -1,0 +1,98 @@
+"""Unit tests for motif patterns and motif sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.gripps import Motif, MotifSet
+from repro.gripps.motifs import MotifElement
+
+
+class TestMotifParsing:
+    def test_simple_fixed_pattern(self):
+        motif = Motif.from_prosite("m1", "C-A-T")
+        assert motif.to_prosite() == "C-A-T"
+        assert motif.to_regex() == "[C][A][T]"
+        assert motif.min_span == 3
+
+    def test_residue_class_and_wildcard(self):
+        motif = Motif.from_prosite("m2", "C-x(2)-[DE]-H")
+        assert motif.min_span == 5
+        assert motif.compile().search("AACQQDHAA") is not None
+        assert motif.compile().search("AACQQAHAA") is None
+
+    def test_variable_wildcard_range(self):
+        motif = Motif.from_prosite("m3", "A-x(1,3)-C")
+        pattern = motif.compile()
+        assert pattern.search("AGC")
+        assert pattern.search("AGGGC")
+        assert not pattern.search("AGGGGC")
+
+    def test_negated_class(self):
+        motif = Motif.from_prosite("m4", "A-{P}-C")
+        pattern = motif.compile()
+        assert pattern.search("AGC")
+        assert not pattern.search("APC")
+
+    def test_invalid_token_rejected(self):
+        with pytest.raises(WorkloadError):
+            Motif.from_prosite("bad", "A-??-C")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(WorkloadError):
+            Motif("empty", tuple())
+
+    def test_element_round_trip(self):
+        element = MotifElement(frozenset({"D", "E"}), 2, 4)
+        assert element.to_prosite() == "[DE](2,4)"
+        assert element.to_regex() == "[DE]{2,4}"
+
+
+class TestRandomMotifs:
+    def test_random_motif_is_parseable_and_compilable(self):
+        rng = np.random.default_rng(0)
+        motif = Motif.random("rand", rng)
+        assert motif.min_span >= 4
+        motif.compile()  # must not raise
+        # The textual form must round-trip through the parser.
+        rebuilt = Motif.from_prosite("rebuilt", motif.to_prosite())
+        assert rebuilt.to_regex() == motif.to_regex()
+
+    def test_deterministic_generation(self):
+        first = MotifSet.random("set", 10, seed=1)
+        second = MotifSet.random("set", 10, seed=1)
+        assert [m.to_prosite() for m in first] == [m.to_prosite() for m in second]
+
+
+class TestMotifSet:
+    @pytest.fixture
+    def motif_set(self):
+        return MotifSet.random("s", 30, seed=2)
+
+    def test_len_and_indexing(self, motif_set):
+        assert len(motif_set) == 30
+        assert motif_set[0].identifier.startswith("s:m")
+
+    def test_subset(self, motif_set):
+        subset = motif_set.subset(10, seed=3)
+        assert len(subset) == 10
+        original = {m.identifier for m in motif_set}
+        assert {m.identifier for m in subset} <= original
+
+    def test_subset_size_bounds(self, motif_set):
+        with pytest.raises(WorkloadError):
+            motif_set.subset(0)
+        with pytest.raises(WorkloadError):
+            motif_set.subset(31)
+
+    def test_partition(self, motif_set):
+        parts = motif_set.partition(4)
+        assert sum(len(p) for p in parts) == 30
+        identifiers = [m.identifier for p in parts for m in p]
+        assert identifiers == [m.identifier for m in motif_set]
+
+    def test_invalid_generation_size(self):
+        with pytest.raises(WorkloadError):
+            MotifSet.random("s", 0)

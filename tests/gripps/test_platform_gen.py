@@ -1,0 +1,111 @@
+"""Unit tests for GriPPS platform and request-stream generation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.gripps import (
+    DEFAULT_DATABANKS,
+    DatabankSpec,
+    make_gripps_instance,
+    make_gripps_platform,
+    make_request_stream,
+)
+
+
+class TestPlatformGeneration:
+    def test_every_databank_is_hosted_somewhere(self):
+        platform = make_gripps_platform(5, replication=0.1, seed=1)
+        hosted = platform.databanks
+        for spec in DEFAULT_DATABANKS:
+            assert spec.name in hosted
+
+    def test_machine_count_and_speed_range(self):
+        platform = make_gripps_platform(7, speed_range=(0.8, 1.2), seed=2)
+        assert len(platform) == 7
+        for machine in platform:
+            assert 0.8 <= machine.cycle_time <= 1.2
+
+    def test_full_replication(self):
+        platform = make_gripps_platform(4, replication=1.0, seed=3)
+        for machine in platform:
+            assert machine.databanks == platform.databanks
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            make_gripps_platform(0)
+        with pytest.raises(WorkloadError):
+            make_gripps_platform(3, replication=0.0)
+
+    def test_deterministic_for_seed(self):
+        first = make_gripps_platform(5, seed=9)
+        second = make_gripps_platform(5, seed=9)
+        assert [m.cycle_time for m in first] == [m.cycle_time for m in second]
+        assert [m.databanks for m in first] == [m.databanks for m in second]
+
+
+class TestRequestStream:
+    def test_release_dates_increase(self):
+        jobs = make_request_stream(20, seed=4)
+        releases = [job.release_date for job in jobs]
+        assert releases == sorted(releases)
+        assert releases[0] > 0
+
+    def test_stretch_weights_are_inverse_sizes(self):
+        jobs = make_request_stream(10, stretch_weights=True, seed=5)
+        for job in jobs:
+            assert job.weight == pytest.approx(1.0 / job.size)
+
+    def test_unit_weights_option(self):
+        jobs = make_request_stream(10, stretch_weights=False, seed=5)
+        assert all(job.weight == 1.0 for job in jobs)
+
+    def test_each_request_targets_one_databank(self):
+        jobs = make_request_stream(15, seed=6)
+        bank_names = {spec.name for spec in DEFAULT_DATABANKS}
+        for job in jobs:
+            assert len(job.databanks) == 1
+            assert job.databanks <= bank_names
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            make_request_stream(0)
+        with pytest.raises(WorkloadError):
+            make_request_stream(5, arrival_rate=0.0)
+
+
+class TestInstanceGeneration:
+    def test_instance_dimensions(self):
+        instance = make_gripps_instance(num_requests=12, num_machines=5, seed=7)
+        assert instance.num_jobs == 12
+        assert instance.num_machines == 5
+
+    def test_restrictions_reflect_databank_placement(self):
+        instance = make_gripps_instance(
+            num_requests=10, num_machines=4, replication=0.4, seed=8
+        )
+        for j, job in enumerate(instance.jobs):
+            (bank,) = job.databanks
+            for i, machine in enumerate(instance.machines):
+                if bank in machine.databanks:
+                    assert math.isfinite(instance.cost(i, j))
+                    assert instance.cost(i, j) == pytest.approx(job.size * machine.cycle_time)
+                else:
+                    assert math.isinf(instance.cost(i, j))
+
+    def test_custom_databanks(self):
+        banks = (DatabankSpec("only-bank", 10_000, popularity=1.0),)
+        instance = make_gripps_instance(
+            num_requests=5, num_machines=3, databanks=banks, seed=9
+        )
+        for job in instance.jobs:
+            assert job.databanks == frozenset({"only-bank"})
+
+    def test_deterministic_for_seed(self):
+        first = make_gripps_instance(num_requests=6, num_machines=3, seed=10)
+        second = make_gripps_instance(num_requests=6, num_machines=3, seed=10)
+        assert [job.name for job in first.jobs] == [job.name for job in second.jobs]
+        assert first.costs.tolist() == second.costs.tolist()

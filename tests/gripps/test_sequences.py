@@ -1,0 +1,83 @@
+"""Unit tests for synthetic protein databanks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.gripps import AMINO_ACIDS, SequenceDatabank
+
+
+class TestGeneration:
+    def test_requested_number_of_sequences(self):
+        databank = SequenceDatabank.synthetic("db", 50, seed=1)
+        assert len(databank) == 50
+
+    def test_sequences_use_the_amino_acid_alphabet(self):
+        databank = SequenceDatabank.synthetic("db", 20, seed=2)
+        alphabet = set(AMINO_ACIDS)
+        for record in databank:
+            assert set(record.sequence) <= alphabet
+            assert record.length >= 30
+
+    def test_deterministic_for_fixed_seed(self):
+        first = SequenceDatabank.synthetic("db", 10, seed=42)
+        second = SequenceDatabank.synthetic("db", 10, seed=42)
+        assert [r.sequence for r in first] == [r.sequence for r in second]
+
+    def test_mean_length_roughly_matches_target(self):
+        databank = SequenceDatabank.synthetic("db", 400, mean_length=350.0, seed=3)
+        assert 280 <= databank.mean_length <= 420
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            SequenceDatabank.synthetic("db", 0)
+
+    def test_identifiers_are_unique(self):
+        databank = SequenceDatabank.synthetic("db", 30, seed=4)
+        identifiers = [record.identifier for record in databank]
+        assert len(set(identifiers)) == 30
+
+
+class TestPartitioning:
+    @pytest.fixture
+    def databank(self):
+        return SequenceDatabank.synthetic("db", 100, seed=5)
+
+    def test_block(self, databank):
+        block = databank.block(10, 20)
+        assert len(block) == 20
+        assert block[0].identifier == databank[10].identifier
+
+    def test_partition_covers_everything_without_overlap(self, databank):
+        blocks = databank.partition(7)
+        assert sum(len(block) for block in blocks) == len(databank)
+        identifiers = [record.identifier for block in blocks for record in block]
+        assert identifiers == [record.identifier for record in databank]
+
+    def test_partition_rejects_too_many_blocks(self, databank):
+        with pytest.raises(WorkloadError):
+            databank.partition(1000)
+
+    def test_sample_without_replacement(self, databank):
+        sample = databank.sample(30, seed=6)
+        assert len(sample) == 30
+        identifiers = [record.identifier for record in sample]
+        assert len(set(identifiers)) == 30
+
+    def test_sample_size_bounds(self, databank):
+        with pytest.raises(WorkloadError):
+            databank.sample(0)
+        with pytest.raises(WorkloadError):
+            databank.sample(1000)
+
+    def test_concatenate(self, databank):
+        other = SequenceDatabank.synthetic("other", 10, seed=7)
+        merged = databank.concatenate(other)
+        assert len(merged) == 110
+
+    def test_statistics_keys(self, databank):
+        statistics = databank.statistics()
+        assert statistics["num_sequences"] == 100
+        assert statistics["total_residues"] > 0
+        assert statistics["min_length"] <= statistics["mean_length"] <= statistics["max_length"]

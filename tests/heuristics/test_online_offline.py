@@ -1,0 +1,68 @@
+"""Tests for the on-line adaptation of the off-line algorithm (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Job, minimize_max_weighted_flow
+from repro.heuristics import MCTScheduler, OnlineOfflineAdaptationScheduler
+from repro.simulation import simulate
+from repro.workload import random_restricted_instance
+
+
+class TestPlanFollowing:
+    def test_single_job_matches_offline_optimum(self, single_job_instance):
+        scheduler = OnlineOfflineAdaptationScheduler()
+        result = simulate(single_job_instance, scheduler)
+        result.schedule.validate()
+        offline = minimize_max_weighted_flow(single_job_instance).objective
+        assert result.max_weighted_flow <= offline * 1.02 + 1e-6
+
+    def test_batch_instance_is_near_optimal(self, batch_instance):
+        scheduler = OnlineOfflineAdaptationScheduler()
+        result = simulate(batch_instance, scheduler)
+        result.schedule.validate()
+        offline = minimize_max_weighted_flow(batch_instance).objective
+        # With every job released at time 0, the on-line policy sees the same
+        # information as the off-line solver; up to the bisection precision
+        # and plan-following granularity it should match the optimum.
+        assert result.max_weighted_flow <= offline * 1.05 + 1e-6
+
+    def test_replanning_happens_on_every_arrival(self, tiny_instance):
+        scheduler = OnlineOfflineAdaptationScheduler()
+        simulate(tiny_instance, scheduler)
+        assert scheduler.replanning_count >= tiny_instance.num_jobs
+
+    def test_schedule_is_valid_on_restricted_platform(self):
+        instance = random_restricted_instance(8, 3, seed=11, num_databanks=3, replication=0.5)
+        scheduler = OnlineOfflineAdaptationScheduler()
+        result = simulate(instance, scheduler)
+        result.schedule.validate()
+
+    def test_preemptive_variant_runs(self, tiny_instance):
+        scheduler = OnlineOfflineAdaptationScheduler(preemptive=True)
+        result = simulate(tiny_instance, scheduler)
+        # The preemptive plan never runs a job on two machines at once, so the
+        # executed schedule must also satisfy the stricter validation.
+        result.schedule.divisible = False
+        result.schedule.validate()
+
+
+class TestAgainstMCT:
+    """The paper's Section 5 claim, at unit-test scale."""
+
+    @pytest.mark.parametrize("seed", [3, 17, 29])
+    def test_online_adaptation_not_worse_than_mct(self, seed):
+        instance = random_restricted_instance(
+            10, 4, seed=seed, num_databanks=3, replication=0.6, stretch_weights=True
+        )
+        online = simulate(instance, OnlineOfflineAdaptationScheduler())
+        mct = simulate(instance, MCTScheduler())
+        online.schedule.validate()
+        mct.schedule.validate()
+        assert online.max_weighted_flow <= mct.max_weighted_flow * 1.05 + 1e-6
+
+    def test_online_adaptation_dominated_by_offline_lower_bound(self, tiny_instance):
+        online = simulate(tiny_instance, OnlineOfflineAdaptationScheduler())
+        offline = minimize_max_weighted_flow(tiny_instance).objective
+        assert online.max_weighted_flow >= offline - 1e-6

@@ -1,0 +1,51 @@
+"""Unit tests for the matrix-form lowering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram
+from repro.lp.standard_form import to_matrix_form
+
+
+class TestMatrixForm:
+    def test_dimensions_and_blocks(self):
+        lp = LinearProgram(sense="min")
+        x = lp.add_variable("x", lower=0.0, upper=5.0)
+        y = lp.add_variable("y", lower=float("-inf"))
+        lp.add_constraint(x + y <= 4)
+        lp.add_constraint(x - y >= 1)
+        lp.add_constraint(x + 2 * y == 3)
+        lp.set_objective(2 * x - y + 7)
+        form = to_matrix_form(lp)
+
+        assert form.num_variables == 2
+        assert form.num_inequalities == 2  # the >= row is negated into the <= block
+        assert form.num_equalities == 1
+        assert form.objective_constant == pytest.approx(7.0)
+        np.testing.assert_allclose(form.c, [2.0, -1.0])
+        np.testing.assert_allclose(form.a_ub[0], [1.0, 1.0])
+        np.testing.assert_allclose(form.b_ub, [4.0, -1.0])
+        np.testing.assert_allclose(form.a_ub[1], [-1.0, 1.0])
+        np.testing.assert_allclose(form.a_eq[0], [1.0, 2.0])
+        np.testing.assert_allclose(form.b_eq, [3.0])
+        assert form.bounds == [(0.0, 5.0), (None, None)]
+
+    def test_maximisation_negates_costs(self):
+        lp = LinearProgram(sense="max")
+        x = lp.add_variable("x")
+        lp.set_objective(3 * x)
+        form = to_matrix_form(lp)
+        np.testing.assert_allclose(form.c, [-3.0])
+        assert form.objective_sign == -1.0
+        # The backend minimises -3x; restoring maps the value back.
+        assert form.restore_objective(-6.0) == pytest.approx(6.0)
+
+    def test_empty_constraint_blocks(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        lp.set_objective(0.0)
+        form = to_matrix_form(lp)
+        assert form.a_ub.shape == (0, 1)
+        assert form.a_eq.shape == (0, 1)

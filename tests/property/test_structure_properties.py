@@ -1,0 +1,155 @@
+"""Property-based tests of the supporting data structures (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import Affine, Job, compute_milestones
+from repro.core.intervals import distinct_sorted
+from repro.core.lawler_labetoulle import decompose_matrix
+from repro.core.matching import hopcroft_karp, is_perfect_matching
+
+bounded_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestAffineProperties:
+    @given(bounded_floats, bounded_floats, bounded_floats, bounded_floats, bounded_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_arithmetic_matches_pointwise_semantics(self, c1, s1, c2, s2, point):
+        a, b = Affine(c1, s1), Affine(c2, s2)
+        tolerance = 1e-9 * (1.0 + abs(c1) + abs(s1) + abs(c2) + abs(s2)) * (1.0 + abs(point))
+        assert abs((a + b)(point) - (a(point) + b(point))) <= tolerance
+        assert abs((a - b)(point) - (a(point) - b(point))) <= tolerance
+        assert abs((2.5 * a)(point) - 2.5 * a(point)) <= tolerance
+
+    @given(bounded_floats, bounded_floats, bounded_floats, bounded_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_really_intersects(self, c1, s1, c2, s2):
+        a, b = Affine(c1, s1), Affine(c2, s2)
+        crossing = a.intersection(b)
+        if crossing is not None:
+            assert abs(a(crossing) - b(crossing)) <= 1e-6 * (1.0 + abs(a(crossing)))
+
+
+class TestMilestoneProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+                st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_milestones_are_positive_sorted_and_quadratically_bounded(self, params):
+        jobs = [Job(f"J{k}", release, weight=weight) for k, (release, weight) in enumerate(params)]
+        milestones = compute_milestones(jobs)
+        assert milestones == sorted(milestones)
+        assert all(value > 0 for value in milestones)
+        n = len(jobs)
+        assert len(milestones) <= n * n - n if n > 1 else milestones == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+                st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_deadline_order_constant_between_milestones(self, params):
+        """Between consecutive milestones the order of epochal times is constant."""
+        jobs = [Job(f"J{k}", release, weight=weight) for k, (release, weight) in enumerate(params)]
+        milestones = compute_milestones(jobs)
+        ranges = []
+        if milestones:
+            ranges.append((milestones[0] * 0.25, milestones[0] * 0.75))
+            for left, right in zip(milestones, milestones[1:]):
+                ranges.append((left + 0.25 * (right - left), left + 0.75 * (right - left)))
+        else:
+            ranges.append((0.5, 2.0))
+        functions = [Affine.const(j.release_date) for j in jobs] + [
+            Affine(j.release_date, 1.0 / j.weight) for j in jobs
+        ]
+        for low, high in ranges:
+            if high - low < 1e-9:
+                continue
+            # Two epochal-time functions may not strictly swap their order
+            # between two points strictly inside a milestone range: a swap
+            # would require a crossing, and crossings only happen at
+            # milestones.
+            for a in range(len(functions)):
+                for b in range(a + 1, len(functions)):
+                    diff_low = functions[a](low) - functions[b](low)
+                    diff_high = functions[a](high) - functions[b](high)
+                    assert diff_low * diff_high >= -1e-9
+
+
+class TestDistinctSortedProperties:
+    @given(st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False), max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_output_sorted_unique_and_covering(self, values):
+        result = distinct_sorted(values)
+        assert result == sorted(result)
+        assert all(later - earlier > 1e-9 for earlier, later in zip(result, result[1:]))
+        # Every input value is within tolerance of some representative.
+        for value in values:
+            assert any(abs(value - kept) <= 1e-8 + 1e-12 * abs(value) for kept in result)
+
+
+class TestMatchingProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=7),
+            st.sets(st.integers(min_value=0, max_value=7), max_size=8),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matching_is_consistent(self, adjacency):
+        matching = hopcroft_karp(adjacency)
+        # Matched edges exist in the graph and right vertices are distinct.
+        assert len(set(matching.values())) == len(matching)
+        for left, right in matching.items():
+            assert right in adjacency[left]
+        # Maximality in the weak sense: no free left vertex has a free neighbour.
+        used_right = set(matching.values())
+        for left, neighbours in adjacency.items():
+            if left not in matching:
+                assert all(neighbour in used_right for neighbour in neighbours)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_complete_graph_has_perfect_matching(self, size):
+        adjacency = {u: list(range(size)) for u in range(size)}
+        matching = hopcroft_karp(adjacency)
+        assert is_perfect_matching(adjacency, matching)
+
+
+class TestLawlerLabetoulleProperties:
+    @given(
+        arrays(
+            dtype=float,
+            shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+            elements=st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_decomposition_consumes_matrix_within_capacity(self, times):
+        capacity = float(max(times.sum(axis=1).max(), times.sum(axis=0).max(), 1e-6))
+        steps = decompose_matrix(times, capacity)
+        total = sum(step.duration for step in steps)
+        assert total <= capacity * (1 + 1e-6) + 1e-9
+        processed = np.zeros_like(times)
+        for step in steps:
+            for machine, job in step.assignment.items():
+                processed[machine, job] += step.duration
+        np.testing.assert_allclose(processed, times, atol=1e-6)

@@ -1,0 +1,80 @@
+"""Unit tests for the simulation state and allocation decisions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Job
+from repro.exceptions import SimulationError
+from repro.simulation import AllocationDecision, JobProgress, SimulationState
+
+
+@pytest.fixture
+def instance() -> Instance:
+    jobs = [Job("A", 0.0, weight=2.0, size=4.0), Job("B", 3.0, weight=1.0, size=8.0)]
+    costs = [[4.0, 8.0], [8.0, float("inf")]]
+    return Instance.from_costs(jobs, costs)
+
+
+@pytest.fixture
+def state(instance) -> SimulationState:
+    jobs = [JobProgress(0, remaining_fraction=0.5, arrived=True), JobProgress(1, arrived=True)]
+    return SimulationState(instance=instance, time=5.0, jobs=jobs, next_arrival=None)
+
+
+class TestSimulationState:
+    def test_active_jobs(self, state):
+        assert state.active_jobs() == [0, 1]
+        state.jobs[0].completion_time = 4.0
+        assert state.active_jobs() == [1]
+        state.jobs[1].arrived = False
+        assert state.active_jobs() == []
+
+    def test_remaining_work(self, state):
+        assert state.remaining_fraction(0) == 0.5
+        assert state.remaining_work(0, 0) == pytest.approx(2.0)
+        assert state.remaining_work(0, 1) == pytest.approx(4.0)
+        assert state.fastest_remaining_work(0) == pytest.approx(2.0)
+
+    def test_current_weighted_flow(self, state):
+        # Job A released at 0, weight 2, time 5 -> weighted flow so far is 10.
+        assert state.current_weighted_flow(0) == pytest.approx(10.0)
+
+
+class TestAllocationDecision:
+    def test_valid_decision(self, state):
+        decision = AllocationDecision(shares={0: [(0, 0.5), (1, 0.5)], 1: [(0, 1.0)]})
+        decision.validate(state)
+        rates = decision.job_rates(state)
+        # Job 0: 0.5/4 on M0 + 1/8 on M1 = 0.25 ; job 1: 0.5/8.
+        assert rates[0] == pytest.approx(0.25)
+        assert rates[1] == pytest.approx(0.0625)
+
+    def test_unknown_machine_rejected(self, state):
+        with pytest.raises(SimulationError):
+            AllocationDecision(shares={9: [(0, 1.0)]}).validate(state)
+
+    def test_unknown_job_rejected(self, state):
+        with pytest.raises(SimulationError):
+            AllocationDecision(shares={0: [(7, 1.0)]}).validate(state)
+
+    def test_inactive_job_rejected(self, state):
+        state.jobs[1].completion_time = 4.9
+        with pytest.raises(SimulationError):
+            AllocationDecision(shares={0: [(1, 1.0)]}).validate(state)
+
+    def test_overcommitted_machine_rejected(self, state):
+        with pytest.raises(SimulationError):
+            AllocationDecision(shares={0: [(0, 0.7), (1, 0.7)]}).validate(state)
+
+    def test_forbidden_pair_rejected(self, state):
+        with pytest.raises(SimulationError):
+            AllocationDecision(shares={1: [(1, 1.0)]}).validate(state)
+
+    def test_nonpositive_share_rejected(self, state):
+        with pytest.raises(SimulationError):
+            AllocationDecision(shares={0: [(0, 0.0)]}).validate(state)
+
+    def test_wake_up_in_the_past_rejected(self, state):
+        with pytest.raises(SimulationError):
+            AllocationDecision(shares={}, wake_up_at=1.0).validate(state)

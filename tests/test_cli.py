@@ -1,0 +1,126 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workload import load_instance, load_schedule, make_scenario, save_instance
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    instance = make_scenario("bursty-batch", seed=3)
+    path = tmp_path / "instance.json"
+    save_instance(instance, path)
+    return path
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("info", "scenario", "solve", "simulate", "divisibility"):
+            assert command in text
+
+    def test_missing_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestInfoAndScenario:
+    def test_info_lists_policies_and_scenarios(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "mct" in output and "small-cluster" in output
+
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "hotspot" in output
+
+    def test_scenario_build_writes_instance(self, tmp_path, capsys):
+        target = tmp_path / "built.json"
+        assert main(["scenario", "build", "small-cluster", "--seed", "7",
+                     "--output", str(target)]) == 0
+        built = load_instance(target)
+        assert built.num_jobs > 0
+        assert "jobs" in capsys.readouterr().out
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        assert main(["scenario", "build", "no-such-scenario"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSolve:
+    def test_solve_max_weighted_flow(self, instance_file, tmp_path, capsys):
+        output = tmp_path / "schedule.json"
+        code = main(["solve", str(instance_file), "--output", str(output), "--gantt"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "optimal max weighted flow" in text
+        assert "legend:" in text  # the Gantt chart was printed
+        schedule = load_schedule(output)
+        schedule.validate()
+
+    def test_solve_makespan_objective(self, instance_file, capsys):
+        assert main(["solve", str(instance_file), "--objective", "makespan"]) == 0
+        assert "optimal makespan" in capsys.readouterr().out
+
+    def test_solve_max_stretch_preemptive(self, instance_file, capsys):
+        assert main(["solve", str(instance_file), "--objective", "max-stretch",
+                     "--preemptive"]) == 0
+        assert "optimal max stretch" in capsys.readouterr().out
+
+    def test_missing_instance_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["solve", str(tmp_path / "missing.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_instance_file_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        assert main(["solve", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_simulate_single_policy(self, instance_file, capsys):
+        assert main(["simulate", str(instance_file), "--policy", "mct"]) == 0
+        output = capsys.readouterr().out
+        assert "mct" in output and "vs optimum" in output
+
+    def test_simulate_scenario_name_with_all_policies(self, capsys):
+        assert main(["simulate", "bursty-batch", "--seed", "3", "--all-policies"]) == 0
+        output = capsys.readouterr().out
+        assert "online-offline" in output and "fifo" in output
+
+    def test_unknown_policy_is_a_clean_error(self, instance_file, capsys):
+        assert main(["simulate", str(instance_file), "--policy", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDivisibility:
+    def test_sequence_dimension(self, capsys):
+        assert main(["divisibility", "--dimension", "sequences", "--repetitions", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "fixed overhead" in output and "1.1" in output
+
+    def test_motif_dimension(self, capsys):
+        assert main(["divisibility", "--dimension", "motifs", "--repetitions", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "10.5" in output
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+def test_instance_file_is_plain_json(instance_file):
+    payload = json.loads(instance_file.read_text())
+    assert payload["format"] == "repro-instance"

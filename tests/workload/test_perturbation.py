@@ -1,0 +1,105 @@
+"""Unit tests for instance perturbation / sensitivity utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import minimize_max_weighted_flow
+from repro.exceptions import WorkloadError
+from repro.workload import (
+    perturb_costs,
+    perturb_release_dates,
+    random_restricted_instance,
+    random_unrelated_instance,
+    scale_load,
+)
+
+
+@pytest.fixture
+def instance():
+    return random_restricted_instance(6, 3, seed=8, num_databanks=2)
+
+
+class TestPerturbCosts:
+    def test_relative_error_respected(self, instance):
+        perturbed = perturb_costs(instance, 0.2, seed=1)
+        finite = np.isfinite(instance.costs)
+        ratios = perturbed.costs[finite] / instance.costs[finite]
+        assert (ratios >= 0.8 - 1e-12).all() and (ratios <= 1.2 + 1e-12).all()
+
+    def test_infinite_entries_stay_infinite(self, instance):
+        perturbed = perturb_costs(instance, 0.3, seed=2)
+        np.testing.assert_array_equal(
+            np.isfinite(perturbed.costs), np.isfinite(instance.costs)
+        )
+
+    def test_zero_error_is_identity(self, instance):
+        perturbed = perturb_costs(instance, 0.0, seed=3)
+        np.testing.assert_allclose(
+            np.nan_to_num(perturbed.costs, posinf=-1),
+            np.nan_to_num(instance.costs, posinf=-1),
+        )
+
+    def test_invalid_error_rejected(self, instance):
+        with pytest.raises(WorkloadError):
+            perturb_costs(instance, 1.0)
+        with pytest.raises(WorkloadError):
+            perturb_costs(instance, -0.1)
+
+    def test_small_perturbation_moves_optimum_little(self):
+        instance = random_unrelated_instance(6, 3, seed=5)
+        base = minimize_max_weighted_flow(instance).objective
+        perturbed_value = minimize_max_weighted_flow(
+            perturb_costs(instance, 0.05, seed=6)
+        ).objective
+        assert perturbed_value == pytest.approx(base, rel=0.25)
+
+
+class TestPerturbReleaseDates:
+    def test_release_dates_stay_nonnegative_and_sorted(self, instance):
+        perturbed = perturb_release_dates(instance, 5.0, seed=7)
+        releases = perturbed.release_dates
+        assert all(r >= 0 for r in releases)
+        assert releases == sorted(releases)
+        # The multiset of job names is preserved.
+        assert sorted(j.name for j in perturbed.jobs) == sorted(j.name for j in instance.jobs)
+
+    def test_costs_follow_their_jobs(self, instance):
+        perturbed = perturb_release_dates(instance, 5.0, seed=9)
+        for j, job in enumerate(perturbed.jobs):
+            original_index = instance.job_index(job.name)
+            np.testing.assert_allclose(
+                np.nan_to_num(perturbed.costs[:, j], posinf=-1),
+                np.nan_to_num(instance.costs[:, original_index], posinf=-1),
+            )
+
+    def test_invalid_shift_rejected(self, instance):
+        with pytest.raises(WorkloadError):
+            perturb_release_dates(instance, -1.0)
+
+
+class TestScaleLoad:
+    def test_costs_and_sizes_scale(self, instance):
+        scaled = scale_load(instance, 2.0)
+        finite = np.isfinite(instance.costs)
+        np.testing.assert_allclose(scaled.costs[finite], 2.0 * instance.costs[finite])
+        for original, new in zip(instance.jobs, scaled.jobs):
+            assert new.size == pytest.approx(2.0 * original.size)
+
+    def test_objective_growth_is_bounded_by_time_dilation(self):
+        # Dilating an optimal schedule of the original instance by the factor
+        # k yields a feasible schedule of the scaled instance, whose weighted
+        # flows are at most k * F* + (k - 1) * max_j w_j r_j.  The scaled
+        # optimum therefore sits between the original optimum and that bound.
+        instance = random_unrelated_instance(5, 2, seed=11)
+        base = minimize_max_weighted_flow(instance).objective
+        doubled = minimize_max_weighted_flow(scale_load(instance, 2.0)).objective
+        dilation_bound = 2.0 * base + max(
+            job.weight * job.release_date for job in instance.jobs
+        )
+        assert base - 1e-6 <= doubled <= dilation_bound + 1e-6
+
+    def test_invalid_factor_rejected(self, instance):
+        with pytest.raises(WorkloadError):
+            scale_load(instance, 0.0)

@@ -1,0 +1,46 @@
+"""Unit tests for the named workload scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload import available_scenarios, make_scenario
+
+
+class TestScenarioRegistry:
+    def test_expected_scenarios_registered(self):
+        names = available_scenarios()
+        for expected in ("small-cluster", "replicated-portal", "hotspot", "bursty-batch"):
+            assert expected in names
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_scenario("does-not-exist")
+
+    @pytest.mark.parametrize("name", ["small-cluster", "replicated-portal", "hotspot",
+                                      "bursty-batch", "unrelated-stress"])
+    def test_every_scenario_builds_a_valid_instance(self, name):
+        instance = make_scenario(name, seed=1)
+        assert instance.num_jobs > 0
+        assert instance.num_machines > 0
+        # Validity is enforced by the Instance constructor; exercising a
+        # derived quantity confirms the object is usable.
+        assert instance.trivial_upper_bound_flow() > 0
+
+    def test_scenarios_are_deterministic_for_seed(self):
+        first = make_scenario("small-cluster", seed=11)
+        second = make_scenario("small-cluster", seed=11)
+        assert first.costs.tolist() == second.costs.tolist()
+
+    def test_replicated_portal_has_no_restrictions(self):
+        instance = make_scenario("replicated-portal", seed=2)
+        import numpy as np
+
+        assert np.isfinite(instance.costs).all()
+
+    def test_hotspot_has_restrictions(self):
+        instance = make_scenario("hotspot", seed=3)
+        import numpy as np
+
+        assert not np.isfinite(instance.costs).all()

@@ -1,0 +1,74 @@
+"""Unit tests for JSON trace I/O."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import minimize_max_weighted_flow
+from repro.exceptions import WorkloadError
+from repro.workload import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    load_schedule,
+    make_scenario,
+    save_instance,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+
+@pytest.fixture
+def instance():
+    return make_scenario("bursty-batch", seed=21)
+
+
+class TestInstanceTraces:
+    def test_dict_round_trip(self, instance):
+        rebuilt = instance_from_dict(instance_to_dict(instance))
+        assert rebuilt.num_jobs == instance.num_jobs
+        np.testing.assert_allclose(
+            np.nan_to_num(rebuilt.costs, posinf=-1),
+            np.nan_to_num(instance.costs, posinf=-1),
+        )
+
+    def test_file_round_trip(self, instance, tmp_path):
+        path = tmp_path / "instance.json"
+        save_instance(instance, path)
+        rebuilt = load_instance(path)
+        assert [job.name for job in rebuilt.jobs] == [job.name for job in instance.jobs]
+        # The file is plain JSON with a format marker.
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-instance"
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(WorkloadError):
+            instance_from_dict({"format": "something-else", "jobs": [], "machines": [], "costs": []})
+
+
+class TestScheduleTraces:
+    def test_schedule_round_trip_preserves_metrics(self, instance, tmp_path):
+        schedule = minimize_max_weighted_flow(instance).schedule
+        path = tmp_path / "schedule.json"
+        save_schedule(schedule, path)
+        rebuilt = load_schedule(path)
+        rebuilt.validate()
+        assert rebuilt.max_weighted_flow == pytest.approx(schedule.max_weighted_flow, rel=1e-9)
+        assert rebuilt.makespan == pytest.approx(schedule.makespan, rel=1e-9)
+        assert len(rebuilt) == len(schedule)
+
+    def test_schedule_dict_requires_format_marker(self, instance):
+        schedule = minimize_max_weighted_flow(instance).schedule
+        payload = schedule_to_dict(schedule)
+        payload["format"] = "nope"
+        with pytest.raises(WorkloadError):
+            schedule_from_dict(payload)
+
+    def test_divisible_flag_preserved(self, instance):
+        schedule = minimize_max_weighted_flow(instance, preemptive=True).schedule
+        rebuilt = schedule_from_dict(schedule_to_dict(schedule))
+        assert rebuilt.divisible is False
