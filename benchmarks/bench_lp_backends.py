@@ -4,6 +4,10 @@ Any exact LP solver yields the same scheduling optima; this bench verifies it
 on the actual System (3) programs and records the performance gap between the
 production backend and the from-scratch simplex (which exists for
 self-containedness and cross-validation, not speed).
+
+The second bench measures the matrix *lowering* itself: the CSR path must be
+at least twice as fast as the dense path on the largest System (3) program
+the bench builds, and both lowerings must solve to identical objectives.
 """
 
 from __future__ import annotations
@@ -12,6 +16,13 @@ import time
 
 from repro.analysis import format_table
 from repro.core import minimize_max_weighted_flow
+from repro.core.affine import Affine
+from repro.core.formulations import build_allocation_model
+from repro.core.intervals import build_affine_intervals
+from repro.core.milestones import compute_milestones, deadline_function
+from repro.core.tolerances import ABS_TOL
+from repro.lp import to_matrix_form
+from repro.lp.scipy_backend import solve_matrix_form
 from repro.workload import random_unrelated_instance
 
 
@@ -58,3 +69,72 @@ def test_lp_backend_equivalence(benchmark, bench_scale):
 
     for scipy_value, simplex_value in zip(scipy_values, simplex_values):
         assert abs(scipy_value - simplex_value) <= 1e-5 * (1.0 + abs(scipy_value))
+
+
+def _largest_bench_lp(num_jobs: int, num_machines: int):
+    """Build the parametric System (3) LP of a mid-search milestone range."""
+    instance = random_unrelated_instance(num_jobs, num_machines, seed=0)
+    deadlines = [deadline_function(job) for job in instance.jobs]
+    epochal = deadlines + [Affine.const(job.release_date) for job in instance.jobs]
+    milestones = compute_milestones(instance.jobs)
+    mid = len(milestones) // 2
+    low, high = milestones[mid], milestones[mid + 1]
+    sample = 0.5 * (low + high)
+    intervals = build_affine_intervals(epochal, sample)
+    alloc = build_allocation_model(
+        instance,
+        intervals,
+        deadlines=deadlines,
+        objective_bounds=(low, high),
+        sample_objective=sample,
+    )
+    return alloc.model
+
+
+def _best_lowering_time(model, sparse: bool, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        to_matrix_form(model, sparse=sparse)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_sparse_vs_dense_lowering(bench_scale):
+    # Sizes chosen with headroom over the 2x gate: the dense cost grows with
+    # rows x cols while the sparse cost grows with nnz, so the ratio widens
+    # with size (~2.4x at 100 jobs, ~2.9x at 120 on the reference machine).
+    num_jobs, num_machines = (140, 8) if bench_scale == "full" else (120, 8)
+    model = _largest_bench_lp(num_jobs, num_machines)
+    model.bounds_array()  # warm the shared bounds cache for a fair comparison
+    repeats = 10 if bench_scale == "full" else 5
+
+    dense_seconds = _best_lowering_time(model, sparse=False, repeats=repeats)
+    sparse_seconds = _best_lowering_time(model, sparse=True, repeats=repeats)
+    speedup = dense_seconds / max(sparse_seconds, 1e-12)
+
+    dense_solution = solve_matrix_form(to_matrix_form(model, sparse=False))
+    sparse_solution = solve_matrix_form(to_matrix_form(model, sparse=True))
+
+    print()
+    print(
+        format_table(
+            ["lowering", "best seconds", "objective"],
+            [
+                ("dense", dense_seconds, dense_solution.objective_value),
+                ("sparse (CSR)", sparse_seconds, sparse_solution.objective_value),
+            ],
+            title=f"Dense vs sparse lowering of the largest bench LP "
+            f"({model.num_variables} variables, {model.num_constraints} constraints, "
+            f"{speedup:.1f}x)",
+            float_format=".6g",
+        )
+    )
+
+    assert dense_solution.is_optimal and sparse_solution.is_optimal
+    assert abs(dense_solution.objective_value - sparse_solution.objective_value) <= ABS_TOL * (
+        1.0 + abs(dense_solution.objective_value)
+    )
+    assert speedup >= 2.0, (
+        f"sparse lowering expected >= 2x faster than dense, got {speedup:.2f}x"
+    )

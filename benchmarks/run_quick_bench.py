@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Quick perf smoke for the LP and milestone-search hot paths.
+
+Runs miniature versions of ``bench_lp_backends`` and
+``bench_milestone_search`` and writes the measurements to ``BENCH_lp.json``
+so successive PRs accumulate a perf trajectory to compare against::
+
+    python benchmarks/run_quick_bench.py [--output BENCH_lp.json]
+
+The workloads are deliberately small (a few seconds end to end); use the
+pytest benches for paper-scale numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.core import (  # noqa: E402  (path setup above)
+    FeasibilityProbe,
+    minimize_max_weighted_flow,
+    minimize_max_weighted_flow_bisection,
+)
+from repro.lp import to_matrix_form  # noqa: E402
+from repro.lp.scipy_backend import solve_matrix_form  # noqa: E402
+from repro.workload import random_unrelated_instance  # noqa: E402
+
+from bench_lp_backends import _largest_bench_lp  # noqa: E402  (same directory)
+
+
+def bench_lowering(num_jobs: int = 60, num_machines: int = 6, repeats: int = 5) -> dict:
+    """Dense vs sparse lowering of a mid-search System (3) LP."""
+    model = _largest_bench_lp(num_jobs, num_machines)
+    model.bounds_array()
+
+    timings = {}
+    for label, sparse in (("dense", False), ("sparse", True)):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            to_matrix_form(model, sparse=sparse)
+            best = min(best, time.perf_counter() - start)
+        timings[label] = best
+
+    solve_start = time.perf_counter()
+    solution = solve_matrix_form(to_matrix_form(model, sparse=True))
+    solve_seconds = time.perf_counter() - solve_start
+
+    return {
+        "num_jobs": num_jobs,
+        "num_machines": num_machines,
+        "lp_variables": model.num_variables,
+        "lp_constraints": model.num_constraints,
+        "dense_lowering_seconds": timings["dense"],
+        "sparse_lowering_seconds": timings["sparse"],
+        "sparse_speedup": timings["dense"] / max(timings["sparse"], 1e-12),
+        "highs_solve_seconds": solve_seconds,
+        "objective": solution.objective_value,
+    }
+
+
+def bench_milestone_search(num_jobs: int = 30, num_machines: int = 4, seeds=(0, 1)) -> dict:
+    """Probe-reuse metrics and wall time of the milestone search."""
+    per_seed = []
+    for seed in seeds:
+        instance = random_unrelated_instance(num_jobs, num_machines, seed=seed)
+        probe = FeasibilityProbe(instance)
+        start = time.perf_counter()
+        result = minimize_max_weighted_flow(instance, probe=probe)
+        exact_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        bisect_value, bisect_checks = minimize_max_weighted_flow_bisection(
+            instance, precision=1e-5, probe=probe
+        )
+        bisect_seconds = time.perf_counter() - start
+        per_seed.append(
+            {
+                "seed": seed,
+                "milestones": len(result.milestones),
+                "objective": result.objective,
+                "feasibility_checks": result.feasibility_checks,
+                "lp_solves": result.lp_solves,
+                "model_constructions": result.model_constructions,
+                "exact_seconds": exact_seconds,
+                "bisection_value": bisect_value,
+                "bisection_checks": bisect_checks,
+                "bisection_extra_lp_solves": probe.lp_solves - result.lp_solves,
+                "bisection_seconds": bisect_seconds,
+            }
+        )
+    return {"num_jobs": num_jobs, "num_machines": num_machines, "runs": per_seed}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_lp.json"),
+        help="where to write the JSON record (default: repo-root BENCH_lp.json)",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    record = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "lowering": bench_lowering(),
+        "milestone_search": bench_milestone_search(),
+    }
+    record["total_seconds"] = time.perf_counter() - start
+
+    output = os.path.abspath(args.output)
+    with open(output, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    lowering = record["lowering"]
+    print(
+        f"lowering: dense {lowering['dense_lowering_seconds'] * 1e3:.2f}ms vs "
+        f"sparse {lowering['sparse_lowering_seconds'] * 1e3:.2f}ms "
+        f"({lowering['sparse_speedup']:.1f}x) on "
+        f"{lowering['lp_variables']} vars / {lowering['lp_constraints']} cons"
+    )
+    for run in record["milestone_search"]["runs"]:
+        print(
+            f"milestone search seed {run['seed']}: {run['feasibility_checks']} probes, "
+            f"{run['model_constructions']} models built, {run['lp_solves']} LP solves, "
+            f"{run['exact_seconds']:.2f}s; bisection reused the probe with "
+            f"{run['bisection_extra_lp_solves']} extra solves"
+        )
+    print(f"wrote {output} ({record['total_seconds']:.1f}s total)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,11 @@
 """Analysis toolkit (substrate S13): regression, statistics, tables, plots, reports."""
 
-from .campaign import CampaignRecord, CampaignResult, run_policy_campaign
+from .campaign import (
+    CampaignRecord,
+    CampaignResult,
+    run_policy_campaign,
+    run_scenario_campaign,
+)
 from .fairness import FairnessReport, compare_fairness, fairness_report, jain_index
 from .plots import ascii_scatter, ascii_series
 from .regression import LinearFit, linear_regression
@@ -24,6 +29,7 @@ __all__ = [
     "fairness_report",
     "jain_index",
     "run_policy_campaign",
+    "run_scenario_campaign",
     "LinearFit",
     "SummaryStatistics",
     "ascii_scatter",

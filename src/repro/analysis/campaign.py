@@ -5,10 +5,18 @@ is the general-purpose version a downstream user needs: sweep a family of
 workloads, run the off-line solvers and a set of on-line policies on each,
 collect normalised metrics and render a report.  The on-line-vs-off-line
 example and several benches are thin wrappers around this module.
+
+Workloads are independent of each other, so campaigns parallelise trivially:
+pass ``max_workers`` to :func:`run_policy_campaign` to fan the per-workload
+work (one off-line LP optimisation plus one simulation per policy) out across
+processes.  The scenario sweep helper :func:`run_scenario_campaign` builds the
+instances from :mod:`repro.workload.scenarios` and does the same.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
@@ -20,7 +28,12 @@ from ..simulation import simulate
 from .stats import geometric_mean, summarize
 from .tables import format_table
 
-__all__ = ["CampaignRecord", "CampaignResult", "run_policy_campaign"]
+__all__ = [
+    "CampaignRecord",
+    "CampaignResult",
+    "run_policy_campaign",
+    "run_scenario_campaign",
+]
 
 
 @dataclass(frozen=True)
@@ -98,6 +111,52 @@ class CampaignResult:
         )
 
 
+def _run_single_workload(
+    label: str,
+    instance: Instance,
+    policies: Sequence[str],
+    include_offline: bool,
+    scheduler_factory: Callable[[str], object],
+) -> List[CampaignRecord]:
+    """Measure one workload: off-line optimum plus every policy.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it for the parallel campaign path.
+    """
+    records: List[CampaignRecord] = []
+    offline = minimize_max_weighted_flow(instance)
+    optimum = offline.objective
+    if optimum <= 0:
+        raise WorkloadError(f"degenerate workload {label!r}: zero optimal objective")
+    if include_offline:
+        metrics = offline.schedule.metrics()
+        records.append(
+            CampaignRecord(
+                workload=label,
+                policy="offline-optimal",
+                max_weighted_flow=metrics.max_weighted_flow,
+                max_stretch=metrics.max_stretch or 0.0,
+                makespan=metrics.makespan,
+                normalised=1.0,
+            )
+        )
+    for policy in policies:
+        simulation = simulate(instance, scheduler_factory(policy))
+        metrics = simulation.metrics()
+        records.append(
+            CampaignRecord(
+                workload=label,
+                policy=policy,
+                max_weighted_flow=metrics.max_weighted_flow,
+                max_stretch=metrics.max_stretch or 0.0,
+                makespan=metrics.makespan,
+                normalised=metrics.max_weighted_flow / optimum,
+                preemptions=simulation.num_preemptions,
+            )
+        )
+    return records
+
+
 def run_policy_campaign(
     instances: Iterable[Instance],
     policies: Sequence[str],
@@ -105,6 +164,7 @@ def run_policy_campaign(
     labels: Optional[Sequence[str]] = None,
     include_offline: bool = True,
     scheduler_factory: Callable[[str], object] = make_scheduler,
+    max_workers: Optional[int] = None,
 ) -> CampaignResult:
     """Run every policy on every instance and collect normalised metrics.
 
@@ -121,7 +181,13 @@ def run_policy_campaign(
         which every normalisation is relative to.
     scheduler_factory:
         Factory mapping a policy name to a scheduler object (defaults to
-        :func:`repro.heuristics.make_scheduler`).
+        :func:`repro.heuristics.make_scheduler`).  Must be picklable (a
+        module-level function) when ``max_workers`` enables the process pool.
+    max_workers:
+        ``None`` (default) runs sequentially in-process.  Any other value
+        fans the workloads out over a :class:`ProcessPoolExecutor` with that
+        many workers (``0`` means "one per CPU").  Record order is
+        deterministic and identical to the sequential path.
     """
     instances = list(instances)
     if not instances:
@@ -132,35 +198,53 @@ def run_policy_campaign(
         raise WorkloadError("labels and instances must have the same length")
 
     result = CampaignResult()
-    for label, instance in zip(labels, instances):
-        offline = minimize_max_weighted_flow(instance)
-        optimum = offline.objective
-        if optimum <= 0:
-            raise WorkloadError(f"degenerate workload {label!r}: zero optimal objective")
-        if include_offline:
-            metrics = offline.schedule.metrics()
-            result.records.append(
-                CampaignRecord(
-                    workload=label,
-                    policy="offline-optimal",
-                    max_weighted_flow=metrics.max_weighted_flow,
-                    max_stretch=metrics.max_stretch or 0.0,
-                    makespan=metrics.makespan,
-                    normalised=1.0,
+    if max_workers is None or len(instances) == 1:
+        batches = [
+            _run_single_workload(label, instance, policies, include_offline, scheduler_factory)
+            for label, instance in zip(labels, instances)
+        ]
+    else:
+        workers = max_workers if max_workers > 0 else (os.cpu_count() or 1)
+        workers = min(workers, len(instances))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            batches = list(
+                pool.map(
+                    _run_single_workload,
+                    labels,
+                    instances,
+                    [policies] * len(instances),
+                    [include_offline] * len(instances),
+                    [scheduler_factory] * len(instances),
                 )
             )
-        for policy in policies:
-            simulation = simulate(instance, scheduler_factory(policy))
-            metrics = simulation.metrics()
-            result.records.append(
-                CampaignRecord(
-                    workload=label,
-                    policy=policy,
-                    max_weighted_flow=metrics.max_weighted_flow,
-                    max_stretch=metrics.max_stretch or 0.0,
-                    makespan=metrics.makespan,
-                    normalised=metrics.max_weighted_flow / optimum,
-                    preemptions=simulation.num_preemptions,
-                )
-            )
+    for batch in batches:
+        result.records.extend(batch)
     return result
+
+
+def run_scenario_campaign(
+    scenario_names: Sequence[str],
+    policies: Sequence[str],
+    *,
+    seeds: Sequence[Optional[int]] = (None,),
+    include_offline: bool = True,
+    max_workers: Optional[int] = None,
+) -> CampaignResult:
+    """Sweep named workload scenarios (optionally over several seeds).
+
+    Builds every ``(scenario, seed)`` instance via
+    :func:`repro.workload.scenarios.make_scenario` and delegates to
+    :func:`run_policy_campaign`; with ``max_workers`` set the sweep fans out
+    across processes.  Labels are ``"<scenario>#<seed>"`` (just the scenario
+    name when a single default seed is used).
+    """
+    from ..workload.scenarios import scenario_sweep  # local import: avoid a cycle
+
+    labels, instances = scenario_sweep(scenario_names, seeds)
+    return run_policy_campaign(
+        instances,
+        policies,
+        labels=labels,
+        include_offline=include_offline,
+        max_workers=max_workers,
+    )

@@ -29,6 +29,7 @@ from .lower_bounds import (
 from .machine import Machine, Platform
 from .makespan import MakespanResult, minimize_makespan
 from .maxflow import (
+    FeasibilityProbe,
     MaxWeightedFlowResult,
     minimize_max_stretch,
     minimize_max_weighted_flow,
@@ -46,6 +47,7 @@ from .schedule import Schedule, ScheduleMetrics, SchedulePiece
 __all__ = [
     "Affine",
     "DeadlineFeasibility",
+    "FeasibilityProbe",
     "Instance",
     "Job",
     "Machine",

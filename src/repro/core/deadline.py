@@ -25,8 +25,19 @@ from .formulations import (
 from .instance import Instance
 from .intervals import build_constant_intervals
 from .schedule import Schedule
+from .tolerances import ABS_TOL, lt
 
 __all__ = ["DeadlineFeasibility", "check_deadline_feasibility"]
+
+#: Canonical solution-backend labels per requested backend name, so records
+#: produced without reaching a solver match the label a solve would report.
+_BACKEND_LABELS = {
+    "scipy": "scipy-highs",
+    "highs": "scipy-highs",
+    "scipy-highs": "scipy-highs",
+    "simplex": "simplex",
+    "pure-python": "simplex",
+}
 
 
 @dataclass(frozen=True)
@@ -43,7 +54,9 @@ class DeadlineFeasibility:
     num_intervals, lp_variables, lp_constraints:
         Size of the linear system, recorded for the scaling benches.
     backend:
-        LP backend used.
+        LP backend label, using the same canonical names whether or not a
+        solver was actually reached (so bench records stay well-formed even
+        for trivially-rejected systems).
     """
 
     feasible: bool
@@ -89,16 +102,19 @@ def check_deadline_feasibility(
             f"expected {instance.num_jobs} deadlines, got {len(deadlines)}"
         )
     for job, deadline in zip(instance.jobs, deadlines):
-        if deadline < job.release_date:
-            # A deadline before the release date makes the instance trivially
-            # infeasible; report it without bothering the LP solver.
+        if lt(deadline, job.release_date, tol=ABS_TOL):
+            # A deadline strictly before the release date (beyond the shared
+            # numerical tolerance) makes the instance trivially infeasible;
+            # report it without bothering the LP solver.  Deadlines within
+            # tolerance of the release date go through the LP like any other
+            # borderline system.
             return DeadlineFeasibility(
                 feasible=False,
                 schedule=None,
                 num_intervals=0,
                 lp_variables=0,
                 lp_constraints=0,
-                backend="",
+                backend=_BACKEND_LABELS.get(backend, backend),
             )
 
     epochal_times = list(instance.release_dates) + [float(d) for d in deadlines]

@@ -24,6 +24,7 @@ from .constraint import Constraint
 from .expression import LinearExpression, Variable, as_expression, linear_sum
 from .model import LinearProgram
 from .solution import LPSolution, LPStatus
+from .standard_form import MatrixForm, to_matrix_form
 
 __all__ = [
     "Constraint",
@@ -31,7 +32,9 @@ __all__ = [
     "LinearProgram",
     "LPSolution",
     "LPStatus",
+    "MatrixForm",
     "Variable",
     "as_expression",
     "linear_sum",
+    "to_matrix_form",
 ]

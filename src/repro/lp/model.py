@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Union
 
+import numpy as np
+
 from ..exceptions import InfeasibleProblemError, SolverError, UnboundedProblemError
 from .constraint import Constraint
 from .expression import LinearExpression, Variable, as_expression
@@ -51,6 +53,7 @@ class LinearProgram:
         self._variables: List[Variable] = []
         self._constraints: List[Constraint] = []
         self._objective: LinearExpression = LinearExpression.zero()
+        self._bounds_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # Model building                                                      #
@@ -75,6 +78,7 @@ class LinearProgram:
         index = len(self._variables)
         var = Variable(index=index, name=name or f"x{index}", lower=float(lower), upper=float(upper))
         self._variables.append(var)
+        self._bounds_cache = None
         return var
 
     def add_variables(
@@ -140,6 +144,25 @@ class LinearProgram:
     def num_variables(self) -> int:
         """Number of decision variables."""
         return len(self._variables)
+
+    def bounds_array(self) -> np.ndarray:
+        """Return the ``(num_variables, 2)`` bounds array (``±inf`` when free).
+
+        Variables are immutable and append-only, so the array is built once
+        and cached until the next :meth:`add_variable`.  Callers must treat
+        the returned array as read-only (copy before mutating).
+        """
+        if self._bounds_cache is None or self._bounds_cache.shape[0] != len(self._variables):
+            n = len(self._variables)
+            bounds = np.empty((n, 2))
+            bounds[:, 0] = np.fromiter(
+                (var.lower for var in self._variables), dtype=float, count=n
+            )
+            bounds[:, 1] = np.fromiter(
+                (var.upper for var in self._variables), dtype=float, count=n
+            )
+            self._bounds_cache = bounds
+        return self._bounds_cache
 
     @property
     def num_constraints(self) -> int:

@@ -1,8 +1,20 @@
 """SciPy/HiGHS backend for the LP modelling layer.
 
 This is the production backend.  :func:`scipy.optimize.linprog` with
-``method="highs"`` solves the dense matrix form produced by
-:mod:`repro.lp.standard_form`.
+``method="highs"`` solves the matrix form produced by
+:mod:`repro.lp.standard_form`.  HiGHS accepts sparse ``A_ub``/``A_eq`` blocks
+directly, so models are lowered to CSR by default; non-HiGHS methods fall back
+to the dense lowering.
+
+Two entry points are exposed:
+
+* :func:`solve_with_scipy` — lower a :class:`~repro.lp.model.LinearProgram`
+  and solve it (what :meth:`LinearProgram.solve` dispatches to);
+* :func:`solve_matrix_form` — solve an already-lowered
+  :class:`~repro.lp.standard_form.MatrixForm`.  This is the re-solve path used
+  by the feasibility probes of :mod:`repro.core.maxflow`, which build the
+  matrix structure once and only swap RHS values / variable bounds between
+  solves.
 """
 
 from __future__ import annotations
@@ -13,9 +25,9 @@ from scipy.optimize import linprog
 
 from .model import LinearProgram
 from .solution import LPSolution, LPStatus
-from .standard_form import to_matrix_form
+from .standard_form import MatrixForm, solve_constant_form, to_matrix_form
 
-__all__ = ["solve_with_scipy"]
+__all__ = ["solve_with_scipy", "solve_matrix_form"]
 
 #: Mapping from scipy ``OptimizeResult.status`` codes to our statuses.
 _SCIPY_STATUS = {
@@ -27,35 +39,20 @@ _SCIPY_STATUS = {
 }
 
 
-def solve_with_scipy(model: LinearProgram, method: str = "highs", **options) -> LPSolution:
-    """Solve ``model`` with :func:`scipy.optimize.linprog`.
+def solve_matrix_form(form: MatrixForm, method: str = "highs", **options) -> LPSolution:
+    """Solve a lowered :class:`MatrixForm` with :func:`scipy.optimize.linprog`.
 
-    Parameters
-    ----------
-    model:
-        The linear program to solve.
-    method:
-        SciPy method name; ``"highs"`` (dual simplex / interior point chosen
-        automatically by HiGHS) is the default and the only method exercised
-        by the test-suite.
-    options:
-        Extra keyword options forwarded to ``linprog(options=...)``.
+    ``form`` may hold dense or CSR constraint blocks; only the HiGHS family of
+    methods consumes CSR directly, so the form is densified for legacy
+    methods.
     """
-    form = to_matrix_form(model)
-
     if form.num_variables == 0:
-        # Degenerate but legal: a model with no variables is feasible iff all
-        # constraints hold with every variable absent (i.e. constants only).
-        violations = model.check_solution({})
-        if violations:
-            return LPSolution(status=LPStatus.INFEASIBLE, backend="scipy-highs",
-                              message="; ".join(violations))
-        return LPSolution(
-            status=LPStatus.OPTIMAL,
-            objective_value=form.objective_constant,
-            values={},
-            backend="scipy-highs",
-        )
+        # linprog rejects an empty cost vector; a variable-free program is
+        # feasible iff its constant rows hold.
+        return solve_constant_form(form, "scipy-highs")
+
+    if form.is_sparse and not method.startswith("highs"):
+        form = form.densified()
 
     result = linprog(
         c=form.c,
@@ -94,3 +91,24 @@ def solve_with_scipy(model: LinearProgram, method: str = "highs", **options) -> 
         iterations=iterations,
         message=str(getattr(result, "message", "")),
     )
+
+
+def solve_with_scipy(model: LinearProgram, method: str = "highs", **options) -> LPSolution:
+    """Solve ``model`` with :func:`scipy.optimize.linprog`.
+
+    Parameters
+    ----------
+    model:
+        The linear program to solve.
+    method:
+        SciPy method name; ``"highs"`` (dual simplex / interior point chosen
+        automatically by HiGHS) is the default and the only method exercised
+        by the test-suite.  HiGHS methods get the sparse lowering, others the
+        dense one.
+    options:
+        Extra keyword options forwarded to ``linprog(options=...)``.
+    """
+    form = to_matrix_form(model, sparse=method.startswith("highs"))
+    # Zero-variable models are legal and handled by solve_matrix_form via
+    # solve_constant_form.
+    return solve_matrix_form(form, method=method, **options)

@@ -33,9 +33,9 @@ import numpy as np
 
 from .model import LinearProgram
 from .solution import LPSolution, LPStatus
-from .standard_form import MatrixForm, to_matrix_form
+from .standard_form import MatrixForm, solve_constant_form, to_matrix_form
 
-__all__ = ["solve_with_simplex", "SimplexResult"]
+__all__ = ["solve_with_simplex", "solve_matrix_form", "SimplexResult"]
 
 _EPS = 1e-9
 
@@ -89,14 +89,14 @@ def _remove_bounds(form: MatrixForm) -> Tuple[np.ndarray, np.ndarray, np.ndarray
 
     for j in range(n):
         lower, upper = form.bounds[j]
-        if lower is not None:
+        if np.isfinite(lower):
             mapping = _BoundMapping(kind="shift", column=next_col, offset=lower)
             columns_per_var.append([(next_col, 1.0)])
             offsets[j] = lower
-            if upper is not None:
+            if np.isfinite(upper):
                 extra_ub_rows.append((j, upper - lower))
             next_col += 1
-        elif upper is not None:
+        elif np.isfinite(upper):
             mapping = _BoundMapping(kind="reflect", column=next_col, offset=upper)
             columns_per_var.append([(next_col, -1.0)])
             offsets[j] = upper
@@ -317,7 +317,7 @@ def _solve_nonnegative(
 
 
 # --------------------------------------------------------------------------- #
-# Public entry point                                                          #
+# Public entry points                                                         #
 # --------------------------------------------------------------------------- #
 def solve_with_simplex(model: LinearProgram, max_iterations: int = 20000) -> LPSolution:
     """Solve ``model`` with the in-house dense two-phase simplex.
@@ -329,19 +329,24 @@ def solve_with_simplex(model: LinearProgram, max_iterations: int = 20000) -> LPS
     max_iterations:
         Safety cap on simplex pivots (per phase).
     """
-    form = to_matrix_form(model)
+    # Zero-variable models are legal and handled by solve_matrix_form via
+    # solve_constant_form.
+    return solve_matrix_form(to_matrix_form(model), max_iterations=max_iterations)
 
+
+def solve_matrix_form(form: MatrixForm, max_iterations: int = 20000) -> LPSolution:
+    """Solve an already-lowered :class:`MatrixForm` with the tableau simplex.
+
+    The tableau machinery is dense, so sparse forms (built for the HiGHS
+    backend) are densified first — this keeps the simplex backend usable as a
+    cross-validation oracle for the sparse lowering path and for the
+    re-solve-with-new-bounds probes of :mod:`repro.core.maxflow`.
+    """
     if form.num_variables == 0:
-        violations = model.check_solution({})
-        if violations:
-            return LPSolution(status=LPStatus.INFEASIBLE, backend="simplex",
-                              message="; ".join(violations))
-        return LPSolution(
-            status=LPStatus.OPTIMAL,
-            objective_value=form.objective_constant,
-            values={},
-            backend="simplex",
-        )
+        # A variable-free program is feasible iff its constant rows hold.
+        return solve_constant_form(form, "simplex")
+
+    form = form.densified()
 
     c, a_ub, b_ub, a_eq, b_eq, mappings, objective_shift = _remove_bounds(form)
     raw = _solve_nonnegative(c, a_ub, b_ub, a_eq, b_eq, max_iterations)

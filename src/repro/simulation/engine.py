@@ -223,7 +223,18 @@ def simulate(
                             0.0, jobs[job_index].remaining_fraction - progressed
                         )
 
-        time = time + window if window > 0 else time + _MIN_STEP
+        if window > 0:
+            # Snap exactly to the event time.  Advancing by `time + window`
+            # re-rounds the subtraction `horizon - time` and drifts the clock
+            # by one ulp per event, so completion times and event records no
+            # longer coincide with the release dates that caused them.
+            time = horizon
+        elif all(jobs[j].remaining_fraction > _COMPLETION_DUST for j in active):
+            # Degenerate zero-width window with nothing completing right now:
+            # snap to the next real event instead of accumulating _MIN_STEP
+            # dust.  (When a completion is pending it fires below at the
+            # current, exact time.)
+            time = next_arrival if next_arrival is not None else time + _MIN_STEP
 
         # Completions.
         for job_index in active:

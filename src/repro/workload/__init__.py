@@ -9,7 +9,7 @@ from .generators import (
     uniform_arrivals,
 )
 from .perturbation import perturb_costs, perturb_release_dates, scale_load
-from .scenarios import Scenario, available_scenarios, make_scenario
+from .scenarios import Scenario, available_scenarios, make_scenario, scenario_sweep
 from .traces import (
     instance_from_dict,
     instance_to_dict,
@@ -30,6 +30,7 @@ __all__ = [
     "load_instance",
     "load_schedule",
     "make_scenario",
+    "scenario_sweep",
     "perturb_costs",
     "perturb_release_dates",
     "poisson_arrivals",

@@ -10,14 +10,14 @@ given seed, so bench numbers are reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.instance import Instance
 from ..exceptions import WorkloadError
 from ..gripps.platform_gen import DatabankSpec, make_gripps_instance
 from .generators import ArrivalProcess, random_restricted_instance, random_unrelated_instance
 
-__all__ = ["Scenario", "available_scenarios", "make_scenario"]
+__all__ = ["Scenario", "available_scenarios", "make_scenario", "scenario_sweep"]
 
 
 @dataclass(frozen=True)
@@ -143,3 +143,36 @@ def make_scenario(name: str, seed: Optional[int] = None) -> Instance:
             f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
         ) from None
     return scenario.build(seed)
+
+
+def scenario_sweep(
+    names: Optional[Sequence[str]] = None,
+    seeds: Sequence[Optional[int]] = (None,),
+) -> Tuple[List[str], List[Instance]]:
+    """Materialise a ``(labels, instances)`` sweep over scenarios and seeds.
+
+    The list format feeds straight into
+    :func:`repro.analysis.campaign.run_policy_campaign` (whose
+    ``max_workers`` option then fans the sweep out across processes).
+
+    Parameters
+    ----------
+    names:
+        Scenario names to include (default: every registered scenario).
+    seeds:
+        Seeds to build each scenario with; labels are ``"<name>#<seed>"``
+        (just ``"<name>"`` when a single seed is swept).
+    """
+    if names is None:
+        names = available_scenarios()
+    if not names:
+        raise WorkloadError("a scenario sweep needs at least one scenario name")
+    if not seeds:
+        raise WorkloadError("a scenario sweep needs at least one seed")
+    labels: List[str] = []
+    instances: List[Instance] = []
+    for name in names:
+        for seed in seeds:
+            labels.append(name if len(seeds) == 1 else f"{name}#{seed}")
+            instances.append(make_scenario(name, seed))
+    return labels, instances

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import run_policy_campaign
+from repro.analysis import run_policy_campaign, run_scenario_campaign
 from repro.exceptions import WorkloadError
-from repro.workload import random_restricted_instance
+from repro.workload import random_restricted_instance, scenario_sweep
 
 
 @pytest.fixture(scope="module")
@@ -52,3 +52,43 @@ class TestCampaign:
         instance = random_restricted_instance(4, 2, seed=3)
         with pytest.raises(WorkloadError):
             run_policy_campaign([instance], policies=("mct",), labels=("a", "b"))
+
+
+class TestParallelCampaign:
+    def test_parallel_records_match_sequential(self):
+        instances = [
+            random_restricted_instance(5, 2, seed=seed, num_databanks=2, stretch_weights=True)
+            for seed in (0, 1, 2)
+        ]
+        sequential = run_policy_campaign(instances, policies=("mct", "fifo"))
+        parallel = run_policy_campaign(instances, policies=("mct", "fifo"), max_workers=2)
+        assert parallel.records == sequential.records
+
+    def test_zero_workers_means_one_per_cpu(self):
+        instances = [random_restricted_instance(4, 2, seed=seed) for seed in (0, 1)]
+        result = run_policy_campaign(instances, policies=("mct",), max_workers=0)
+        assert len(result.records) == 4  # 2 workloads x (offline + mct)
+
+
+class TestScenarioCampaign:
+    def test_scenario_sweep_labels(self):
+        labels, instances = scenario_sweep(["unrelated-stress"], seeds=(1, 2))
+        assert labels == ["unrelated-stress#1", "unrelated-stress#2"]
+        assert len(instances) == 2
+        labels, instances = scenario_sweep(["unrelated-stress"])
+        assert labels == ["unrelated-stress"]
+
+    def test_scenario_sweep_validation(self):
+        with pytest.raises(WorkloadError):
+            scenario_sweep([])
+        with pytest.raises(WorkloadError):
+            scenario_sweep(["unrelated-stress"], seeds=())
+        with pytest.raises(WorkloadError):
+            scenario_sweep(["no-such-scenario"])
+
+    def test_scenario_campaign_runs(self):
+        result = run_scenario_campaign(
+            ["unrelated-stress"], policies=("mct",), seeds=(7,)
+        )
+        assert {record.policy for record in result.records} == {"offline-optimal", "mct"}
+        assert all(record.workload == "unrelated-stress" for record in result.records)

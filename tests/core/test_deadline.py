@@ -33,6 +33,30 @@ class TestBasicFeasibility:
         # The trivial rejection does not even build an LP.
         assert result.lp_variables == 0
 
+    def test_trivial_rejection_reports_canonical_backend(self, tiny_instance):
+        # Bench records key on the backend name; the early exit used to
+        # report an empty string.  The label must match what a real solve of
+        # the same system would report.
+        for requested, label in (("scipy", "scipy-highs"), ("simplex", "simplex")):
+            rejected = check_deadline_feasibility(
+                tiny_instance, [10.0, 0.5, 10.0], backend=requested
+            )
+            solved = check_deadline_feasibility(
+                tiny_instance, [50.0, 50.0, 50.0], backend=requested, build_schedule=False
+            )
+            assert not rejected.feasible
+            assert rejected.backend == label == solved.backend
+
+    def test_deadline_within_tolerance_of_release_goes_to_the_lp(self, tiny_instance):
+        # A deadline a hair below the release date (inside ABS_TOL) is a
+        # borderline system, not a trivially-infeasible one: it must reach
+        # the LP instead of being rejected by the strict `<` comparison.
+        release = tiny_instance.jobs[1].release_date
+        deadlines = [50.0, release - 1e-10, 50.0]
+        result = check_deadline_feasibility(tiny_instance, deadlines, build_schedule=False)
+        assert result.lp_variables > 0  # the LP was actually built
+        assert not result.feasible  # the job cannot run in a zero-width window
+
     def test_wrong_number_of_deadlines_rejected(self, tiny_instance):
         with pytest.raises(InvalidInstanceError):
             check_deadline_feasibility(tiny_instance, [10.0])

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+import math
+
 from repro.core import (
+    FeasibilityProbe,
     Instance,
     Job,
     check_deadline_feasibility,
@@ -87,6 +90,110 @@ class TestOptimalityCertificates:
             assert result.objective <= high + 1e-9
         assert result.feasibility_checks >= 1
         assert result.lp_variables > 0
+
+
+class TestSearchBookkeeping:
+    def test_probe_budget_is_logarithmic(self, random_instances):
+        # Regression for the old dead `leftmost_feasible = hi` bookkeeping:
+        # the last milestone could be probed twice when feasible.  The fixed
+        # search needs at most 1 (pre-check) + ceil(log2(milestones)) probes.
+        for instance in random_instances(count=4):
+            result = minimize_max_weighted_flow(instance)
+            if len(result.milestones) > 1:
+                budget = math.ceil(math.log2(len(result.milestones))) + 2
+                assert result.feasibility_checks <= budget
+
+    def test_no_milestone_is_probed_twice(self, random_instances):
+        instance = next(iter(random_instances(count=1)))
+        probe = FeasibilityProbe(instance)
+        lp_probes = []
+        original = probe._probe_lp
+        probe._probe_lp = lambda objective: lp_probes.append(objective) or original(objective)
+        minimize_max_weighted_flow(instance, probe=probe)
+        assert len(lp_probes) == len(set(lp_probes))
+
+    def test_model_constructions_never_exceed_probes(self, random_instances):
+        for instance in random_instances(count=3):
+            result = minimize_max_weighted_flow(instance)
+            # One construction for the final range solve is always allowed on
+            # top of at most one per probe.
+            assert result.model_constructions <= result.feasibility_checks + 1
+            assert result.lp_solves <= result.feasibility_checks + 1
+
+
+class TestFeasibilityProbe:
+    def test_probe_agrees_with_direct_feasibility_test(self, tiny_instance):
+        probe = FeasibilityProbe(tiny_instance)
+        exact = minimize_max_weighted_flow(tiny_instance).objective
+        for factor in (0.5, 0.9, 1.1, 2.0, 10.0):
+            objective = exact * factor
+            deadlines = [job.deadline_for_flow(objective) for job in tiny_instance.jobs]
+            direct = check_deadline_feasibility(
+                tiny_instance, deadlines, build_schedule=False
+            ).feasible
+            assert probe.probe(objective) == direct
+
+    def test_probe_memoises_repeated_objectives(self, tiny_instance):
+        probe = FeasibilityProbe(tiny_instance)
+        objective = 2.5
+        first = probe.probe(objective)
+        solves = probe.lp_solves
+        assert probe.probe(objective) == first
+        assert probe.lp_solves == solves
+        assert probe.probes == 2
+
+    def test_nonpositive_objectives_are_rejected_without_lp(self, tiny_instance):
+        probe = FeasibilityProbe(tiny_instance)
+        assert not probe.probe(0.0)
+        assert not probe.probe(-1.0)
+        assert probe.lp_solves == 0
+        assert probe.model_constructions == 0
+
+    def test_shared_probe_reuses_search_results(self, tiny_instance):
+        probe = FeasibilityProbe(tiny_instance)
+        result = minimize_max_weighted_flow(tiny_instance, probe=probe)
+        solves = probe.lp_solves
+        value, checks = minimize_max_weighted_flow_bisection(
+            tiny_instance, precision=1e-5, probe=probe
+        )
+        # The search pinned the exact optimum; the bisection needs no new LPs.
+        assert probe.lp_solves == solves
+        assert checks > 0
+        assert value >= result.objective - 1e-5
+        assert value <= result.objective + 1e-4
+
+    def test_pinned_optimum_matches_result(self, tiny_instance):
+        probe = FeasibilityProbe(tiny_instance)
+        result = minimize_max_weighted_flow(tiny_instance, probe=probe)
+        pinned = probe.pinned_optimum()
+        assert pinned is not None
+        threshold, alloc, solution = pinned
+        assert threshold == pytest.approx(result.objective, abs=1e-9)
+        assert solution.is_optimal
+        assert alloc.model.num_variables == result.lp_variables
+
+    def test_probe_rejects_empty_instance(self):
+        with pytest.raises(Exception):
+            FeasibilityProbe(Instance.from_costs([], [[]]))
+
+    def test_mismatched_probe_is_rejected(self, tiny_instance, single_job_instance):
+        probe = FeasibilityProbe(tiny_instance)
+        with pytest.raises(ValueError, match="different instance"):
+            minimize_max_weighted_flow(single_job_instance, probe=probe)
+        with pytest.raises(ValueError, match="preemptive"):
+            minimize_max_weighted_flow(tiny_instance, preemptive=True, probe=probe)
+        with pytest.raises(ValueError, match="backend"):
+            minimize_max_weighted_flow_bisection(
+                tiny_instance, backend="simplex", probe=probe
+            )
+        # Backend aliases are not a mismatch.
+        minimize_max_weighted_flow(tiny_instance, backend="highs", probe=probe)
+
+    def test_probe_with_simplex_backend(self, tiny_instance):
+        probe = FeasibilityProbe(tiny_instance, backend="simplex")
+        exact = minimize_max_weighted_flow(tiny_instance).objective
+        assert probe.probe(exact * 1.5)
+        assert not probe.probe(exact * 0.5)
 
 
 class TestWeightsAndStretch:

@@ -110,6 +110,52 @@ class TestEngineErrorHandling:
             simulate(two_job_instance, DitheringScheduler(), max_events=20)
 
 
+class TestClockExactness:
+    """Regression tests: the clock snaps to event times instead of drifting.
+
+    The engine used to advance with ``time = time + window``; re-rounding the
+    ``horizon - time`` subtraction drifted the clock by one ulp per event, so
+    arrival events no longer coincided exactly with the release dates that
+    caused them, and degenerate zero-width windows added ``_MIN_STEP`` dust
+    to completion times.
+    """
+
+    def test_arrival_events_at_exact_release_dates(self):
+        # 0.28 + (2.36 - 0.28) == 2.3600000000000003 != 2.36: the old
+        # accumulate-the-window update recorded the (coincident) arrivals at
+        # the drifted clock value.
+        jobs = [Job("A", 0.28), Job("B", 2.36), Job("C", 2.36)]
+        costs = [[3.0, 0.5, 0.25]]
+        instance = Instance.from_costs(jobs, costs)
+        result = simulate(instance, FIFOScheduler())
+        arrivals = [event for event in result.events if event.kind == "arrival"]
+        assert len(arrivals) == 3
+        for event in arrivals:
+            assert event.time == instance.jobs[event.job_index].release_date
+
+    def test_completion_times_do_not_accumulate_dust(self):
+        jobs = [Job("A", 0.28), Job("B", 2.36), Job("C", 2.36)]
+        costs = [[3.0, 0.5, 0.25]]
+        instance = Instance.from_costs(jobs, costs)
+        result = simulate(instance, FIFOScheduler())
+        result.schedule.validate()
+        # FIFO on one machine: A runs 0.28->3.28, then B and C back to back.
+        assert result.completion_times[0] == 3.28
+        assert result.completion_times[1] == 3.78
+        assert result.completion_times[2] == pytest.approx(4.03, abs=1e-12)
+
+    def test_completion_coinciding_with_arrival_is_exact(self):
+        # A's completion lands exactly on B's release date (0.1 + 0.2 vs the
+        # literal 0.3 differ in the last ulp); both events must be processed
+        # at the exact arrival time, leaving no sub-ulp leftover work.
+        jobs = [Job("A", 0.1), Job("B", 0.3)]
+        costs = [[0.2, 0.1]]
+        instance = Instance.from_costs(jobs, costs)
+        result = simulate(instance, FIFOScheduler())
+        assert result.completion_times[0] == 0.3
+        assert result.completion_times[1] == 0.4
+
+
 class TestPreemptionAccounting:
     def test_fifo_has_no_preemptions(self, two_job_instance):
         result = simulate(two_job_instance, FIFOScheduler())
