@@ -1,11 +1,14 @@
 #!/usr/bin/env python
-"""Quick perf smoke for the LP and milestone-search hot paths.
+"""Quick perf smoke for the LP, milestone-search and campaign hot paths.
 
 Runs miniature versions of ``bench_lp_backends`` and
-``bench_milestone_search`` and writes the measurements to ``BENCH_lp.json``
-so successive PRs accumulate a perf trajectory to compare against::
+``bench_milestone_search`` and writes the measurements to ``BENCH_lp.json``,
+plus a campaign-throughput trajectory (scenarios/sec, peak in-flight items,
+probe constructions, engine timings) to ``BENCH_campaign.json``, so
+successive PRs accumulate perf trajectories to compare against::
 
     python benchmarks/run_quick_bench.py [--output BENCH_lp.json]
+                                         [--campaign-output BENCH_campaign.json]
 
 The workloads are deliberately small (a few seconds end to end); use the
 pytest benches for paper-scale numbers.
@@ -22,13 +25,16 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
-from repro.core import (  # noqa: E402  (path setup above)
+from repro.analysis import run_scenario_campaign  # noqa: E402  (path setup above)
+from repro.core import (  # noqa: E402
     FeasibilityProbe,
     minimize_max_weighted_flow,
     minimize_max_weighted_flow_bisection,
 )
+from repro.heuristics import make_scheduler  # noqa: E402
 from repro.lp import to_matrix_form  # noqa: E402
 from repro.lp.scipy_backend import solve_matrix_form  # noqa: E402
+from repro.simulation import SimulationKernel  # noqa: E402
 from repro.workload import random_unrelated_instance  # noqa: E402
 
 from bench_lp_backends import _largest_bench_lp  # noqa: E402  (same directory)
@@ -97,12 +103,71 @@ def bench_milestone_search(num_jobs: int = 30, num_machines: int = 4, seeds=(0, 
     return {"num_jobs": num_jobs, "num_machines": num_machines, "runs": per_seed}
 
 
+def bench_engine(num_jobs: int = 150, num_machines: int = 6, repeats: int = 5) -> dict:
+    """Single-simulation timing of the array-backed kernel (warm buffers)."""
+    instance = random_unrelated_instance(num_jobs, num_machines, seed=3)
+    kernel = SimulationKernel()
+    kernel.run(instance, make_scheduler("fifo"))  # warm the buffers
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        kernel.run(instance, make_scheduler("fifo"))
+        best = min(best, time.perf_counter() - start)
+    return {
+        "num_jobs": num_jobs,
+        "num_machines": num_machines,
+        "policy": "fifo",
+        "single_simulation_seconds": best,
+    }
+
+
+def bench_campaign(seeds_per_scenario: int = 4) -> dict:
+    """Campaign-throughput trajectory of the streaming dispatcher.
+
+    Sweeps three scenarios x ``seeds_per_scenario`` spawned seeds over three
+    policies, sequentially and through the streamed (bounded in-flight)
+    dispatcher, and records scenarios/sec, peak in-flight items, peak pending
+    records and probe constructions for the trajectory file.
+    """
+    scenarios = ("small-cluster", "hotspot", "unrelated-stress")
+    policies = ("mct", "greedy-weighted-flow", "srpt")
+    runs = {}
+    for label, max_workers in (("sequential", None), ("streamed", 0)):
+        result = run_scenario_campaign(
+            scenarios,
+            policies,
+            base_seed=2005,
+            seeds_per_scenario=seeds_per_scenario,
+            max_workers=max_workers,
+            chunk_size=1,
+            max_inflight=16,
+        )
+        runs[label] = result.stats.as_dict()
+    workloads = runs["sequential"]["workloads"]
+    naive_constructions = workloads * (len(policies) + 1)
+    assert runs["sequential"]["probe_constructions"] < naive_constructions
+    return {
+        "scenarios": list(scenarios),
+        "policies": list(policies),
+        "seeds_per_scenario": seeds_per_scenario,
+        "naive_probe_constructions": naive_constructions,
+        "runs": runs,
+    }
+
+
 def main(argv=None) -> int:
+    repo_root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
-        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_lp.json"),
-        help="where to write the JSON record (default: repo-root BENCH_lp.json)",
+        default=os.path.join(repo_root, "BENCH_lp.json"),
+        help="where to write the LP JSON record (default: repo-root BENCH_lp.json)",
+    )
+    parser.add_argument(
+        "--campaign-output",
+        default=os.path.join(repo_root, "BENCH_campaign.json"),
+        help="where to write the campaign trajectory "
+        "(default: repo-root BENCH_campaign.json)",
     )
     args = parser.parse_args(argv)
 
@@ -114,6 +179,21 @@ def main(argv=None) -> int:
         "milestone_search": bench_milestone_search(),
     }
     record["total_seconds"] = time.perf_counter() - start
+
+    campaign_start = time.perf_counter()
+    campaign_record = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "engine": bench_engine(),
+        "campaign": bench_campaign(),
+    }
+    campaign_record["total_seconds"] = time.perf_counter() - campaign_start
+
+    campaign_output = os.path.abspath(args.campaign_output)
+    with open(campaign_output, "w") as handle:
+        json.dump(campaign_record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
     output = os.path.abspath(args.output)
     with open(output, "w") as handle:
@@ -134,7 +214,21 @@ def main(argv=None) -> int:
             f"{run['exact_seconds']:.2f}s; bisection reused the probe with "
             f"{run['bisection_extra_lp_solves']} extra solves"
         )
+    engine = campaign_record["engine"]
+    campaign = campaign_record["campaign"]
+    print(
+        f"engine: {engine['single_simulation_seconds'] * 1e3:.2f}ms per "
+        f"{engine['num_jobs']}-job simulation (warm kernel)"
+    )
+    for label, run in campaign["runs"].items():
+        print(
+            f"campaign ({label}): {run['scenarios_per_second']:.1f} scenarios/s, "
+            f"{run['probe_constructions']} probe constructions "
+            f"(naive {campaign['naive_probe_constructions']}), "
+            f"peak in-flight {run['peak_in_flight']}"
+        )
     print(f"wrote {output} ({record['total_seconds']:.1f}s total)")
+    print(f"wrote {campaign_output} ({campaign_record['total_seconds']:.1f}s total)")
     return 0
 
 

@@ -3,8 +3,11 @@
 from .campaign import (
     CampaignRecord,
     CampaignResult,
+    CampaignStats,
+    WorkloadSpec,
     run_policy_campaign,
     run_scenario_campaign,
+    stream_campaign,
 )
 from .fairness import FairnessReport, compare_fairness, fairness_report, jain_index
 from .plots import ascii_scatter, ascii_series
@@ -22,14 +25,17 @@ from .tables import format_key_values, format_table
 __all__ = [
     "CampaignRecord",
     "CampaignResult",
+    "CampaignStats",
     "ComparisonRecord",
     "ExperimentReport",
     "FairnessReport",
     "compare_fairness",
     "fairness_report",
     "jain_index",
+    "WorkloadSpec",
     "run_policy_campaign",
     "run_scenario_campaign",
+    "stream_campaign",
     "LinearFit",
     "SummaryStatistics",
     "ascii_scatter",

@@ -1,38 +1,75 @@
-"""Experiment campaigns: run many (instance, policy) combinations and aggregate.
+"""Experiment campaigns: a streaming dispatcher over (workload, policy) tasks.
 
 The benches of this repository each reproduce one paper artefact; a *campaign*
 is the general-purpose version a downstream user needs: sweep a family of
-workloads, run the off-line solvers and a set of on-line policies on each,
-collect normalised metrics and render a report.  The on-line-vs-off-line
-example and several benches are thin wrappers around this module.
+workloads, run the off-line optimum and a set of policies on each, collect
+normalised metrics and render a report.
 
-Workloads are independent of each other, so campaigns parallelise trivially:
-pass ``max_workers`` to :func:`run_policy_campaign` to fan the per-workload
-work (one off-line LP optimisation plus one simulation per policy) out across
-processes.  The scenario sweep helper :func:`run_scenario_campaign` builds the
-instances from :mod:`repro.workload.scenarios` and does the same.
+The campaign layer is the dispatcher of the unified policy runtime
+(:mod:`repro.heuristics.registry` resolves policies by name, the array-backed
+:mod:`repro.simulation` kernel executes the on-line ones):
+
+* **Lazy workloads** — a sweep is enumerated as cheap :class:`WorkloadSpec`
+  descriptors (a scenario name and seed, or a concrete instance); scenario
+  grids are materialised inside the workers, so a 10k-scenario sweep never
+  holds 10k instances in the parent process.
+* **Streaming chunked dispatch** — work is cut into per-(workload,
+  policy-chunk) items (``chunk_size=1`` gives per-policy parallelism), at
+  most ``max_inflight`` items are submitted to the process pool at any time,
+  and finished records are aggregated incrementally in deterministic order,
+  so memory stays bounded no matter how large the sweep is.
+* **Shared probes** — every item of a workload reuses one
+  :class:`~repro.core.maxflow.FeasibilityProbe` (and one off-line optimum)
+  through a per-process LRU context cache, so a campaign performs strictly
+  fewer probe constructions than (workloads × policies); on-line items reuse
+  a per-process :class:`~repro.simulation.SimulationKernel` as well.
+
+:func:`run_policy_campaign` and :func:`run_scenario_campaign` keep their
+pre-dispatcher APIs (sequential and parallel runs produce identical records
+in identical order); :func:`stream_campaign` exposes the incremental record
+stream, and :class:`CampaignStats` reports the throughput trajectory
+(scenarios/sec, peak in-flight items, probe constructions) recorded by
+``benchmarks/run_quick_bench.py``.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.instance import Instance
-from ..core.maxflow import minimize_max_weighted_flow
+from ..core.maxflow import FeasibilityProbe
 from ..exceptions import WorkloadError
-from ..heuristics import make_scheduler
-from ..simulation import simulate
+from ..heuristics import OnlinePolicy, PolicyOutcome, make_policy
+from ..heuristics.registry import OFFLINE_OPTIMAL, SchedulingPolicy
+from ..simulation import SimulationKernel
+from ..workload.scenarios import ScenarioSpec, make_scenario, scenario_grid
 from .stats import geometric_mean, summarize
 from .tables import format_table
 
 __all__ = [
     "CampaignRecord",
     "CampaignResult",
+    "CampaignStats",
+    "WorkloadSpec",
     "run_policy_campaign",
     "run_scenario_campaign",
+    "stream_campaign",
 ]
 
 
@@ -65,17 +102,117 @@ class CampaignRecord:
 
 
 @dataclass
+class CampaignStats:
+    """Throughput trajectory of one campaign dispatch.
+
+    Attributes
+    ----------
+    workloads, items, records:
+        Work volume: distinct workloads, dispatched (workload, policy-chunk)
+        items, and emitted records.
+    probe_constructions:
+        Total :class:`FeasibilityProbe` constructions across all workers —
+        strictly fewer than ``workloads × policies`` whenever the per-
+        workload sharing pays off.
+    peak_in_flight:
+        Maximum number of items simultaneously submitted to the pool (0 for
+        in-process runs); bounded by ``max_inflight`` by construction.
+    peak_pending_records:
+        Maximum number of records buffered while waiting for an earlier item
+        to finish (deterministic emission order), also bounded.
+    elapsed_seconds:
+        Wall-clock time of the dispatch.
+    max_workers, chunk_size:
+        The dispatch parameters, for the bench trajectory record.
+    """
+
+    workloads: int = 0
+    items: int = 0
+    records: int = 0
+    probe_constructions: int = 0
+    peak_in_flight: int = 0
+    peak_pending_records: int = 0
+    elapsed_seconds: float = 0.0
+    max_workers: Optional[int] = None
+    chunk_size: int = 1
+
+    @property
+    def scenarios_per_second(self) -> float:
+        """Workloads processed per wall-clock second."""
+        return self.workloads / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    @property
+    def records_per_second(self) -> float:
+        """Records produced per wall-clock second."""
+        return self.records / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-friendly view (used by the quick-bench trajectory files)."""
+        return {
+            "workloads": self.workloads,
+            "items": self.items,
+            "records": self.records,
+            "probe_constructions": self.probe_constructions,
+            "peak_in_flight": self.peak_in_flight,
+            "peak_pending_records": self.peak_pending_records,
+            "elapsed_seconds": self.elapsed_seconds,
+            "scenarios_per_second": self.scenarios_per_second,
+            "records_per_second": self.records_per_second,
+            # None (in-process) stays null in JSON; 0 means "one per CPU".
+            "max_workers": self.max_workers,
+            "chunk_size": self.chunk_size,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A lazy, picklable campaign workload.
+
+    Either a concrete ``instance`` or a ``(scenario, seed)`` pointer that the
+    worker materialises on demand (keeping huge sweeps out of the parent's
+    memory).
+    """
+
+    label: str
+    scenario: Optional[str] = None
+    seed: Optional[int] = None
+    instance: Optional[Instance] = None
+
+    @classmethod
+    def from_instance(cls, label: str, instance: Instance) -> "WorkloadSpec":
+        """Wrap an already-built instance."""
+        return cls(label=label, instance=instance)
+
+    @classmethod
+    def from_scenario(cls, spec: ScenarioSpec) -> "WorkloadSpec":
+        """Wrap a lazy :class:`~repro.workload.scenarios.ScenarioSpec`."""
+        return cls(label=spec.label, scenario=spec.scenario, seed=spec.seed)
+
+    def materialise(self) -> Instance:
+        """Build (or return) the instance."""
+        if self.instance is not None:
+            return self.instance
+        if self.scenario is None:
+            raise WorkloadError(f"workload {self.label!r} has neither instance nor scenario")
+        return make_scenario(self.scenario, self.seed)
+
+
+# --------------------------------------------------------------------------- #
+# Result container                                                             #
+# --------------------------------------------------------------------------- #
+@dataclass
 class CampaignResult:
     """All the records of a campaign plus aggregation helpers."""
 
     records: List[CampaignRecord] = field(default_factory=list)
+    stats: Optional[CampaignStats] = None
 
     def policies(self) -> List[str]:
         """Distinct policy names, off-line optimum first."""
         names = sorted({record.policy for record in self.records})
-        if "offline-optimal" in names:
-            names.remove("offline-optimal")
-            names.insert(0, "offline-optimal")
+        if OFFLINE_OPTIMAL in names:
+            names.remove(OFFLINE_OPTIMAL)
+            names.insert(0, OFFLINE_OPTIMAL)
         return names
 
     def records_for(self, policy: str) -> List[CampaignRecord]:
@@ -92,7 +229,7 @@ class CampaignResult:
     def ranking(self) -> List[str]:
         """Policies ordered from best (lowest mean degradation) to worst."""
         return sorted(
-            (p for p in self.policies() if p != "offline-optimal"),
+            (p for p in self.policies() if p != OFFLINE_OPTIMAL),
             key=self.mean_degradation,
         )
 
@@ -111,60 +248,305 @@ class CampaignResult:
         )
 
 
-def _run_single_workload(
-    label: str,
-    instance: Instance,
-    policies: Sequence[str],
-    include_offline: bool,
-    scheduler_factory: Callable[[str], object],
-) -> List[CampaignRecord]:
-    """Measure one workload: off-line optimum plus every policy.
+# --------------------------------------------------------------------------- #
+# Work items and the per-process workload context                              #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _CampaignItem:
+    """One dispatch unit: a chunk of policies over one workload."""
+
+    dispatch_id: int
+    index: int
+    workload_index: int
+    spec: WorkloadSpec
+    policies: Tuple[str, ...]
+    emit_offline: bool
+    scheduler_factory: Optional[Callable[[str], object]] = None
+
+
+@dataclass
+class _ItemResult:
+    index: int
+    records: List[CampaignRecord]
+    probe_constructions: int
+
+
+#: Per-process LRU of workload contexts: (dispatch id, workload index) ->
+#: (instance, offline outcome, probe).  Small by design — consecutive items of
+#: the same workload are what it exists for.
+_CONTEXT_CACHE: "OrderedDict[Tuple[int, int], Tuple[Instance, PolicyOutcome, FeasibilityProbe]]" = (
+    OrderedDict()
+)
+_CONTEXT_CACHE_SIZE = 4
+#: Guards the cache's dict operations only (concurrent in-process campaigns);
+#: the LP work itself runs unlocked, so two threads may build the same
+#: context redundantly — wasteful but correct.
+_CONTEXT_LOCK = threading.Lock()
+
+#: Per-thread simulation kernels; every on-line run in a given worker thread
+#: reuses one kernel's allocated array state (kernels are not thread-safe, so
+#: concurrent in-process campaigns each get their own).
+_KERNELS = threading.local()
+
+
+def _thread_kernel() -> SimulationKernel:
+    kernel = getattr(_KERNELS, "kernel", None)
+    if kernel is None:
+        kernel = _KERNELS.kernel = SimulationKernel()
+    return kernel
+
+
+def _workload_context(
+    item: _CampaignItem,
+) -> Tuple[Instance, PolicyOutcome, FeasibilityProbe, int]:
+    """Instance, off-line optimum and shared probe of the item's workload.
+
+    Returns a fourth element counting probe constructions performed by this
+    call (0 on a context-cache hit).
+    """
+    key = (item.dispatch_id, item.workload_index)
+    with _CONTEXT_LOCK:
+        cached = _CONTEXT_CACHE.get(key)
+        if cached is not None:
+            _CONTEXT_CACHE.move_to_end(key)
+            return cached[0], cached[1], cached[2], 0
+    instance = item.spec.materialise()
+    probe = FeasibilityProbe(instance)
+    offline = make_policy(OFFLINE_OPTIMAL).run(instance, probe=probe)
+    if offline.objective is None or offline.objective <= 0:
+        raise WorkloadError(
+            f"degenerate workload {item.spec.label!r}: zero optimal objective"
+        )
+    with _CONTEXT_LOCK:
+        _CONTEXT_CACHE[key] = (instance, offline, probe)
+        while len(_CONTEXT_CACHE) > _CONTEXT_CACHE_SIZE:
+            _CONTEXT_CACHE.popitem(last=False)
+    return instance, offline, probe, 1
+
+
+def _resolve_policy(
+    name: str, scheduler_factory: Optional[Callable[[str], object]]
+) -> SchedulingPolicy:
+    """Resolve a policy name: registry by default, legacy factory if given."""
+    if scheduler_factory is None:
+        return make_policy(name)
+    return OnlinePolicy(scheduler_factory(name))
+
+
+def _record_from_outcome(
+    label: str, outcome: PolicyOutcome, optimum: float
+) -> CampaignRecord:
+    return CampaignRecord(
+        workload=label,
+        policy=outcome.policy,
+        max_weighted_flow=outcome.max_weighted_flow,
+        max_stretch=outcome.max_stretch,
+        makespan=outcome.makespan,
+        normalised=1.0 if outcome.kind == "offline" else outcome.max_weighted_flow / optimum,
+        preemptions=outcome.preemptions,
+    )
+
+
+def _run_campaign_item(item: _CampaignItem) -> _ItemResult:
+    """Measure one item: (workload, policy chunk), sharing the workload context.
 
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
-    pickle it for the parallel campaign path.
+    pickle it; also the in-process execution path.
     """
-    records: List[CampaignRecord] = []
-    offline = minimize_max_weighted_flow(instance)
+    instance, offline, probe, constructed = _workload_context(item)
     optimum = offline.objective
-    if optimum <= 0:
-        raise WorkloadError(f"degenerate workload {label!r}: zero optimal objective")
-    if include_offline:
-        metrics = offline.schedule.metrics()
-        records.append(
-            CampaignRecord(
-                workload=label,
-                policy="offline-optimal",
-                max_weighted_flow=metrics.max_weighted_flow,
-                max_stretch=metrics.max_stretch or 0.0,
-                makespan=metrics.makespan,
-                normalised=1.0,
-            )
-        )
-    for policy in policies:
-        simulation = simulate(instance, scheduler_factory(policy))
-        metrics = simulation.metrics()
-        records.append(
-            CampaignRecord(
-                workload=label,
-                policy=policy,
-                max_weighted_flow=metrics.max_weighted_flow,
-                max_stretch=metrics.max_stretch or 0.0,
-                makespan=metrics.makespan,
-                normalised=metrics.max_weighted_flow / optimum,
-                preemptions=simulation.num_preemptions,
-            )
-        )
-    return records
+    records: List[CampaignRecord] = []
+    if item.emit_offline:
+        records.append(_record_from_outcome(item.spec.label, offline, optimum))
+    kernel = _thread_kernel()
+    for name in item.policies:
+        policy = _resolve_policy(name, item.scheduler_factory)
+        outcome = policy.run(instance, probe=probe, kernel=kernel)
+        records.append(_record_from_outcome(item.spec.label, outcome, optimum))
+    return _ItemResult(
+        index=item.index, records=records, probe_constructions=constructed
+    )
 
 
+_DISPATCH_COUNTER = itertools.count()
+
+
+def _campaign_items(
+    specs: Iterable[WorkloadSpec],
+    policies: Sequence[str],
+    *,
+    include_offline: bool,
+    chunk_size: int,
+    scheduler_factory: Optional[Callable[[str], object]],
+    dispatch_id: int,
+) -> Iterator[_CampaignItem]:
+    """Lazily cut a sweep into per-(workload, policy-chunk) items."""
+    if chunk_size < 1:
+        raise WorkloadError("chunk_size must be at least 1")
+    index = 0
+    for workload_index, spec in enumerate(specs):
+        chunks: List[Tuple[str, ...]] = [
+            tuple(policies[start : start + chunk_size])
+            for start in range(0, len(policies), chunk_size)
+        ] or [()]
+        for position, chunk in enumerate(chunks):
+            yield _CampaignItem(
+                dispatch_id=dispatch_id,
+                index=index,
+                workload_index=workload_index,
+                spec=spec,
+                policies=chunk,
+                emit_offline=include_offline and position == 0,
+                scheduler_factory=scheduler_factory,
+            )
+            index += 1
+
+
+# --------------------------------------------------------------------------- #
+# The streaming dispatcher                                                     #
+# --------------------------------------------------------------------------- #
+def stream_campaign(
+    specs: Iterable[WorkloadSpec],
+    policies: Sequence[str],
+    *,
+    include_offline: bool = True,
+    scheduler_factory: Optional[Callable[[str], object]] = None,
+    max_workers: Optional[int] = None,
+    chunk_size: int = 1,
+    max_inflight: Optional[int] = None,
+    stats: Optional[CampaignStats] = None,
+) -> Iterator[CampaignRecord]:
+    """Yield campaign records incrementally, in deterministic order.
+
+    Parameters
+    ----------
+    specs:
+        Lazy workload descriptors; consumed incrementally, so generators of
+        arbitrarily large sweeps are fine.
+    policies:
+        Policy names resolved through the registry (or ``scheduler_factory``).
+    include_offline:
+        Also emit the off-line optimum record of every workload (the optimum
+        is computed either way — every normalisation is relative to it).
+    scheduler_factory:
+        ``None`` (default) resolves policy names through
+        :func:`repro.heuristics.make_policy`.  A legacy factory mapping a
+        name to an :class:`~repro.heuristics.base.OnlineScheduler` is wrapped
+        per call; it must be picklable when a pool is used.
+    max_workers:
+        ``None`` runs in-process; any other value fans items out over a
+        :class:`ProcessPoolExecutor` (``0`` means "one per CPU").
+    chunk_size:
+        Policies per dispatched item.  ``1`` (default) gives per-(workload,
+        policy) granularity; larger chunks trade parallelism for less
+        shipping of workload state.
+    max_inflight:
+        Cap on items submitted-but-not-yet-aggregated (default
+        ``4 × workers``); bounds parent-side memory on huge sweeps.
+    stats:
+        Optional :class:`CampaignStats` filled in while streaming (counters
+        update live; ``elapsed_seconds`` is set when the stream closes).
+
+    Yields
+    ------
+    CampaignRecord
+        In the same order a sequential run would produce: workload-major,
+        off-line optimum first, then ``policies`` in the given order.
+    """
+    own_stats = stats if stats is not None else CampaignStats()
+    own_stats.max_workers = max_workers
+    own_stats.chunk_size = chunk_size
+    dispatch_id = next(_DISPATCH_COUNTER)
+    items = _campaign_items(
+        specs,
+        policies,
+        include_offline=include_offline,
+        chunk_size=chunk_size,
+        scheduler_factory=scheduler_factory,
+        dispatch_id=dispatch_id,
+    )
+    start = time.perf_counter()
+    seen_workloads = -1
+
+    def account(result: _ItemResult, workload_index: int) -> None:
+        nonlocal seen_workloads
+        own_stats.items += 1
+        own_stats.records += len(result.records)
+        own_stats.probe_constructions += result.probe_constructions
+        seen_workloads = max(seen_workloads, workload_index)
+        own_stats.workloads = seen_workloads + 1
+        own_stats.elapsed_seconds = time.perf_counter() - start
+
+    if max_workers is None:
+        for item in items:
+            result = _run_campaign_item(item)
+            account(result, item.workload_index)
+            yield from result.records
+        own_stats.elapsed_seconds = time.perf_counter() - start
+        return
+
+    workers = max_workers if max_workers > 0 else (os.cpu_count() or 1)
+    try:
+        spec_count: Optional[int] = len(specs)  # type: ignore[arg-type]
+    except TypeError:
+        spec_count = None  # generator sweep: item count unknown up front
+    if spec_count is not None:
+        chunks_per_workload = max(1, -(-len(policies) // chunk_size))
+        # The pool spawns every worker eagerly; don't fork more processes
+        # than there are items to run.
+        workers = max(1, min(workers, spec_count * chunks_per_workload))
+    inflight_cap = max_inflight if max_inflight is not None else 4 * workers
+    if inflight_cap < 1:
+        raise WorkloadError("max_inflight must be at least 1")
+
+    pending: Dict = {}  # future -> item
+    ready: Dict[int, _ItemResult] = {}  # completed, waiting for emission order
+    next_emit = 0
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+
+        def submit_up_to_cap() -> None:
+            while len(pending) + len(ready) < inflight_cap:
+                item = next(items, None)
+                if item is None:
+                    return
+                pending[pool.submit(_run_campaign_item, item)] = item
+                own_stats.peak_in_flight = max(own_stats.peak_in_flight, len(pending))
+
+        submit_up_to_cap()
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                item = pending.pop(future)
+                result = future.result()  # propagate worker exceptions
+                ready[result.index] = result
+                account(result, item.workload_index)
+            own_stats.peak_pending_records = max(
+                own_stats.peak_pending_records,
+                sum(len(r.records) for r in ready.values()),
+            )
+            while next_emit in ready:
+                yield from ready.pop(next_emit).records
+                next_emit += 1
+            submit_up_to_cap()
+        # Emission order is dense, so nothing can remain buffered.
+        assert not ready, "streaming dispatcher lost an item"
+    own_stats.elapsed_seconds = time.perf_counter() - start
+
+
+# --------------------------------------------------------------------------- #
+# Public campaign runners                                                      #
+# --------------------------------------------------------------------------- #
 def run_policy_campaign(
     instances: Iterable[Instance],
     policies: Sequence[str],
     *,
     labels: Optional[Sequence[str]] = None,
     include_offline: bool = True,
-    scheduler_factory: Callable[[str], object] = make_scheduler,
+    scheduler_factory: Optional[Callable[[str], object]] = None,
     max_workers: Optional[int] = None,
+    chunk_size: int = 1,
+    max_inflight: Optional[int] = None,
 ) -> CampaignResult:
     """Run every policy on every instance and collect normalised metrics.
 
@@ -173,21 +555,25 @@ def run_policy_campaign(
     instances:
         The workloads to schedule.
     policies:
-        Policy names understood by ``scheduler_factory``.
+        Policy names understood by the registry (or ``scheduler_factory``).
     labels:
         Optional workload labels (defaults to ``"workload 0"``, ...).
     include_offline:
         Also record the off-line optimum itself (policy ``"offline-optimal"``),
         which every normalisation is relative to.
     scheduler_factory:
-        Factory mapping a policy name to a scheduler object (defaults to
-        :func:`repro.heuristics.make_scheduler`).  Must be picklable (a
+        ``None`` (default) resolves names through the policy registry
+        (:func:`repro.heuristics.make_policy`).  A legacy name→scheduler
+        factory is accepted for compatibility; it must be picklable (a
         module-level function) when ``max_workers`` enables the process pool.
     max_workers:
         ``None`` (default) runs sequentially in-process.  Any other value
-        fans the workloads out over a :class:`ProcessPoolExecutor` with that
-        many workers (``0`` means "one per CPU").  Record order is
-        deterministic and identical to the sequential path.
+        fans the (workload, policy) items out over a
+        :class:`ProcessPoolExecutor` with that many workers (``0`` means
+        "one per CPU").  Record order is deterministic and identical to the
+        sequential path.
+    chunk_size, max_inflight:
+        Streaming-dispatch knobs, see :func:`stream_campaign`.
     """
     instances = list(instances)
     if not instances:
@@ -197,54 +583,65 @@ def run_policy_campaign(
     if len(labels) != len(instances):
         raise WorkloadError("labels and instances must have the same length")
 
-    result = CampaignResult()
-    if max_workers is None or len(instances) == 1:
-        batches = [
-            _run_single_workload(label, instance, policies, include_offline, scheduler_factory)
-            for label, instance in zip(labels, instances)
-        ]
-    else:
-        workers = max_workers if max_workers > 0 else (os.cpu_count() or 1)
-        workers = min(workers, len(instances))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            batches = list(
-                pool.map(
-                    _run_single_workload,
-                    labels,
-                    instances,
-                    [policies] * len(instances),
-                    [include_offline] * len(instances),
-                    [scheduler_factory] * len(instances),
-                )
-            )
-    for batch in batches:
-        result.records.extend(batch)
+    specs = [
+        WorkloadSpec.from_instance(label, instance)
+        for label, instance in zip(labels, instances)
+    ]
+    stats = CampaignStats()
+    result = CampaignResult(stats=stats)
+    for record in stream_campaign(
+        specs,
+        policies,
+        include_offline=include_offline,
+        scheduler_factory=scheduler_factory,
+        max_workers=max_workers,
+        chunk_size=chunk_size,
+        max_inflight=max_inflight,
+        stats=stats,
+    ):
+        result.records.append(record)
     return result
 
 
 def run_scenario_campaign(
-    scenario_names: Sequence[str],
+    scenario_names: Optional[Sequence[str]],
     policies: Sequence[str],
     *,
-    seeds: Sequence[Optional[int]] = (None,),
+    seeds: Optional[Sequence[Optional[int]]] = (None,),
+    base_seed: Optional[int] = None,
+    seeds_per_scenario: int = 1,
     include_offline: bool = True,
     max_workers: Optional[int] = None,
+    chunk_size: int = 1,
+    max_inflight: Optional[int] = None,
 ) -> CampaignResult:
     """Sweep named workload scenarios (optionally over several seeds).
 
-    Builds every ``(scenario, seed)`` instance via
-    :func:`repro.workload.scenarios.make_scenario` and delegates to
-    :func:`run_policy_campaign`; with ``max_workers`` set the sweep fans out
-    across processes.  Labels are ``"<scenario>#<seed>"`` (just the scenario
-    name when a single default seed is used).
+    Enumerates the ``(scenario, seed)`` grid lazily via
+    :func:`repro.workload.scenarios.scenario_grid` — instances are built
+    inside the workers — and streams the records through
+    :func:`stream_campaign`.  Labels are ``"<scenario>#<seed>"`` (just the
+    scenario name when a single default seed is used).  Pass ``base_seed``
+    (with ``seeds_per_scenario``) instead of explicit ``seeds`` to spawn
+    per-scenario seed streams that are reproducible independent of worker
+    count and chunking.
     """
-    from ..workload.scenarios import scenario_sweep  # local import: avoid a cycle
-
-    labels, instances = scenario_sweep(scenario_names, seeds)
-    return run_policy_campaign(
-        instances,
+    if base_seed is not None and seeds == (None,):
+        seeds = None  # the default sentinel must not conflict with base_seed
+    grid = scenario_grid(
+        scenario_names, seeds, base_seed=base_seed, seeds_per_scenario=seeds_per_scenario
+    )
+    specs = [WorkloadSpec.from_scenario(spec) for spec in grid]
+    stats = CampaignStats()
+    result = CampaignResult(stats=stats)
+    for record in stream_campaign(
+        specs,
         policies,
-        labels=labels,
         include_offline=include_offline,
         max_workers=max_workers,
-    )
+        chunk_size=chunk_size,
+        max_inflight=max_inflight,
+        stats=stats,
+    ):
+        result.records.append(record)
+    return result

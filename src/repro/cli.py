@@ -11,6 +11,9 @@ The CLI exposes the library's main workflows without writing any Python:
     max-stretch via ``--objective``; ``--preemptive`` for Section 4.4).
 ``repro-sched simulate INSTANCE.json --policy mct`` (or ``--all-policies``)
     On-line replay of the instance with one or all policies.
+``repro-sched campaign --scenarios ... --policies ... --base-seed N``
+    Scenario × seed × policy sweep through the streaming campaign
+    dispatcher (``--max-workers``, ``--chunk-size``).
 ``repro-sched divisibility --dimension sequences|motifs``
     Regenerate the Figure 1 series and its regression.
 
@@ -21,12 +24,13 @@ JSON next to them.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Optional, Sequence
 
 from . import __version__
-from .analysis import format_table, linear_regression
+from .analysis import format_table, linear_regression, run_scenario_campaign
 from .core import (
     Instance,
     minimize_makespan,
@@ -36,7 +40,7 @@ from .core import (
 )
 from .exceptions import ReproError
 from .gripps import motif_divisibility_experiment, sequence_divisibility_experiment
-from .heuristics import available_schedulers, make_scheduler
+from .heuristics import available_policies, available_schedulers, make_scheduler, policy_spec
 from .simulation import simulate
 from .workload import (
     available_scenarios,
@@ -102,6 +106,57 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_cmd.add_argument("--seed", type=int, default=None,
                               help="seed when the instance argument is a scenario name")
 
+    # campaign -------------------------------------------------------------------
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="scenario x seed x policy sweep through the streaming dispatcher",
+    )
+    campaign.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names (default: every registered scenario)",
+    )
+    campaign.add_argument(
+        "--policies",
+        default="mct,greedy-weighted-flow,online-offline",
+        help="comma-separated policy names, or 'all' for every on-line policy",
+    )
+    campaign.add_argument(
+        "--seeds", default=None, help="comma-separated integer seeds (one instance per seed)"
+    )
+    campaign.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="spawn per-scenario seeds from this base (reproducible "
+        "independent of workers/chunking); combine with --num-seeds",
+    )
+    campaign.add_argument(
+        "--num-seeds",
+        type=int,
+        default=1,
+        help="seeds per scenario spawned from --base-seed (default 1)",
+    )
+    campaign.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="parallel worker processes (0 = one per CPU; default: in-process)",
+    )
+    campaign.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1,
+        help="policies per dispatched task (default 1: per-policy granularity)",
+    )
+    campaign.add_argument(
+        "--no-offline",
+        action="store_true",
+        help="skip the offline-optimal records (the optimum is still computed "
+        "for normalisation)",
+    )
+    campaign.add_argument("--output", help="write records and throughput stats to this JSON file")
+
     # divisibility ---------------------------------------------------------------
     divisibility = subparsers.add_parser(
         "divisibility", help="regenerate the Figure 1 divisibility series"
@@ -121,6 +176,7 @@ def _cmd_info() -> int:
     print(f"repro {__version__} — reproduction of Legrand, Su & Vivien (IPPS 2005)")
     print()
     print("on-line policies:  " + ", ".join(available_schedulers()))
+    print("off-line policies: " + ", ".join(available_policies(kind="offline")))
     print("scenarios:         " + ", ".join(available_scenarios()))
     return 0
 
@@ -208,6 +264,61 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    scenarios = args.scenarios.split(",") if args.scenarios else None
+    if args.policies == "all":
+        policies = available_schedulers()
+    else:
+        policies = [name for name in args.policies.split(",") if name]
+    for name in policies:
+        policy_spec(name)  # fail fast on unknown names, before any dispatch
+    seeds = None
+    if args.seeds:
+        try:
+            seeds = tuple(int(seed) for seed in args.seeds.split(","))
+        except ValueError:
+            print(f"error: --seeds must be comma-separated integers, got {args.seeds!r}",
+                  file=sys.stderr)
+            return 1
+    if args.num_seeds != 1 and args.base_seed is None:
+        print("error: --num-seeds only applies to spawned seeding; pass --base-seed "
+              "(or list the seeds explicitly with --seeds)", file=sys.stderr)
+        return 1
+
+    result = run_scenario_campaign(
+        scenarios,
+        policies,
+        seeds=seeds if seeds is not None else ((None,) if args.base_seed is None else None),
+        base_seed=args.base_seed,
+        seeds_per_scenario=args.num_seeds,
+        include_offline=not args.no_offline,
+        max_workers=args.max_workers,
+        chunk_size=args.chunk_size,
+    )
+
+    print(result.as_table())
+    stats = result.stats
+    if stats is not None:
+        print()
+        print(
+            f"{stats.workloads} workloads, {stats.records} records in "
+            f"{stats.elapsed_seconds:.2f}s "
+            f"({stats.scenarios_per_second:.2f} scenarios/s, "
+            f"{stats.probe_constructions} probe constructions, "
+            f"peak in-flight {stats.peak_in_flight})"
+        )
+    if args.output:
+        payload = {
+            "records": [dataclasses.asdict(record) for record in result.records],
+            "stats": stats.as_dict() if stats is not None else None,
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"campaign written to {args.output}")
+    return 0
+
+
 def _cmd_divisibility(args: argparse.Namespace) -> int:
     if args.dimension == "sequences":
         study = sequence_divisibility_experiment(repetitions=args.repetitions)
@@ -246,6 +357,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_solve(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
         if args.command == "divisibility":
             return _cmd_divisibility(args)
     except (ReproError, FileNotFoundError, json.JSONDecodeError, KeyError) as error:

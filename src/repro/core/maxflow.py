@@ -39,7 +39,10 @@ every probed objective value, the probe exploits the milestone structure:
   infeasible, again by monotonicity; both facts are recorded as monotone
   bounds and consulted before any LP work;
 * an LRU memo keyed by the exact probed value guarantees that the milestone
-  search and the ε-bisection baseline never solve the same objective twice.
+  search and the ε-bisection baseline never solve the same objective twice;
+* the per-range parametric models themselves sit in a size-capped LRU cache
+  (``max_cached_ranges``), so campaign-scale sweeps that keep many probes
+  alive at once stay in bounded memory.
 
 The per-call counters (``probes``, ``lp_solves``, ``model_constructions``)
 feed the milestone-search bench, which asserts that the probe path performs
@@ -170,7 +173,8 @@ class FeasibilityProbe:
         Number of probes that required an actual LP solve.
     model_constructions:
         Number of parametric range models built (each lowered to matrix form
-        exactly once).
+        exactly once, unless evicted from the size-capped LRU range cache and
+        needed again — see ``max_cached_ranges``).
     """
 
     def __init__(
@@ -180,9 +184,12 @@ class FeasibilityProbe:
         preemptive: bool = False,
         backend: str = "scipy",
         memo_size: int = 256,
+        max_cached_ranges: int = 64,
     ) -> None:
         if instance.num_jobs == 0:
             raise InvalidInstanceError("cannot probe an empty instance")
+        if max_cached_ranges < 1:
+            raise ValueError("max_cached_ranges must be at least 1")
         self.instance = instance
         self.preemptive = preemptive
         self.backend = backend
@@ -191,7 +198,12 @@ class FeasibilityProbe:
         #: Range ``k`` spans ``(boundaries[k], boundaries[k + 1]]`` (the last
         #: range is unbounded above).
         self._boundaries: List[float] = [0.0] + self.milestones
-        self._ranges: Dict[int, _RangeModel] = {}
+        #: LRU cache of parametric range models, capped at
+        #: ``max_cached_ranges`` so that campaign-scale sweeps holding many
+        #: probes alive stay in bounded memory (an evicted range is simply
+        #: rebuilt — and counted — if a later probe needs it again).
+        self._ranges: "OrderedDict[int, _RangeModel]" = OrderedDict()
+        self._max_cached_ranges = max_cached_ranges
         self._memo: "OrderedDict[float, bool]" = OrderedDict()
         self._memo_size = memo_size
         # Monotone knowledge accumulated from parametric solves:
@@ -257,6 +269,8 @@ class FeasibilityProbe:
         range_model = self._ranges.get(k)
         if range_model is None:
             range_model = self._build_range(k)
+        else:
+            self._ranges.move_to_end(k)
         bounds = range_model.form.bounds.copy()
         bounds[range_model.objective_column] = (
             low,
@@ -341,6 +355,7 @@ class FeasibilityProbe:
             candidates.append(k + 1)
         for index in candidates:
             if index in self._ranges:
+                self._ranges.move_to_end(index)
                 return self._ranges[index]
         return self._build_range(candidates[0])
 
@@ -371,7 +386,14 @@ class FeasibilityProbe:
             objective_column=alloc.objective_variable.index,
         )
         self._ranges[k] = range_model
+        while len(self._ranges) > self._max_cached_ranges:
+            self._ranges.popitem(last=False)
         return range_model
+
+    @property
+    def cached_range_count(self) -> int:
+        """Number of parametric range models currently held in the LRU cache."""
+        return len(self._ranges)
 
     def _solve_form(self, form: MatrixForm) -> LPSolution:
         if self._backend_kind == "scipy":

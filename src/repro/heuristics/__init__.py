@@ -1,7 +1,10 @@
-"""On-line scheduling policies (substrate S11).
+"""Scheduling policies (substrate S11) and the unified policy registry.
 
-The policies are the baselines and the paper's own on-line adaptation used in
-experiment E4 (Section 5 simulation claim):
+The on-line policies are the baselines and the paper's own on-line adaptation
+used in experiment E4 (Section 5 simulation claim); the off-line LP optimum is
+registered alongside them, so every consumer (CLI, campaigns, benches)
+resolves policies by name through one path — see
+:mod:`repro.heuristics.registry`.
 
 ========================  ==============================================  ==========
 Name                      Class                                            Model
@@ -14,10 +17,15 @@ Name                      Class                                            Model
 ``round-robin``           :class:`RoundRobinScheduler`                     divisible
 ``deadline-driven``       :class:`DeadlineDrivenScheduler`                 preemptive
 ``online-offline``        :class:`OnlineOfflineAdaptationScheduler`        divisible (LP based)
+``offline-optimal``       :class:`~repro.heuristics.registry.OfflineOptimalPolicy`  off-line LP
 ========================  ==============================================  ==========
+
+Custom policies plug in through :func:`register_online_scheduler` (an
+``OnlineScheduler`` subclass) or :func:`register_policy` (anything
+implementing :class:`SchedulingPolicy`).
 """
 
-from typing import Callable, Dict, List
+from typing import List
 
 from .base import OnlineScheduler, cheapest_eligible_machine, exclusive_allocation
 from .deadline_driven import DeadlineDrivenScheduler
@@ -25,6 +33,21 @@ from .list_scheduling import FIFOScheduler, SPTScheduler
 from .mct import MCTScheduler
 from .online_offline import OnlineOfflineAdaptationScheduler
 from .preemptive_policies import GreedyWeightedFlowScheduler, SRPTScheduler
+from .registry import (
+    OFFLINE_OPTIMAL,
+    OfflineOptimalPolicy,
+    OnlinePolicy,
+    PolicyOutcome,
+    PolicySpec,
+    SchedulingPolicy,
+    available_policies,
+    make_policy,
+    make_scheduler,
+    policy_spec,
+    register_online_scheduler,
+    register_policy,
+    unregister_policy,
+)
 from .round_robin import RoundRobinScheduler
 
 __all__ = [
@@ -32,41 +55,64 @@ __all__ = [
     "FIFOScheduler",
     "GreedyWeightedFlowScheduler",
     "MCTScheduler",
+    "OFFLINE_OPTIMAL",
+    "OfflineOptimalPolicy",
     "OnlineOfflineAdaptationScheduler",
+    "OnlinePolicy",
     "OnlineScheduler",
+    "PolicyOutcome",
+    "PolicySpec",
     "RoundRobinScheduler",
     "SPTScheduler",
     "SRPTScheduler",
+    "SchedulingPolicy",
+    "available_policies",
     "available_schedulers",
     "cheapest_eligible_machine",
     "exclusive_allocation",
+    "make_policy",
     "make_scheduler",
+    "policy_spec",
+    "register_online_scheduler",
+    "register_policy",
+    "unregister_policy",
 ]
 
-#: Factory registry used by the benches and examples.
-_REGISTRY: Dict[str, Callable[[], OnlineScheduler]] = {
-    "fifo": FIFOScheduler,
-    "spt": SPTScheduler,
-    "mct": MCTScheduler,
-    "srpt": SRPTScheduler,
-    "greedy-weighted-flow": GreedyWeightedFlowScheduler,
-    "round-robin": RoundRobinScheduler,
-    "deadline-driven": DeadlineDrivenScheduler,
-    "online-offline": OnlineOfflineAdaptationScheduler,
-}
+#: Built-in on-line schedulers, registered below.
+_BUILTIN_SCHEDULERS = (
+    ("fifo", FIFOScheduler, "first-in first-out list scheduling"),
+    ("spt", SPTScheduler, "shortest processing time first"),
+    ("mct", MCTScheduler, "minimum completion time (the paper's baseline)"),
+    ("srpt", SRPTScheduler, "shortest remaining processing time (preemptive)"),
+    (
+        "greedy-weighted-flow",
+        GreedyWeightedFlowScheduler,
+        "largest weighted flow first (preemptive)",
+    ),
+    ("round-robin", RoundRobinScheduler, "equal processor sharing (divisible)"),
+    ("deadline-driven", DeadlineDrivenScheduler, "earliest-deadline-driven (preemptive)"),
+    (
+        "online-offline",
+        OnlineOfflineAdaptationScheduler,
+        "on-line adaptation of the off-line LP algorithm (Section 5)",
+    ),
+)
+
+for _name, _factory, _description in _BUILTIN_SCHEDULERS:
+    if _name not in available_policies():
+        register_online_scheduler(_name, _factory, description=_description)
+
+if OFFLINE_OPTIMAL not in available_policies():
+    register_policy(
+        PolicySpec(
+            name=OFFLINE_OPTIMAL,
+            kind="offline",
+            factory=OfflineOptimalPolicy,
+            description="off-line LP optimum (Theorem 2 milestone search)",
+        )
+    )
 
 
 def available_schedulers() -> List[str]:
     """Return the names of all registered on-line policies."""
-    return sorted(_REGISTRY)
-
-
-def make_scheduler(name: str, **kwargs) -> OnlineScheduler:
-    """Instantiate a policy by name (see :func:`available_schedulers`)."""
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scheduler {name!r}; available: {', '.join(available_schedulers())}"
-        ) from None
-    return factory(**kwargs)
+    return available_policies(kind="online")

@@ -1,0 +1,319 @@
+"""Unified policy runtime: one registry and one protocol for every policy.
+
+Before PR 2 the off-line LP optimum and the on-line schedulers were different
+species: the campaign layer, the CLI and the benches each had their own
+special case for ``"offline-optimal"``.  This module unifies them:
+
+* :class:`SchedulingPolicy` is the protocol **every** policy implements —
+  ``run(instance)`` produces a :class:`PolicyOutcome` (an executed, validated
+  schedule plus its headline metrics), whether the policy simulates an
+  on-line scheduler through the event engine or solves the off-line LP.
+* :class:`PolicySpec` describes one registered policy (name, kind, factory);
+  the module-level registry maps names to specs, and
+  :func:`register_policy` / :func:`register_online_scheduler` let downstream
+  code plug in custom policies that the CLI, campaigns and benches then
+  resolve exactly like the built-ins.
+* :func:`make_policy` resolves any registered name to a ready-to-run
+  :class:`SchedulingPolicy`; :func:`make_scheduler` keeps the historical
+  behaviour of returning the raw on-line scheduler object (and now simply
+  reads through the same registry).
+
+The built-in policies are registered by :mod:`repro.heuristics` at import
+time, so ``available_policies()`` always includes them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.instance import Instance
+from ..core.maxflow import FeasibilityProbe, minimize_max_weighted_flow
+from ..core.schedule import Schedule
+from ..simulation import SimulationKernel, SimulationResult, simulate
+from .base import OnlineScheduler
+
+__all__ = [
+    "OFFLINE_OPTIMAL",
+    "OfflineOptimalPolicy",
+    "OnlinePolicy",
+    "PolicyOutcome",
+    "PolicySpec",
+    "SchedulingPolicy",
+    "available_policies",
+    "make_policy",
+    "make_scheduler",
+    "policy_spec",
+    "register_online_scheduler",
+    "register_policy",
+    "unregister_policy",
+]
+
+#: Canonical name of the off-line LP optimum in the registry (and in campaign
+#: records, where every normalisation is relative to it).
+OFFLINE_OPTIMAL = "offline-optimal"
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """What running any policy on an instance produces.
+
+    Attributes
+    ----------
+    policy:
+        Name of the policy that produced the schedule.
+    kind:
+        ``"online"`` (simulated) or ``"offline"`` (optimised).
+    schedule:
+        The executed (or optimal) schedule; validates like any schedule.
+    max_weighted_flow, max_stretch, makespan:
+        Headline metrics of the schedule.
+    preemptions:
+        Preemption count (0 for off-line schedules).
+    objective:
+        Exact optimisation objective for off-line policies (``None`` for
+        simulated ones, whose ``max_weighted_flow`` is the measurement).
+    simulation:
+        The full :class:`~repro.simulation.SimulationResult` for on-line
+        policies (``None`` for off-line ones).
+    """
+
+    policy: str
+    kind: str
+    schedule: Schedule
+    max_weighted_flow: float
+    max_stretch: float
+    makespan: float
+    preemptions: int = 0
+    objective: Optional[float] = None
+    simulation: Optional[SimulationResult] = None
+
+
+class SchedulingPolicy(abc.ABC):
+    """Protocol every policy — on-line or off-line — implements.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the policy.
+    kind:
+        ``"online"`` or ``"offline"``.
+    """
+
+    name: str = "policy"
+    kind: str = "online"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        instance: Instance,
+        *,
+        probe: Optional[FeasibilityProbe] = None,
+        kernel: Optional[SimulationKernel] = None,
+    ) -> PolicyOutcome:
+        """Produce a schedule for ``instance`` and measure it.
+
+        Parameters
+        ----------
+        instance:
+            The workload to schedule.
+        probe:
+            Optional pre-warmed :class:`~repro.core.maxflow.FeasibilityProbe`
+            for ``instance``; off-line policies reuse its cached range models
+            and memoised probe answers (on-line policies ignore it).
+        kernel:
+            Optional :class:`~repro.simulation.SimulationKernel` whose
+            buffers simulation-based policies reuse (off-line policies
+            ignore it).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(name={self.name!r}, kind={self.kind!r})"
+
+
+class OnlinePolicy(SchedulingPolicy):
+    """Adapter running an :class:`~repro.heuristics.base.OnlineScheduler`
+    through the discrete-event engine."""
+
+    kind = "online"
+
+    def __init__(self, scheduler: OnlineScheduler) -> None:
+        self.scheduler = scheduler
+        self.name = getattr(scheduler, "name", scheduler.__class__.__name__)
+
+    def run(
+        self,
+        instance: Instance,
+        *,
+        probe: Optional[FeasibilityProbe] = None,
+        kernel: Optional[SimulationKernel] = None,
+    ) -> PolicyOutcome:
+        if kernel is not None:
+            result = kernel.run(instance, self.scheduler)
+        else:
+            result = simulate(instance, self.scheduler)
+        metrics = result.metrics()
+        return PolicyOutcome(
+            policy=self.name,
+            kind=self.kind,
+            schedule=result.schedule,
+            max_weighted_flow=metrics.max_weighted_flow,
+            max_stretch=metrics.max_stretch or 0.0,
+            makespan=metrics.makespan,
+            preemptions=result.num_preemptions,
+            simulation=result,
+        )
+
+
+class OfflineOptimalPolicy(SchedulingPolicy):
+    """The paper's off-line LP optimum, as a registry policy.
+
+    Accepts (and profits from) a shared :class:`FeasibilityProbe`: when a
+    campaign runs several searches over the same workload, passing the same
+    probe re-uses its parametric range models and pinned optimum.
+    """
+
+    kind = "offline"
+    name = OFFLINE_OPTIMAL
+
+    def __init__(self, preemptive: bool = False, backend: str = "scipy") -> None:
+        self.preemptive = preemptive
+        self.backend = backend
+
+    def run(
+        self,
+        instance: Instance,
+        *,
+        probe: Optional[FeasibilityProbe] = None,
+        kernel: Optional[SimulationKernel] = None,
+    ) -> PolicyOutcome:
+        result = minimize_max_weighted_flow(
+            instance, preemptive=self.preemptive, backend=self.backend, probe=probe
+        )
+        metrics = result.schedule.metrics()
+        return PolicyOutcome(
+            policy=self.name,
+            kind=self.kind,
+            schedule=result.schedule,
+            max_weighted_flow=metrics.max_weighted_flow,
+            max_stretch=metrics.max_stretch or 0.0,
+            makespan=metrics.makespan,
+            objective=result.objective,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Registry                                                                     #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PolicySpec:
+    """One registered policy.
+
+    Attributes
+    ----------
+    name:
+        Registry key; what campaigns, the CLI and benches resolve.
+    kind:
+        ``"online"`` or ``"offline"``.
+    factory:
+        Callable returning a ready-to-run :class:`SchedulingPolicy`
+        (keyword arguments are forwarded from :func:`make_policy`).
+    description:
+        One line for ``repro-sched info`` and the docs.
+    scheduler_factory:
+        For on-line policies, the factory of the raw
+        :class:`~repro.heuristics.base.OnlineScheduler` (what
+        :func:`make_scheduler` returns); ``None`` for off-line policies.
+    """
+
+    name: str
+    kind: str
+    factory: Callable[..., SchedulingPolicy]
+    description: str = ""
+    scheduler_factory: Optional[Callable[..., OnlineScheduler]] = None
+
+
+_POLICIES: Dict[str, PolicySpec] = {}
+
+
+def register_policy(spec: PolicySpec, *, replace: bool = False) -> PolicySpec:
+    """Add a policy to the registry (``replace=True`` to override a name)."""
+    if spec.kind not in ("online", "offline"):
+        raise ValueError(f"policy kind must be 'online' or 'offline', got {spec.kind!r}")
+    if not replace and spec.name in _POLICIES:
+        raise ValueError(f"policy {spec.name!r} is already registered (pass replace=True)")
+    _POLICIES[spec.name] = spec
+    return spec
+
+
+def register_online_scheduler(
+    name: str,
+    scheduler_factory: Callable[..., OnlineScheduler],
+    *,
+    description: str = "",
+    replace: bool = False,
+) -> PolicySpec:
+    """Register an on-line scheduler class/factory as a named policy."""
+
+    def factory(**kwargs) -> SchedulingPolicy:
+        return OnlinePolicy(scheduler_factory(**kwargs))
+
+    return register_policy(
+        PolicySpec(
+            name=name,
+            kind="online",
+            factory=factory,
+            description=description,
+            scheduler_factory=scheduler_factory,
+        ),
+        replace=replace,
+    )
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a policy from the registry (no-op when absent)."""
+    _POLICIES.pop(name, None)
+
+
+def policy_spec(name: str) -> PolicySpec:
+    """Return the :class:`PolicySpec` registered under ``name``."""
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+        ) from None
+
+
+def available_policies(kind: Optional[str] = None) -> List[str]:
+    """Sorted names of registered policies, optionally filtered by kind."""
+    return sorted(
+        name for name, spec in _POLICIES.items() if kind is None or spec.kind == kind
+    )
+
+
+def make_policy(name: str, **kwargs) -> SchedulingPolicy:
+    """Resolve any registered policy name to a ready-to-run policy object."""
+    return policy_spec(name).factory(**kwargs)
+
+
+def make_scheduler(name: str, **kwargs) -> OnlineScheduler:
+    """Instantiate the raw on-line scheduler registered under ``name``.
+
+    Off-line policies have no scheduler object; resolving one raises a
+    ``KeyError`` pointing at :func:`make_policy`.
+    """
+    try:
+        spec = _POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: "
+            f"{', '.join(available_policies(kind='online'))}"
+        ) from None
+    if spec.scheduler_factory is None:
+        raise KeyError(
+            f"policy {name!r} is off-line and has no on-line scheduler; "
+            "resolve it with make_policy() instead"
+        )
+    return spec.scheduler_factory(**kwargs)

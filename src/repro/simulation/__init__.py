@@ -9,6 +9,9 @@ Public API
 ----------
 :func:`simulate`
     Run an on-line policy over an instance and obtain a validated schedule.
+:func:`simulate_many`, :class:`SimulationKernel`
+    Batch entry point and the reusable array-backed kernel behind the event
+    loop (buffers are shared across runs; see :mod:`repro.simulation.kernel`).
 :class:`SimulationResult`
     Executed schedule, events, preemption counts and metrics.
 :class:`SimulationState`, :class:`AllocationDecision`
@@ -16,6 +19,7 @@ Public API
 """
 
 from .engine import simulate
+from .kernel import SimulationKernel, simulate_many
 from .result import EventRecord, SimulationResult
 from .state import AllocationDecision, JobProgress, MachineShare, SimulationState
 
@@ -24,7 +28,9 @@ __all__ = [
     "EventRecord",
     "JobProgress",
     "MachineShare",
+    "SimulationKernel",
     "SimulationResult",
     "SimulationState",
     "simulate",
+    "simulate_many",
 ]

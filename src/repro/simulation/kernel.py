@@ -1,0 +1,385 @@
+"""Array-backed simulation kernel: the engine's event loop and reusable state.
+
+This module holds the actual event loop behind :func:`repro.simulation.simulate`.
+The per-event bookkeeping is *array-backed*: remaining work fractions and
+progress rates live in preallocated numpy vectors, so the O(n) parts of every
+event (next-event computation, completion detection, degenerate-window
+checks) are single vectorised expressions instead of per-job Python loops.
+The set of active jobs is maintained incrementally (a sorted list updated at
+arrivals and completions) rather than recomputed from scratch at every event,
+and the policy-facing :class:`~repro.simulation.state.JobProgress` objects
+are thin mirrors kept in sync with the vectors.
+
+Compatibility contract
+----------------------
+The kernel reproduces the seed engine's output **byte for byte**: every
+floating-point update that feeds a :class:`~repro.core.schedule.SchedulePiece`
+or a completion time is performed as the same sequence of scalar IEEE-754
+operations in the same order, and pieces are appended to the schedule in the
+same order (the vectorised expressions only *select* which jobs to touch).
+The regression bench ``benchmarks/bench_engine_regression.py`` checks both the
+equality and the speed against a frozen copy of the seed engine.
+
+Batch entry point
+-----------------
+:func:`simulate_many` runs one policy over many instances through a single
+:class:`SimulationKernel`, reusing the allocated vectors and
+:class:`~repro.simulation.state.JobProgress` pool across runs (instances of
+the same size, e.g. one scenario swept over many seeds, allocate nothing after
+the first run).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.instance import Instance
+from ..core.schedule import Schedule
+from ..exceptions import SimulationError
+from .result import EventRecord, SimulationResult
+from .state import AllocationDecision, JobProgress, SimulationState
+
+__all__ = ["SimulationKernel", "simulate_many"]
+
+#: Remaining fractions below this value are treated as "job finished".
+_COMPLETION_DUST = 1e-9
+
+#: Minimum positive time step; guards against infinite loops on degenerate decisions.
+_MIN_STEP = 1e-12
+
+#: A share at least this large counts as exclusive use of the machine.
+_EXCLUSIVE_SHARE = 1.0 - 1e-9
+
+
+class _PieceBuilder:
+    """Incremental builder of the executed schedule.
+
+    A machine running a single job at full share keeps one *open* piece that
+    grows across consecutive windows; time-shared windows are laid out
+    sequentially and emitted immediately.  At most one open piece exists per
+    machine, so the open set is a machine-keyed, insertion-ordered mapping
+    (flush order — and hence the order of pieces in the schedule — matches
+    the seed engine's ``(machine, job)``-keyed bookkeeping exactly).
+    """
+
+    __slots__ = ("schedule", "instance", "_open")
+
+    def __init__(self, schedule: Schedule, instance: Instance) -> None:
+        self.schedule = schedule
+        self.instance = instance
+        #: machine -> [job_index, start_time, accumulated_fraction]
+        self._open: Dict[int, List] = {}
+
+    def open_job(self, machine_index: int) -> int:
+        """Job of the machine's open piece (``-1`` when the machine is idle)."""
+        record = self._open.get(machine_index)
+        return record[0] if record is not None else -1
+
+    def extend(self, machine_index: int, job_index: int, time: float, progressed: float) -> None:
+        """Grow (or start) the machine's open exclusive piece for ``job_index``."""
+        record = self._open.get(machine_index)
+        if record is not None and record[0] == job_index:
+            record[2] += progressed
+        else:
+            if record is not None:  # pragma: no cover - preemption scan flushes first
+                self.flush_machine(machine_index)
+            self._open[machine_index] = [job_index, time, progressed]
+
+    def flush_machine(self, machine_index: int) -> None:
+        """Close the machine's open piece, if any."""
+        record = self._open.pop(machine_index, None)
+        if record is None:
+            return
+        job_index, start, fraction = record
+        if fraction > _COMPLETION_DUST:
+            duration = fraction * self.instance.cost(machine_index, job_index)
+            self.schedule.add_piece(job_index, machine_index, start, start + duration, fraction)
+
+    def flush_job(self, job_index: int) -> None:
+        """Close every open piece of ``job_index`` (in machine-index order)."""
+        machines = sorted(
+            machine for machine, record in self._open.items() if record[0] == job_index
+        )
+        for machine_index in machines:
+            self.flush_machine(machine_index)
+
+    def open_items(self) -> List[Tuple[int, int]]:
+        """Open ``(machine, job)`` pairs in insertion order."""
+        return [(machine, record[0]) for machine, record in self._open.items()]
+
+    def flush_all(self) -> None:
+        """Close every open piece (insertion order)."""
+        for machine_index in list(self._open):
+            self.flush_machine(machine_index)
+
+
+class SimulationKernel:
+    """Reusable array-backed state for the discrete-event loop.
+
+    A kernel owns preallocated numpy vectors (remaining fractions, progress
+    rates) and a pool of
+    :class:`~repro.simulation.state.JobProgress` mirrors.  :meth:`run` binds
+    them to an instance and executes the event loop; running another instance
+    of the same (or smaller) size reuses every buffer.
+
+    Kernels are cheap to create but not thread-safe; use one per thread.
+    """
+
+    def __init__(self) -> None:
+        self._capacity = 0
+        self._remaining: Optional[np.ndarray] = None
+        self._rate: Optional[np.ndarray] = None
+        self._job_pool: List[JobProgress] = []
+
+    # ------------------------------------------------------------------ #
+    def _bind(self, num_jobs: int) -> Tuple[np.ndarray, np.ndarray, List[JobProgress]]:
+        """Size the buffers for ``num_jobs`` and reset them for a fresh run."""
+        if num_jobs > self._capacity:
+            self._capacity = num_jobs
+            self._remaining = np.empty(num_jobs, dtype=float)
+            self._rate = np.empty(num_jobs, dtype=float)
+            while len(self._job_pool) < num_jobs:
+                self._job_pool.append(JobProgress(job_index=len(self._job_pool)))
+        remaining = self._remaining[:num_jobs]
+        rate = self._rate[:num_jobs]
+        remaining.fill(1.0)
+        rate.fill(0.0)
+        jobs = self._job_pool[:num_jobs]
+        for progress in jobs:
+            progress.remaining_fraction = 1.0
+            progress.arrived = False
+            progress.completion_time = None
+        return remaining, rate, jobs
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        instance: Instance,
+        scheduler,
+        *,
+        validate_decisions: bool = True,
+        max_events: Optional[int] = None,
+    ) -> SimulationResult:
+        """Simulate ``scheduler`` on ``instance`` (see :func:`repro.simulation.simulate`)."""
+        n = instance.num_jobs
+        if max_events is None:
+            max_events = 50 * n + 1000
+
+        remaining, rate, jobs = self._bind(n)
+
+        release = np.fromiter((job.release_date for job in instance.jobs), dtype=float, count=n)
+        # Arrival events ordered by (release date, job index), as in the seed.
+        arrival_order = np.lexsort((np.arange(n), release)) if n else np.empty(0, dtype=int)
+        arrival_times = release[arrival_order]
+        next_pos = 0
+
+        time = float(arrival_times[0]) if n else 0.0
+        schedule = Schedule(instance=instance, divisible=getattr(scheduler, "divisible", True))
+        events: List[EventRecord] = [EventRecord(time=time, kind="start")]
+        pieces = _PieceBuilder(schedule, instance)
+        active: List[int] = []  # sorted job indices, maintained incrementally
+        num_calls = 0
+        num_preemptions = 0
+
+        if hasattr(scheduler, "reset"):
+            scheduler.reset(instance)
+
+        event_count = 0
+        while True:
+            event_count += 1
+            if event_count > max_events:
+                raise SimulationError(
+                    f"simulation exceeded the event budget ({max_events}); "
+                    f"policy {getattr(scheduler, 'name', scheduler)!r} may be cycling"
+                )
+
+            # Mark arrivals at the current time.
+            while next_pos < n and arrival_times[next_pos] <= time + 1e-12:
+                job_index = int(arrival_order[next_pos])
+                jobs[job_index].arrived = True
+                insort(active, job_index)
+                events.append(EventRecord(time=time, kind="arrival", job_index=job_index))
+                next_pos += 1
+
+            next_arrival = float(arrival_times[next_pos]) if next_pos < n else None
+
+            if not active:
+                if next_arrival is None:
+                    break  # every job has completed
+                time = next_arrival
+                continue
+
+            state = SimulationState(
+                instance=instance,
+                time=time,
+                jobs=jobs,
+                next_arrival=next_arrival,
+                active=active,
+            )
+            decision: AllocationDecision = scheduler.decide(state)
+            num_calls += 1
+            if validate_decisions:
+                decision.validate(state)
+
+            # Progress-rate vector: accumulate share / cost per allocated job in
+            # decision order (np.add.at applies duplicates sequentially, so the
+            # floating-point sums match the seed engine's dict accumulation).
+            rate.fill(0.0)
+            pair_jobs: List[int] = []
+            pair_contrib: List[float] = []
+            for machine_index, share_list in decision.shares.items():
+                for job_index, share in share_list:
+                    pair_jobs.append(job_index)
+                    pair_contrib.append(share / instance.cost(machine_index, job_index))
+            if pair_jobs:
+                np.add.at(rate, pair_jobs, pair_contrib)
+
+            # Horizon: next arrival, earliest completion, requested wake-up.
+            horizon = math.inf
+            if next_arrival is not None:
+                horizon = min(horizon, next_arrival)
+            if decision.wake_up_at is not None:
+                horizon = min(horizon, max(decision.wake_up_at, time + _MIN_STEP))
+            running = np.nonzero(rate > 0.0)[0]
+            if running.size:
+                horizon = min(
+                    horizon, float(np.min(time + remaining[running] / rate[running]))
+                )
+
+            if math.isinf(horizon):
+                raise SimulationError(
+                    f"policy {getattr(scheduler, 'name', scheduler)!r} left active jobs "
+                    f"{active} unscheduled with no future arrival"
+                )
+
+            window = max(horizon - time, 0.0)
+
+            # Count preemptions: a previously running (machine, job) pair that is
+            # no longer allocated although the job is unfinished.
+            assigned_now = {
+                (machine_index, job_index)
+                for machine_index, share_list in decision.shares.items()
+                for job_index, _ in share_list
+            }
+            for machine_index, job_index in pieces.open_items():
+                if (machine_index, job_index) not in assigned_now:
+                    still_unfinished = jobs[job_index].remaining_fraction > _COMPLETION_DUST
+                    pieces.flush_machine(machine_index)
+                    if still_unfinished:
+                        num_preemptions += 1
+
+            if window > 0:
+                for machine_index, share_list in decision.shares.items():
+                    exclusive = (
+                        len(share_list) == 1 and share_list[0][1] >= _EXCLUSIVE_SHARE
+                    )
+                    if exclusive:
+                        job_index, _share = share_list[0]
+                        progressed = window / instance.cost(machine_index, job_index)
+                        pieces.extend(machine_index, job_index, time, progressed)
+                        value = max(0.0, jobs[job_index].remaining_fraction - progressed)
+                        jobs[job_index].remaining_fraction = value
+                        remaining[job_index] = value
+                    else:
+                        # Time-shared window: realise the shares sequentially.
+                        pieces.flush_machine(machine_index)
+                        cursor = time
+                        for job_index, share in share_list:
+                            progressed = share * window / instance.cost(machine_index, job_index)
+                            if progressed <= 0:
+                                continue
+                            duration = share * window
+                            schedule.add_piece(
+                                job_index, machine_index, cursor, cursor + duration, progressed
+                            )
+                            cursor += duration
+                            value = max(0.0, jobs[job_index].remaining_fraction - progressed)
+                            jobs[job_index].remaining_fraction = value
+                            remaining[job_index] = value
+
+            if window > 0:
+                # Snap exactly to the event time (advancing by `time + window`
+                # would drift the clock by one ulp per event).
+                time = horizon
+            elif not bool(np.any(remaining[active] <= _COMPLETION_DUST)):
+                # Degenerate zero-width window with nothing completing right now:
+                # snap to the next real event instead of accumulating _MIN_STEP
+                # dust.  (When a completion is pending it fires below at the
+                # current, exact time.)
+                time = next_arrival if next_arrival is not None else time + _MIN_STEP
+
+            # Completions (ascending job index, exactly like the seed's scan).
+            active_arr = np.asarray(active, dtype=int)
+            for job_index in active_arr[remaining[active_arr] <= _COMPLETION_DUST]:
+                job_index = int(job_index)
+                progress = jobs[job_index]
+                progress.remaining_fraction = 0.0
+                remaining[job_index] = 0.0
+                progress.completion_time = time
+                active.remove(job_index)
+                events.append(EventRecord(time=time, kind="completion", job_index=job_index))
+                pieces.flush_job(job_index)
+
+        # Close any remaining open pieces (there should be none, but be safe).
+        pieces.flush_all()
+
+        unfinished = [j for j in range(n) if jobs[j].completion_time is None]
+        if unfinished:
+            raise SimulationError(
+                f"simulation ended with unfinished jobs: "
+                f"{[instance.jobs[j].name for j in unfinished]}"
+            )
+
+        return SimulationResult(
+            scheduler_name=getattr(scheduler, "name", scheduler.__class__.__name__),
+            schedule=schedule.compact(),
+            events=events,
+            num_scheduler_calls=num_calls,
+            num_preemptions=num_preemptions,
+            completion_times={j: jobs[j].completion_time for j in range(n)},
+        )
+
+
+def simulate_many(
+    instances: Iterable[Instance],
+    scheduler: Union[object, Callable[[], object]],
+    *,
+    validate_decisions: bool = True,
+    max_events: Optional[int] = None,
+    kernel: Optional[SimulationKernel] = None,
+) -> List[SimulationResult]:
+    """Simulate one policy over many instances, reusing kernel state.
+
+    Parameters
+    ----------
+    instances:
+        The instances to replay (e.g. one scenario over many seeds).
+    scheduler:
+        Either a scheduler object (its ``reset`` hook is invoked before every
+        run) or a zero-argument factory returning a fresh scheduler per
+        instance (anything callable without a ``decide`` attribute).
+    validate_decisions, max_events:
+        Forwarded to every run.
+    kernel:
+        Optional :class:`SimulationKernel` to (re)use; a private one is
+        created by default.  All runs share its buffers, so instances of the
+        same size allocate nothing after the first run.
+    """
+    kern = kernel if kernel is not None else SimulationKernel()
+    is_factory = callable(scheduler) and not hasattr(scheduler, "decide")
+    results: List[SimulationResult] = []
+    for instance in instances:
+        policy = scheduler() if is_factory else scheduler
+        results.append(
+            kern.run(
+                instance,
+                policy,
+                validate_decisions=validate_decisions,
+                max_events=max_events,
+            )
+        )
+    return results

@@ -71,16 +71,24 @@ class SimulationState:
         have arrived).  On-line policies are allowed to *peek* at this value
         only to bound their planning horizon; clairvoyant policies that
         exploit it further should say so in their documentation.
+    active:
+        Optional precomputed sorted list of active job indices.  The engine
+        maintains this incrementally and passes it in so that
+        :meth:`active_jobs` does not rescan every job at every event; states
+        built by hand may leave it ``None``.
     """
 
     instance: Instance
     time: float
     jobs: List[JobProgress]
     next_arrival: Optional[float]
+    active: Optional[List[int]] = None
 
     # ------------------------------------------------------------------ #
     def active_jobs(self) -> List[int]:
         """Indices of jobs that have arrived and are not finished."""
+        if self.active is not None:
+            return list(self.active)
         return [
             progress.job_index
             for progress in self.jobs

@@ -9,7 +9,15 @@ from .generators import (
     uniform_arrivals,
 )
 from .perturbation import perturb_costs, perturb_release_dates, scale_load
-from .scenarios import Scenario, available_scenarios, make_scenario, scenario_sweep
+from .scenarios import (
+    Scenario,
+    ScenarioSpec,
+    available_scenarios,
+    make_scenario,
+    scenario_grid,
+    scenario_sweep,
+    spawn_scenario_seeds,
+)
 from .traces import (
     instance_from_dict,
     instance_to_dict,
@@ -24,13 +32,16 @@ from .traces import (
 __all__ = [
     "ArrivalProcess",
     "Scenario",
+    "ScenarioSpec",
     "available_scenarios",
     "instance_from_dict",
     "instance_to_dict",
     "load_instance",
     "load_schedule",
     "make_scenario",
+    "scenario_grid",
     "scenario_sweep",
+    "spawn_scenario_seeds",
     "perturb_costs",
     "perturb_release_dates",
     "poisson_arrivals",

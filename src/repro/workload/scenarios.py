@@ -1,23 +1,46 @@
-"""Named workload scenarios used by the examples and the benches.
+"""Named workload scenarios used by the examples, benches and campaigns.
 
 Each scenario captures one of the situations the paper's introduction
 motivates: a small community cluster with partially replicated databanks, a
 heavily loaded portal with bursty arrivals, a platform with one fast central
 server and several slow satellites, etc.  Scenarios are deterministic for a
 given seed, so bench numbers are reproducible.
+
+Sweeps and seeding
+------------------
+:func:`scenario_grid` enumerates a sweep *lazily* as cheap
+:class:`ScenarioSpec` descriptors (label, scenario name, seed) that the
+campaign dispatcher materialises inside its workers, so a 10k-scenario sweep
+never holds 10k instances in the parent process.  Per-scenario seeds can be
+spawned from a single ``base_seed`` via :func:`spawn_scenario_seeds`, which
+derives a ``numpy.random.SeedSequence`` child stream from
+``(base_seed, scenario name)``: the resulting instances are identical no
+matter how the sweep is chunked, how many workers run it, or which other
+scenarios share the grid.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.instance import Instance
 from ..exceptions import WorkloadError
 from ..gripps.platform_gen import DatabankSpec, make_gripps_instance
 from .generators import ArrivalProcess, random_restricted_instance, random_unrelated_instance
 
-__all__ = ["Scenario", "available_scenarios", "make_scenario", "scenario_sweep"]
+__all__ = [
+    "Scenario",
+    "ScenarioSpec",
+    "available_scenarios",
+    "make_scenario",
+    "scenario_grid",
+    "scenario_sweep",
+    "spawn_scenario_seeds",
+]
 
 
 @dataclass(frozen=True)
@@ -145,34 +168,119 @@ def make_scenario(name: str, seed: Optional[int] = None) -> Instance:
     return scenario.build(seed)
 
 
-def scenario_sweep(
-    names: Optional[Sequence[str]] = None,
-    seeds: Sequence[Optional[int]] = (None,),
-) -> Tuple[List[str], List[Instance]]:
-    """Materialise a ``(labels, instances)`` sweep over scenarios and seeds.
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A lazy, picklable pointer into a scenario sweep.
 
-    The list format feeds straight into
-    :func:`repro.analysis.campaign.run_policy_campaign` (whose
-    ``max_workers`` option then fans the sweep out across processes).
+    Carrying only ``(label, scenario name, seed)``, specs are cheap enough to
+    enumerate by the thousand in the parent process and materialise on demand
+    inside campaign workers.
+    """
+
+    label: str
+    scenario: str
+    seed: Optional[int] = None
+
+    def build(self) -> Instance:
+        """Materialise the spec into an :class:`Instance`."""
+        return make_scenario(self.scenario, self.seed)
+
+
+def spawn_scenario_seeds(base_seed: int, scenario: str, count: int) -> List[int]:
+    """Derive ``count`` per-scenario seeds from one base seed.
+
+    The seeds come from the child streams of a
+    ``numpy.random.SeedSequence`` whose entropy mixes ``base_seed`` with a
+    stable digest of the scenario name.  They therefore depend only on
+    ``(base_seed, scenario, position)`` — never on how a sweep is chunked,
+    how many workers build it, or which other scenarios share the grid.
+    """
+    if count < 1:
+        raise WorkloadError("spawn_scenario_seeds needs count >= 1")
+    digest = int.from_bytes(hashlib.sha256(scenario.encode("utf-8")).digest()[:8], "big")
+    root = np.random.SeedSequence(entropy=(int(base_seed), digest))
+    return [int(child.generate_state(1)[0]) for child in root.spawn(count)]
+
+
+def scenario_grid(
+    names: Optional[Sequence[str]] = None,
+    seeds: Optional[Sequence[Optional[int]]] = None,
+    *,
+    base_seed: Optional[int] = None,
+    seeds_per_scenario: int = 1,
+) -> List[ScenarioSpec]:
+    """Enumerate a scenario × seed sweep as lazy :class:`ScenarioSpec` items.
 
     Parameters
     ----------
     names:
         Scenario names to include (default: every registered scenario).
     seeds:
-        Seeds to build each scenario with; labels are ``"<name>#<seed>"``
-        (just ``"<name>"`` when a single seed is swept).
+        Explicit seeds to build each scenario with; labels are
+        ``"<name>#<seed>"`` (just ``"<name>"`` when a single seed is swept).
+        Mutually exclusive with ``base_seed``.
+    base_seed:
+        Spawn ``seeds_per_scenario`` seeds per scenario from this base via
+        :func:`spawn_scenario_seeds`; labels are ``"<name>#<position>"``
+        (just ``"<name>"`` for a single seed per scenario).
+    seeds_per_scenario:
+        Number of spawned seeds per scenario when ``base_seed`` is given.
     """
     if names is None:
         names = available_scenarios()
     if not names:
         raise WorkloadError("a scenario sweep needs at least one scenario name")
+    unknown = [name for name in names if name not in _SCENARIOS]
+    if unknown:
+        raise WorkloadError(
+            f"unknown scenario(s) {', '.join(map(repr, unknown))}; "
+            f"available: {', '.join(available_scenarios())}"
+        )
+    if seeds is not None and base_seed is not None:
+        raise WorkloadError("pass either explicit seeds or a base_seed, not both")
+
+    specs: List[ScenarioSpec] = []
+    if base_seed is not None:
+        if seeds_per_scenario < 1:
+            raise WorkloadError("a scenario sweep needs at least one seed")
+        for name in names:
+            for position, seed in enumerate(
+                spawn_scenario_seeds(base_seed, name, seeds_per_scenario)
+            ):
+                label = name if seeds_per_scenario == 1 else f"{name}#{position}"
+                specs.append(ScenarioSpec(label=label, scenario=name, seed=seed))
+        return specs
+
+    if seeds is None:
+        seeds = (None,)
     if not seeds:
         raise WorkloadError("a scenario sweep needs at least one seed")
-    labels: List[str] = []
-    instances: List[Instance] = []
     for name in names:
         for seed in seeds:
-            labels.append(name if len(seeds) == 1 else f"{name}#{seed}")
-            instances.append(make_scenario(name, seed))
-    return labels, instances
+            label = name if len(seeds) == 1 else f"{name}#{seed}"
+            specs.append(ScenarioSpec(label=label, scenario=name, seed=seed))
+    return specs
+
+
+def scenario_sweep(
+    names: Optional[Sequence[str]] = None,
+    seeds: Optional[Sequence[Optional[int]]] = None,
+    *,
+    base_seed: Optional[int] = None,
+    seeds_per_scenario: int = 1,
+) -> Tuple[List[str], List[Instance]]:
+    """Materialise a ``(labels, instances)`` sweep over scenarios and seeds.
+
+    The list format feeds straight into
+    :func:`repro.analysis.campaign.run_policy_campaign`.  For sweeps too
+    large to materialise up front, pass the lazy :func:`scenario_grid` specs
+    to :func:`repro.analysis.campaign.run_scenario_campaign` instead, which
+    builds each instance inside a worker.  Seeding is reproducible
+    independent of worker count and chunking: either list explicit ``seeds``
+    or let ``base_seed`` spawn per-scenario seeds
+    (see :func:`spawn_scenario_seeds`).
+    """
+    specs = scenario_grid(
+        names, seeds, base_seed=base_seed, seeds_per_scenario=seeds_per_scenario
+    )
+    return [spec.label for spec in specs], [spec.build() for spec in specs]

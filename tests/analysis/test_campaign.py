@@ -70,6 +70,96 @@ class TestParallelCampaign:
         assert len(result.records) == 4  # 2 workloads x (offline + mct)
 
 
+class TestStreamingDispatcher:
+    def test_stream_yields_records_incrementally_in_order(self):
+        from repro.analysis import WorkloadSpec, stream_campaign
+
+        instances = [
+            random_restricted_instance(5, 2, seed=seed, num_databanks=2)
+            for seed in (0, 1)
+        ]
+        specs = [
+            WorkloadSpec.from_instance(f"w{index}", instance)
+            for index, instance in enumerate(instances)
+        ]
+        streamed = []
+        for record in stream_campaign(specs, ("mct", "fifo")):
+            streamed.append(record)
+        reference = run_policy_campaign(
+            instances, policies=("mct", "fifo"), labels=("w0", "w1")
+        ).records
+        assert streamed == reference
+        # Workload-major order: offline first, then the policies in order.
+        assert [r.policy for r in streamed[:3]] == ["offline-optimal", "mct", "fifo"]
+
+    def test_chunk_sizes_do_not_change_records(self):
+        instances = [
+            random_restricted_instance(5, 2, seed=seed, num_databanks=2)
+            for seed in (0, 1, 2)
+        ]
+        reference = run_policy_campaign(instances, policies=("mct", "fifo", "spt"))
+        for chunk_size in (1, 2, 3, 99):
+            for max_workers in (None, 2):
+                result = run_policy_campaign(
+                    instances,
+                    policies=("mct", "fifo", "spt"),
+                    max_workers=max_workers,
+                    chunk_size=chunk_size,
+                )
+                assert result.records == reference.records, (chunk_size, max_workers)
+
+    def test_invalid_dispatch_parameters_are_rejected(self):
+        instance = random_restricted_instance(4, 2, seed=3)
+        with pytest.raises(WorkloadError):
+            run_policy_campaign([instance], policies=("mct",), chunk_size=0)
+        with pytest.raises(WorkloadError):
+            run_policy_campaign(
+                [instance], policies=("mct",), max_workers=2, max_inflight=0
+            )
+
+    def test_stats_record_the_throughput_trajectory(self):
+        instances = [
+            random_restricted_instance(5, 2, seed=seed, num_databanks=2)
+            for seed in (0, 1, 2)
+        ]
+        sequential = run_policy_campaign(instances, policies=("mct", "fifo"))
+        stats = sequential.stats
+        assert stats is not None
+        assert stats.workloads == 3
+        assert stats.records == len(sequential.records) == 9
+        # One shared probe per workload: strictly fewer constructions than
+        # workloads x policies.
+        assert stats.probe_constructions == 3 < 3 * 3
+        assert stats.elapsed_seconds > 0
+        assert stats.scenarios_per_second > 0
+        assert stats.peak_in_flight == 0  # in-process run
+        as_dict = stats.as_dict()
+        assert as_dict["records"] == 9
+
+    def test_parallel_in_flight_is_bounded(self):
+        instances = [
+            random_restricted_instance(4, 2, seed=seed) for seed in range(4)
+        ]
+        result = run_policy_campaign(
+            instances,
+            policies=("mct", "fifo"),
+            max_workers=2,
+            max_inflight=3,
+        )
+        assert result.stats is not None
+        assert 1 <= result.stats.peak_in_flight <= 3
+        assert result.stats.probe_constructions < 4 * 3
+
+    def test_lazy_workload_spec_materialises_scenarios_in_place(self):
+        from repro.analysis import WorkloadSpec
+
+        spec = WorkloadSpec(label="lazy", scenario="unrelated-stress", seed=4)
+        instance = spec.materialise()
+        assert instance.num_jobs > 0
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(label="broken").materialise()
+
+
 class TestScenarioCampaign:
     def test_scenario_sweep_labels(self):
         labels, instances = scenario_sweep(["unrelated-stress"], seeds=(1, 2))
@@ -92,3 +182,27 @@ class TestScenarioCampaign:
         )
         assert {record.policy for record in result.records} == {"offline-optimal", "mct"}
         assert all(record.workload == "unrelated-stress" for record in result.records)
+
+    def test_base_seed_campaign_is_reproducible_across_dispatch_modes(self):
+        """Spawned seeding + streaming dispatch: records are identical no
+        matter the worker count or chunking."""
+        kwargs = dict(
+            policies=("mct", "fifo"),
+            base_seed=21,
+            seeds_per_scenario=2,
+        )
+        sequential = run_scenario_campaign(["unrelated-stress", "bursty-batch"], **kwargs)
+        for max_workers, chunk_size in ((2, 1), (2, 2), (0, 1)):
+            parallel = run_scenario_campaign(
+                ["unrelated-stress", "bursty-batch"],
+                max_workers=max_workers,
+                chunk_size=chunk_size,
+                **kwargs,
+            )
+            assert parallel.records == sequential.records, (max_workers, chunk_size)
+
+    def test_scenario_campaign_rejects_seed_conflicts(self):
+        with pytest.raises(WorkloadError):
+            run_scenario_campaign(
+                ["unrelated-stress"], policies=("mct",), seeds=(1, 2), base_seed=3
+            )

@@ -196,6 +196,60 @@ class TestFeasibilityProbe:
         assert not probe.probe(exact * 0.5)
 
 
+class TestRangeCacheEviction:
+    """The per-range parametric model cache honours its LRU size cap."""
+
+    @staticmethod
+    def _window_midpoints(probe):
+        """Midpoints of every milestone range overlapping the probe's
+        (analytic lower bound, trivial upper bound) window — the only values
+        that can require an LP solve, hence a range model."""
+        bounds = [0.0] + probe.milestones
+        low, high = probe._strict_below, probe._feasible_min
+        return [
+            0.5 * (bounds[k] + bounds[k + 1])
+            for k in range(len(bounds) - 1)
+            if bounds[k + 1] > low and bounds[k] < high
+        ]
+
+    def test_cap_is_honoured_and_answers_are_unchanged(self):
+        from repro.workload import random_unrelated_instance
+
+        instance = random_unrelated_instance(8, 2, seed=7)
+        capped = FeasibilityProbe(instance, max_cached_ranges=2)
+        uncapped = FeasibilityProbe(instance)
+        midpoints = self._window_midpoints(capped)
+        assert len(midpoints) >= 4  # the fixture spans several ranges
+
+        # Descending probes keep hitting fresh ranges until the optimum's
+        # range is solved, so several models are built under the cap.
+        for objective in reversed(midpoints):
+            assert capped.probe(objective) == uncapped.probe(objective)
+            assert capped.cached_range_count <= 2
+        assert capped.model_constructions >= 3  # eviction actually happened
+        assert capped.model_constructions == uncapped.model_constructions
+        assert uncapped.cached_range_count == uncapped.model_constructions
+
+        # Evicted ranges do not corrupt later answers.
+        for objective in midpoints:
+            assert capped.probe(objective) == uncapped.probe(objective)
+        assert capped.cached_range_count <= 2
+
+    def test_capped_probe_still_finds_the_exact_optimum(self):
+        from repro.workload import random_unrelated_instance
+
+        instance = random_unrelated_instance(8, 2, seed=7)
+        reference = minimize_max_weighted_flow(instance)
+        capped = FeasibilityProbe(instance, max_cached_ranges=1)
+        result = minimize_max_weighted_flow(instance, probe=capped)
+        assert result.objective == pytest.approx(reference.objective, abs=1e-9)
+        assert capped.cached_range_count <= 1
+
+    def test_invalid_cap_is_rejected(self, tiny_instance):
+        with pytest.raises(ValueError):
+            FeasibilityProbe(tiny_instance, max_cached_ranges=0)
+
+
 class TestWeightsAndStretch:
     def test_weights_change_the_optimum(self):
         jobs_unit = [Job("a", 0.0, weight=1.0), Job("b", 0.0, weight=1.0)]

@@ -1,0 +1,153 @@
+"""Unit tests for the policy registry and the SchedulingPolicy protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Job
+from repro.heuristics import (
+    OFFLINE_OPTIMAL,
+    OnlinePolicy,
+    OnlineScheduler,
+    PolicySpec,
+    SchedulingPolicy,
+    available_policies,
+    available_schedulers,
+    make_policy,
+    make_scheduler,
+    policy_spec,
+    register_online_scheduler,
+    register_policy,
+    unregister_policy,
+)
+from repro.simulation import AllocationDecision
+
+
+@pytest.fixture
+def tiny():
+    jobs = [Job("A", 0.0, weight=1.0), Job("B", 1.0, weight=2.0)]
+    costs = [[2.0, 3.0], [4.0, 6.0]]
+    return Instance.from_costs(jobs, costs)
+
+
+class _EagerScheduler(OnlineScheduler):
+    """Test double: every active job exclusively on its cheapest free machine."""
+
+    name = "eager-test"
+
+    def decide(self, state):
+        shares = {}
+        used = set()
+        for job_index in state.active_jobs():
+            for machine_index in range(state.instance.num_machines):
+                if machine_index not in used:
+                    shares[machine_index] = [(job_index, 1.0)]
+                    used.add(machine_index)
+                    break
+        return AllocationDecision(shares=shares)
+
+
+class TestBuiltinRegistry:
+    def test_online_and_offline_policies_are_registered(self):
+        assert set(available_schedulers()) <= set(available_policies())
+        assert OFFLINE_OPTIMAL in available_policies()
+        assert OFFLINE_OPTIMAL in available_policies(kind="offline")
+        assert OFFLINE_OPTIMAL not in available_policies(kind="online")
+        assert available_schedulers() == available_policies(kind="online")
+
+    def test_make_scheduler_still_returns_raw_schedulers(self):
+        scheduler = make_scheduler("mct")
+        assert hasattr(scheduler, "decide")
+        assert scheduler.name == "mct"
+
+    def test_make_scheduler_rejects_offline_policies(self):
+        with pytest.raises(KeyError, match="off-line"):
+            make_scheduler(OFFLINE_OPTIMAL)
+
+    def test_unknown_names_raise_with_the_available_list(self):
+        with pytest.raises(KeyError, match="available"):
+            make_policy("no-such-policy")
+        with pytest.raises(KeyError, match="available"):
+            make_scheduler("no-such-policy")
+
+    def test_policy_spec_metadata(self):
+        spec = policy_spec("mct")
+        assert spec.kind == "online"
+        assert spec.scheduler_factory is not None
+        assert policy_spec(OFFLINE_OPTIMAL).scheduler_factory is None
+
+
+class TestProtocol:
+    def test_every_registered_policy_runs_through_one_path(self, tiny):
+        for name in available_policies():
+            policy = make_policy(name)
+            assert isinstance(policy, SchedulingPolicy)
+            outcome = policy.run(tiny)
+            outcome.schedule.validate()
+            assert outcome.policy == name
+            assert outcome.max_weighted_flow > 0
+
+    def test_offline_outcome_reports_the_exact_objective(self, tiny):
+        outcome = make_policy(OFFLINE_OPTIMAL).run(tiny)
+        assert outcome.kind == "offline"
+        assert outcome.objective is not None
+        assert outcome.max_weighted_flow == pytest.approx(outcome.objective, rel=1e-5)
+        assert outcome.simulation is None
+
+    def test_online_outcome_carries_the_simulation(self, tiny):
+        outcome = make_policy("fifo").run(tiny)
+        assert outcome.kind == "online"
+        assert outcome.objective is None
+        assert outcome.simulation is not None
+
+
+class TestCustomRegistration:
+    def test_register_and_resolve_a_custom_scheduler(self, tiny):
+        register_online_scheduler(
+            "eager-test", _EagerScheduler, description="test double"
+        )
+        try:
+            assert "eager-test" in available_schedulers()
+            scheduler = make_scheduler("eager-test")
+            assert isinstance(scheduler, _EagerScheduler)
+            outcome = make_policy("eager-test").run(tiny)
+            outcome.schedule.validate()
+        finally:
+            unregister_policy("eager-test")
+        assert "eager-test" not in available_policies()
+
+    def test_duplicate_names_are_rejected_without_replace(self):
+        register_online_scheduler("dup-test", _EagerScheduler)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_online_scheduler("dup-test", _EagerScheduler)
+            register_online_scheduler("dup-test", _EagerScheduler, replace=True)
+        finally:
+            unregister_policy("dup-test")
+
+    def test_invalid_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            register_policy(
+                PolicySpec(name="bad-kind", kind="sideways", factory=lambda: None)
+            )
+
+    def test_custom_policy_flows_through_a_campaign(self, tiny):
+        from repro.analysis import run_policy_campaign
+
+        register_online_scheduler("eager-test", _EagerScheduler)
+        try:
+            result = run_policy_campaign([tiny], policies=("eager-test", "mct"))
+            assert {record.policy for record in result.records} == {
+                OFFLINE_OPTIMAL,
+                "eager-test",
+                "mct",
+            }
+        finally:
+            unregister_policy("eager-test")
+
+    def test_online_policy_adapter_wraps_any_scheduler(self, tiny):
+        policy = OnlinePolicy(_EagerScheduler())
+        assert policy.name == "eager-test"
+        outcome = policy.run(tiny)
+        assert outcome.policy == "eager-test"
+        outcome.schedule.validate()

@@ -1,0 +1,76 @@
+"""Property tests for the unified policy runtime.
+
+For every registered policy × every named scenario, the outcome produced by
+the registry → engine path must be a *valid* schedule (overlap-free machine
+timelines, no work before release, every job completed) whose normalised
+maximum weighted flow is no better than the off-line optimum (≥ 1 − tol).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FeasibilityProbe
+from repro.heuristics import OFFLINE_OPTIMAL, available_policies, make_policy
+from repro.workload import available_scenarios, make_scenario
+
+#: Normalised metrics may undercut 1.0 only by LP/solver tolerance.
+TOLERANCE = 1e-6
+
+SCENARIOS = available_scenarios()
+POLICIES = available_policies()
+
+
+@pytest.fixture(scope="module")
+def scenario_context():
+    """Instance and off-line optimum of each scenario, computed once."""
+    contexts = {}
+    for name in SCENARIOS:
+        instance = make_scenario(name)
+        probe = FeasibilityProbe(instance)
+        offline = make_policy(OFFLINE_OPTIMAL).run(instance, probe=probe)
+        assert offline.objective is not None and offline.objective > 0
+        contexts[name] = (instance, offline.objective, probe)
+    return contexts
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("policy_name", POLICIES)
+def test_policy_outcome_is_valid_and_dominated_by_the_optimum(
+    scenario, policy_name, scenario_context
+):
+    instance, optimum, probe = scenario_context[scenario]
+    outcome = make_policy(policy_name).run(instance, probe=probe)
+
+    # The schedule validates: overlap-free machine timelines, release dates
+    # respected, every job fully processed (Schedule.validate checks all
+    # three and raises otherwise).
+    outcome.schedule.validate()
+
+    # Completions reached: every job has a completion time in the schedule.
+    for job_index in range(instance.num_jobs):
+        assert outcome.schedule.completion_time(job_index) is not None
+
+    # No policy beats the off-line optimum (up to solver tolerance).
+    normalised = outcome.max_weighted_flow / optimum
+    assert normalised >= 1.0 - TOLERANCE, (
+        f"{policy_name} on {scenario}: normalised {normalised} < 1"
+    )
+
+    # The offline policy itself must land exactly on its objective.
+    if policy_name == OFFLINE_OPTIMAL:
+        assert outcome.max_weighted_flow == pytest.approx(optimum, rel=1e-5)
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_online_policies_report_simulation_results(scenario, scenario_context):
+    instance, _optimum, _probe = scenario_context[scenario]
+    outcome = make_policy("mct").run(instance)
+    assert outcome.kind == "online"
+    assert outcome.simulation is not None
+    assert outcome.simulation.num_scheduler_calls > 0
+    # Completion times recorded by the engine agree with the schedule.
+    for job_index, completion in outcome.simulation.completion_times.items():
+        assert outcome.schedule.completion_time(job_index) == pytest.approx(
+            completion, abs=1e-6
+        )

@@ -1,0 +1,103 @@
+"""Unit tests for the array-backed simulation kernel and simulate_many."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.heuristics import make_scheduler
+from repro.simulation import SimulationKernel, simulate, simulate_many
+from repro.workload import make_scenario, random_unrelated_instance
+
+
+class TestKernelEquivalence:
+    def test_kernel_run_matches_simulate(self):
+        instance = random_unrelated_instance(12, 3, seed=2)
+        kernel = SimulationKernel()
+        direct = simulate(instance, make_scheduler("mct"))
+        kernelised = kernel.run(instance, make_scheduler("mct"))
+        assert kernelised.schedule.pieces == direct.schedule.pieces
+        assert kernelised.events == direct.events
+        assert kernelised.completion_times == direct.completion_times
+        assert kernelised.num_preemptions == direct.num_preemptions
+
+    def test_reused_kernel_is_stateless_between_runs(self):
+        kernel = SimulationKernel()
+        big = random_unrelated_instance(15, 4, seed=0)
+        small = random_unrelated_instance(6, 2, seed=1)
+        first_small = kernel.run(small, make_scheduler("fifo"))
+        kernel.run(big, make_scheduler("srpt"))  # dirty the buffers
+        second_small = kernel.run(small, make_scheduler("fifo"))
+        assert second_small.schedule.pieces == first_small.schedule.pieces
+        assert second_small.completion_times == first_small.completion_times
+
+    def test_buffers_are_reused_across_runs(self):
+        kernel = SimulationKernel()
+        instances = [random_unrelated_instance(10, 3, seed=s) for s in range(3)]
+        kernel.run(instances[0], make_scheduler("fifo"))
+        remaining_buffer = kernel._remaining
+        job_pool = kernel._job_pool
+        for instance in instances[1:]:
+            kernel.run(instance, make_scheduler("fifo"))
+        assert kernel._remaining is remaining_buffer
+        assert kernel._job_pool is job_pool
+
+
+class TestSimulateMany:
+    def test_matches_individual_simulations(self):
+        instances = [random_unrelated_instance(8, 3, seed=s) for s in range(4)]
+        batched = simulate_many(instances, lambda: make_scheduler("mct"))
+        for instance, result in zip(instances, batched):
+            single = simulate(instance, make_scheduler("mct"))
+            assert result.schedule.pieces == single.schedule.pieces
+            assert result.completion_times == single.completion_times
+
+    def test_scheduler_object_is_reset_between_instances(self):
+        # MCT keeps per-run queues; reusing one object must behave like
+        # building a fresh scheduler per instance (reset() wipes the state).
+        instances = [random_unrelated_instance(8, 3, seed=s) for s in range(3)]
+        shared = simulate_many(instances, make_scheduler("mct"))
+        fresh = simulate_many(instances, lambda: make_scheduler("mct"))
+        for a, b in zip(shared, fresh):
+            assert a.schedule.pieces == b.schedule.pieces
+
+    def test_scenario_seed_sweep(self):
+        instances = [make_scenario("unrelated-stress", seed=s) for s in (1, 2, 3)]
+        results = simulate_many(instances, lambda: make_scheduler("greedy-weighted-flow"))
+        assert len(results) == 3
+        for result in results:
+            result.schedule.validate()
+
+    def test_explicit_kernel_is_used(self):
+        kernel = SimulationKernel()
+        instances = [random_unrelated_instance(9, 3, seed=s) for s in range(2)]
+        simulate_many(instances, lambda: make_scheduler("fifo"), kernel=kernel)
+        assert kernel._capacity == 9
+
+    def test_empty_iterable(self):
+        assert simulate_many([], lambda: make_scheduler("fifo")) == []
+
+
+class TestStateViewIntegrity:
+    def test_active_cache_matches_recomputation(self):
+        # A policy that cross-checks the engine-maintained active list
+        # against a scan of the JobProgress mirrors at every event.
+        from repro.heuristics.base import OnlineScheduler, exclusive_allocation
+
+        class CheckingScheduler(OnlineScheduler):
+            name = "checking"
+
+            def decide(self, state):
+                scanned = [
+                    p.job_index for p in state.jobs if p.arrived and not p.finished
+                ]
+                assert state.active_jobs() == scanned
+                assignments = {}
+                for machine_index, job_index in enumerate(scanned):
+                    if machine_index >= state.instance.num_machines:
+                        break
+                    assignments[machine_index] = job_index
+                return exclusive_allocation(assignments)
+
+        instance = random_unrelated_instance(10, 3, seed=5)
+        result = simulate(instance, CheckingScheduler())
+        result.schedule.validate()

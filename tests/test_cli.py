@@ -22,7 +22,7 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("info", "scenario", "solve", "simulate", "divisibility"):
+        for command in ("info", "scenario", "solve", "simulate", "campaign", "divisibility"):
             assert command in text
 
     def test_missing_command_is_an_error(self):
@@ -98,6 +98,56 @@ class TestSimulate:
 
     def test_unknown_policy_is_a_clean_error(self, instance_file, capsys):
         assert main(["simulate", str(instance_file), "--policy", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCampaign:
+    def test_campaign_runs_and_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        code = main(
+            ["campaign", "--scenarios", "unrelated-stress", "--policies", "mct,fifo",
+             "--seeds", "3,4", "--output", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "offline-optimal" in text and "scenarios/s" in text
+        payload = json.loads(out.read_text())
+        # 2 seeds x (offline + mct + fifo) records.
+        assert len(payload["records"]) == 6
+        # One shared probe per workload, strictly fewer than workloads x policies.
+        assert payload["stats"]["probe_constructions"] == 2
+        assert {record["workload"] for record in payload["records"]} == {
+            "unrelated-stress#3",
+            "unrelated-stress#4",
+        }
+
+    def test_campaign_base_seed_matches_across_dispatch_modes(self, capsys):
+        args = ["campaign", "--scenarios", "unrelated-stress", "--policies", "mct",
+                "--base-seed", "7", "--num-seeds", "2"]
+        assert main(args) == 0
+        sequential = capsys.readouterr().out
+        assert main(args + ["--max-workers", "2", "--chunk-size", "1"]) == 0
+        parallel = capsys.readouterr().out
+        # The summary tables (all metric digits) agree between dispatch modes.
+        assert sequential.splitlines()[:5] == parallel.splitlines()[:5]
+
+    def test_campaign_malformed_seeds_are_a_clean_error(self, capsys):
+        assert main(["campaign", "--scenarios", "unrelated-stress",
+                     "--policies", "mct", "--seeds", "3,x"]) == 1
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_campaign_num_seeds_without_base_seed_is_a_clean_error(self, capsys):
+        assert main(["campaign", "--scenarios", "unrelated-stress",
+                     "--policies", "mct", "--num-seeds", "5"]) == 1
+        assert "--base-seed" in capsys.readouterr().err
+
+    def test_campaign_unknown_policy_is_a_clean_error(self, capsys):
+        assert main(["campaign", "--scenarios", "unrelated-stress",
+                     "--policies", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_campaign_unknown_scenario_is_a_clean_error(self, capsys):
+        assert main(["campaign", "--scenarios", "no-such", "--policies", "mct"]) == 1
         assert "error:" in capsys.readouterr().err
 
 
