@@ -1,0 +1,149 @@
+"""Acceptance bench for the persistent experiment store (PR 3 tentpole).
+
+Protects the store's two headline properties:
+
+1. **Bulk-insert throughput** — the batching :class:`BulkWriter` sustains
+   thousands of record inserts per second (content-addressed ``INSERT OR
+   IGNORE`` plus membership rows), and re-inserting the same cells writes
+   zero new content rows.
+2. **Resume skip-rate** — a campaign re-run against its own store computes
+   nothing (skip rate 1.0, zero LP solves, zero probe constructions) and is
+   dramatically cheaper than the original run; a top-up sweep computes only
+   the added cells.
+
+Run ``--bench-scale full`` for the larger row counts; the slow round-trip
+benches are marked ``tier2`` and deselected from the tier-1 gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import run_scenario_campaign
+from repro.analysis.campaign import CampaignRecord
+from repro.store import CODE_EPOCH, ExperimentStore, diff_runs, record_digest
+
+SCENARIOS = ("unrelated-stress", "bursty-batch")
+POLICIES = ("mct", "greedy-weighted-flow", "srpt")
+BASE_SEED = 2005
+
+#: Conservative floor for the batched writer (rows/second).  SQLite's
+#: executemany path manages two orders of magnitude more on any recent
+#: machine; the floor only guards against an accidental row-at-a-time commit.
+MIN_INSERT_RATE = 2_000.0
+
+
+def _synthetic_rows(count: int):
+    for index in range(count):
+        workload_key = f"scenario=synthetic;seed={index // 4}"
+        policy = POLICIES[index % len(POLICIES)]
+        digest = record_digest(workload_key, policy, params={"row": index})
+        record = CampaignRecord(
+            workload=f"synthetic#{index // 4}",
+            policy=policy,
+            max_weighted_flow=10.0 + index,
+            max_stretch=1.0 + index / 100.0,
+            makespan=20.0 + index,
+            normalised=1.0 + (index % 7) / 10.0,
+            preemptions=index % 3,
+        )
+        yield digest, record, workload_key
+
+
+def test_bulk_insert_throughput_and_dedup(tmp_path, bench_scale):
+    rows = 20_000 if bench_scale == "full" else 4_000
+    store = ExperimentStore(tmp_path / "bulk.sqlite")
+    run_id = store.begin_run("bulk", {"rows": rows})
+
+    start = time.perf_counter()
+    with store.writer(run_id) as writer:
+        for digest, record, key in _synthetic_rows(rows):
+            writer.add(digest, record, workload_key=key, scenario="synthetic")
+    elapsed = time.perf_counter() - start
+    rate = rows / elapsed
+
+    assert writer.inserted == rows
+    assert store.num_records() == rows
+    assert rate >= MIN_INSERT_RATE, f"bulk insert sustained only {rate:.0f} rows/s"
+
+    # Content addressing: a second run over the same cells writes no new
+    # content rows but still records full membership.
+    rerun_id = store.begin_run("bulk-rerun", {})
+    with store.writer(rerun_id) as writer:
+        for digest, record, key in _synthetic_rows(rows):
+            writer.add(digest, record, workload_key=key, scenario="synthetic")
+    assert writer.inserted == 0
+    assert writer.reused == rows
+    assert store.num_records() == rows
+    assert len(store.run_records(rerun_id)) == rows
+
+    print()
+    print(f"bulk insert: {rows} rows in {elapsed:.2f}s ({rate:,.0f} rows/s), "
+          f"re-run deduplicated {writer.reused} rows")
+    store.close()
+
+
+@pytest.mark.tier2
+def test_resume_skip_rate_and_cost(tmp_path, bench_scale):
+    seeds_per_scenario = 4 if bench_scale == "full" else 2
+    path = tmp_path / "campaign.sqlite"
+
+    start = time.perf_counter()
+    first = run_scenario_campaign(
+        SCENARIOS,
+        POLICIES,
+        base_seed=BASE_SEED,
+        seeds_per_scenario=seeds_per_scenario,
+        store=path,
+        run_label="cold",
+    )
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    resumed = run_scenario_campaign(
+        SCENARIOS,
+        POLICIES,
+        base_seed=BASE_SEED,
+        seeds_per_scenario=seeds_per_scenario,
+        store=path,
+        resume=True,
+        run_label="warm",
+    )
+    warm_seconds = time.perf_counter() - start
+
+    # Full skip: nothing computed, no LP searches, no probes, same records.
+    assert resumed.records == first.records
+    assert resumed.stats.resume_skip_rate == 1.0
+    assert resumed.stats.computed_records == 0
+    assert resumed.stats.offline_solves == 0
+    assert resumed.stats.probe_constructions == 0
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+    assert speedup >= 5.0, f"resumed sweep only {speedup:.1f}x faster than cold"
+
+    # Top-up: one extra policy computes exactly one new cell per workload.
+    topped = run_scenario_campaign(
+        SCENARIOS,
+        POLICIES + ("fifo",),
+        base_seed=BASE_SEED,
+        seeds_per_scenario=seeds_per_scenario,
+        store=path,
+        resume=True,
+        run_label="top-up",
+    )
+    workloads = len(SCENARIOS) * seeds_per_scenario
+    assert topped.stats.computed_records == workloads
+    assert topped.stats.offline_solves == 0  # optima pinned from the store
+
+    with ExperimentStore(path) as store:
+        diff = diff_runs(store, "cold", "warm")
+        assert diff.is_clean()
+        assert all(record.code_epoch == CODE_EPOCH for record in store.run_records("warm"))
+
+    print()
+    print(
+        f"resume: cold {cold_seconds:.2f}s -> warm {warm_seconds:.3f}s "
+        f"({speedup:.0f}x, skip rate {resumed.stats.resume_skip_rate:.0%}); "
+        f"top-up computed {topped.stats.computed_records}/{len(topped.records)} cells"
+    )

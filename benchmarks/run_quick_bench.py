@@ -1,14 +1,24 @@
 #!/usr/bin/env python
-"""Quick perf smoke for the LP, milestone-search and campaign hot paths.
+"""Quick perf smoke for the LP, milestone-search, campaign and store hot paths.
 
 Runs miniature versions of ``bench_lp_backends`` and
 ``bench_milestone_search`` and writes the measurements to ``BENCH_lp.json``,
 plus a campaign-throughput trajectory (scenarios/sec, peak in-flight items,
-probe constructions, engine timings) to ``BENCH_campaign.json``, so
-successive PRs accumulate perf trajectories to compare against::
+probe constructions, off-line solves, engine timings) to
+``BENCH_campaign.json``, so successive PRs accumulate perf trajectories to
+compare against::
 
     python benchmarks/run_quick_bench.py [--output BENCH_lp.json]
                                          [--campaign-output BENCH_campaign.json]
+                                         [--store BENCH_store.sqlite]
+
+The campaign rows are also written into a persistent experiment store
+(``BENCH_store.sqlite``, one run per invocation): the record includes the
+store's bulk-insert rate, the resume skip-rate of an immediate warm re-run,
+and — from the second invocation on — a cross-run diff against the previous
+bench run's headline metrics.  The PR1-vs-streaming dispatcher comparison
+needs ≥ 4 real cores; on smaller machines the record carries an explicit
+skip reason instead of silently omitting the measurement.
 
 The workloads are deliberately small (a few seconds end to end); use the
 pytest benches for paper-scale numbers.
@@ -26,6 +36,8 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 
 from repro.analysis import run_scenario_campaign  # noqa: E402  (path setup above)
+from repro.analysis.regression import MetricDelta  # noqa: E402
+from repro.store import ExperimentStore, diff_runs  # noqa: E402
 from repro.core import (  # noqa: E402
     FeasibilityProbe,
     minimize_max_weighted_flow,
@@ -146,12 +158,128 @@ def bench_campaign(seeds_per_scenario: int = 4) -> dict:
     workloads = runs["sequential"]["workloads"]
     naive_constructions = workloads * (len(policies) + 1)
     assert runs["sequential"]["probe_constructions"] < naive_constructions
+    # One LP search per workload at any worker count (pinned-optimum shipping).
+    assert runs["sequential"]["offline_solves"] == workloads
+    assert runs["streamed"]["offline_solves"] == workloads
     return {
         "scenarios": list(scenarios),
         "policies": list(policies),
         "seeds_per_scenario": seeds_per_scenario,
         "naive_probe_constructions": naive_constructions,
         "runs": runs,
+    }
+
+
+def bench_pr1_comparison(seeds_per_scenario: int = 2) -> dict:
+    """PR1 per-workload pool vs the streaming dispatcher — or why it was skipped.
+
+    The ≥ 2× acceptance assertion only means something with real parallelism;
+    on boxes with fewer than four cores the record carries the skip reason
+    (and the core count) instead of silently omitting the comparison.
+    """
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < 4:
+        return {
+            "skipped": True,
+            "reason": f"requires >= 4 CPU cores, found {cpu_count}",
+            "cpu_count": cpu_count,
+        }
+
+    from bench_campaign_dispatcher import (  # noqa: E402  (same directory)
+        BASE_SEED,
+        SCENARIOS,
+        _pr1_per_workload_pool,
+    )
+
+    policies = ("mct", "greedy-weighted-flow", "srpt", "online-offline")
+    workers = min(8, cpu_count)
+    start = time.perf_counter()
+    _pr1_per_workload_pool(seeds_per_scenario, policies, workers)
+    pr1_seconds = time.perf_counter() - start
+    streamed = run_scenario_campaign(
+        SCENARIOS,
+        policies,
+        base_seed=BASE_SEED,
+        seeds_per_scenario=seeds_per_scenario,
+        max_workers=workers,
+        chunk_size=1,
+    )
+    streaming_seconds = streamed.stats.elapsed_seconds
+    return {
+        "skipped": False,
+        "cpu_count": cpu_count,
+        "workers": workers,
+        "pr1_seconds": pr1_seconds,
+        "streaming_seconds": streaming_seconds,
+        "speedup": pr1_seconds / max(streaming_seconds, 1e-12),
+    }
+
+
+def bench_store(store_path: str, seeds_per_scenario: int = 2) -> dict:
+    """Write the bench campaign rows into the persistent store.
+
+    Each invocation registers one run in ``store_path`` (cold sweep), then
+    re-runs it with ``resume=True`` to measure the skip rate, and diffs the
+    cold run's headline metrics against the previous invocation's — the
+    store's own cross-run regression report, accumulated PR over PR.
+    """
+    scenarios = ("small-cluster", "hotspot", "unrelated-stress")
+    policies = ("mct", "greedy-weighted-flow", "srpt")
+    with ExperimentStore(store_path) as store:
+        previous = [run for run in store.runs() if run.label == "quick-bench" and run.completed]
+        start = time.perf_counter()
+        cold = run_scenario_campaign(
+            scenarios,
+            policies,
+            base_seed=2005,
+            seeds_per_scenario=seeds_per_scenario,
+            store=store,
+            run_label="quick-bench",
+        )
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_scenario_campaign(
+            scenarios,
+            policies,
+            base_seed=2005,
+            seeds_per_scenario=seeds_per_scenario,
+            store=store,
+            resume=True,
+            run_label="quick-bench-resume",
+        )
+        warm_seconds = time.perf_counter() - start
+        assert warm.stats.resume_skip_rate == 1.0
+        assert warm.records == cold.records
+
+        record = {
+            "path": os.path.relpath(store_path),
+            "run_id": cold.stats.store_run_id,
+            "records": len(cold.records),
+            "new_cells": cold.stats.store_new_records,
+            "cold_seconds": cold_seconds,
+            "resume_seconds": warm_seconds,
+            "resume_skip_rate": warm.stats.resume_skip_rate,
+            "resume_speedup": cold_seconds / max(warm_seconds, 1e-12),
+        }
+        if previous:
+            diff = diff_runs(store, previous[-1].run_id, cold.stats.store_run_id)
+            record["diff_vs_previous"] = {
+                "baseline_run": previous[-1].run_id,
+                "regressions": [
+                    _delta_dict(delta) for delta in diff.regressions()
+                ],
+                "clean": diff.is_clean(),
+            }
+        return record
+
+
+def _delta_dict(delta: MetricDelta) -> dict:
+    return {
+        "policy": delta.policy,
+        "metric": delta.metric,
+        "baseline": delta.baseline,
+        "current": delta.current,
+        "relative_delta": delta.relative_delta,
     }
 
 
@@ -168,6 +296,12 @@ def main(argv=None) -> int:
         default=os.path.join(repo_root, "BENCH_campaign.json"),
         help="where to write the campaign trajectory "
         "(default: repo-root BENCH_campaign.json)",
+    )
+    parser.add_argument(
+        "--store",
+        default=os.path.join(repo_root, "BENCH_store.sqlite"),
+        help="experiment store accumulating one bench run per invocation "
+        "(default: repo-root BENCH_store.sqlite)",
     )
     args = parser.parse_args(argv)
 
@@ -187,6 +321,8 @@ def main(argv=None) -> int:
         "cpu_count": os.cpu_count() or 1,
         "engine": bench_engine(),
         "campaign": bench_campaign(),
+        "pr1_comparison": bench_pr1_comparison(),
+        "store": bench_store(os.path.abspath(args.store)),
     }
     campaign_record["total_seconds"] = time.perf_counter() - campaign_start
 
@@ -225,8 +361,29 @@ def main(argv=None) -> int:
             f"campaign ({label}): {run['scenarios_per_second']:.1f} scenarios/s, "
             f"{run['probe_constructions']} probe constructions "
             f"(naive {campaign['naive_probe_constructions']}), "
+            f"{run['offline_solves']} offline solves, "
             f"peak in-flight {run['peak_in_flight']}"
         )
+    pr1 = campaign_record["pr1_comparison"]
+    if pr1["skipped"]:
+        print(f"pr1 comparison: SKIPPED — {pr1['reason']}")
+    else:
+        print(
+            f"pr1 comparison: {pr1['pr1_seconds']:.2f}s vs streaming "
+            f"{pr1['streaming_seconds']:.2f}s ({pr1['speedup']:.2f}x on "
+            f"{pr1['workers']} workers)"
+        )
+    store_record = campaign_record["store"]
+    print(
+        f"store ({store_record['path']}): run #{store_record['run_id']}, "
+        f"{store_record['new_cells']} new cells, resume skip rate "
+        f"{store_record['resume_skip_rate']:.0%} "
+        f"({store_record['resume_speedup']:.0f}x faster than cold)"
+    )
+    if "diff_vs_previous" in store_record:
+        diff = store_record["diff_vs_previous"]
+        verdict = "clean" if diff["clean"] else f"{len(diff['regressions'])} regression(s)"
+        print(f"  vs run #{diff['baseline_run']}: {verdict}")
     print(f"wrote {output} ({record['total_seconds']:.1f}s total)")
     print(f"wrote {campaign_output} ({campaign_record['total_seconds']:.1f}s total)")
     return 0

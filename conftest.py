@@ -1,0 +1,18 @@
+"""Repository-level pytest configuration.
+
+Registers the test-tier markers.  Tier-1 (the fast gate every PR runs, see
+ROADMAP.md) deselects ``tier2``::
+
+    PYTHONPATH=src python -m pytest -x -q -m "not tier2"
+
+``tier2`` marks the slow store/bench round-trip tests (bulk-insert
+throughput, resume skip-rate sweeps); run them explicitly with
+``-m tier2`` or by omitting the deselection.
+"""
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "tier2: slow store/bench round-trip tests, deselected from the tier-1 gate",
+    )

@@ -25,6 +25,9 @@ Subpackages
     Random instance generators, named scenarios and trace I/O.
 ``repro.analysis``
     Linear regression, statistics, ASCII tables and plots used by the benches.
+``repro.store``
+    Persistent experiment store: content-addressed campaign results,
+    resumable sweeps and cross-run regression diffs.
 """
 
 from .core import (

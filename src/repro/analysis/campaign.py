@@ -18,18 +18,25 @@ The campaign layer is the dispatcher of the unified policy runtime
   most ``max_inflight`` items are submitted to the process pool at any time,
   and finished records are aggregated incrementally in deterministic order,
   so memory stays bounded no matter how large the sweep is.
-* **Shared probes** — every item of a workload reuses one
-  :class:`~repro.core.maxflow.FeasibilityProbe` (and one off-line optimum)
-  through a per-process LRU context cache, so a campaign performs strictly
-  fewer probe constructions than (workloads × policies); on-line items reuse
-  a per-process :class:`~repro.simulation.SimulationKernel` as well.
+* **Shared probes, one optimum per workload** — every item of a workload
+  reuses one :class:`~repro.core.maxflow.FeasibilityProbe` (and one off-line
+  optimum) through a per-process LRU context cache; in parallel dispatch the
+  first finished item of a workload ships the pinned optimum back to the
+  parent, which pre-seeds it into the workload's later items, so the LP
+  optimum is solved **exactly once per workload at any worker count**.
+* **Durable results** — pass ``store=`` (an
+  :class:`~repro.store.ExperimentStore` or a path) and every record is
+  persisted under its content digest while streaming; ``resume=True`` skips
+  already-present digests *before* dispatch, turning a killed or
+  re-parameterised sweep into an incremental top-up that computes only the
+  missing cells.
 
 :func:`run_policy_campaign` and :func:`run_scenario_campaign` keep their
 pre-dispatcher APIs (sequential and parallel runs produce identical records
 in identical order); :func:`stream_campaign` exposes the incremental record
 stream, and :class:`CampaignStats` reports the throughput trajectory
-(scenarios/sec, peak in-flight items, probe constructions) recorded by
-``benchmarks/run_quick_bench.py``.
+(scenarios/sec, peak in-flight items, probe constructions, off-line solves,
+resumed records) recorded by ``benchmarks/run_quick_bench.py``.
 """
 
 from __future__ import annotations
@@ -38,10 +45,12 @@ import itertools
 import os
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -49,18 +58,23 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
+    Union,
 )
 
 from ..core.instance import Instance
 from ..core.maxflow import FeasibilityProbe
 from ..exceptions import WorkloadError
 from ..heuristics import OnlinePolicy, PolicyOutcome, make_policy
-from ..heuristics.registry import OFFLINE_OPTIMAL, SchedulingPolicy
+from ..heuristics.registry import OFFLINE_OPTIMAL, SchedulingPolicy, policy_spec
 from ..simulation import SimulationKernel
 from ..workload.scenarios import ScenarioSpec, make_scenario, scenario_grid
 from .stats import geometric_mean, summarize
 from .tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (runtime import would cycle)
+    from ..store import ExperimentStore
 
 __all__ = [
     "CampaignRecord",
@@ -114,6 +128,20 @@ class CampaignStats:
         Total :class:`FeasibilityProbe` constructions across all workers —
         strictly fewer than ``workloads × policies`` whenever the per-
         workload sharing pays off.
+    offline_solves:
+        Off-line optimum LP searches performed — exactly one per computed
+        workload at any worker count (the parent ships the pinned optimum
+        into a workload's later items), and zero for workloads fully
+        resumed from a store.  Explicitly requested ``offline-optimal``
+        cells reuse the context's outcome where possible; when a pinned
+        parallel item cannot, its extra solve is counted here too.
+    resumed_records, computed_records:
+        Split of ``records`` into cells loaded from the experiment store
+        (``resume=True``) and cells actually computed this dispatch.
+    store_new_records:
+        Content rows newly inserted into the store (0 without a store).
+    store_run_id:
+        Run id allocated in the store for this dispatch (``None`` without).
     peak_in_flight:
         Maximum number of items simultaneously submitted to the pool (0 for
         in-process runs); bounded by ``max_inflight`` by construction.
@@ -130,6 +158,11 @@ class CampaignStats:
     items: int = 0
     records: int = 0
     probe_constructions: int = 0
+    offline_solves: int = 0
+    resumed_records: int = 0
+    computed_records: int = 0
+    store_new_records: int = 0
+    store_run_id: Optional[int] = None
     peak_in_flight: int = 0
     peak_pending_records: int = 0
     elapsed_seconds: float = 0.0
@@ -146,6 +179,11 @@ class CampaignStats:
         """Records produced per wall-clock second."""
         return self.records / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
 
+    @property
+    def resume_skip_rate(self) -> float:
+        """Fraction of records served from the store instead of computed."""
+        return self.resumed_records / self.records if self.records > 0 else 0.0
+
     def as_dict(self) -> Dict[str, float]:
         """JSON-friendly view (used by the quick-bench trajectory files)."""
         return {
@@ -153,6 +191,12 @@ class CampaignStats:
             "items": self.items,
             "records": self.records,
             "probe_constructions": self.probe_constructions,
+            "offline_solves": self.offline_solves,
+            "resumed_records": self.resumed_records,
+            "computed_records": self.computed_records,
+            "resume_skip_rate": self.resume_skip_rate,
+            "store_new_records": self.store_new_records,
+            "store_run_id": self.store_run_id,
             "peak_in_flight": self.peak_in_flight,
             "peak_pending_records": self.peak_pending_records,
             "elapsed_seconds": self.elapsed_seconds,
@@ -195,6 +239,25 @@ class WorkloadSpec:
         if self.scenario is None:
             raise WorkloadError(f"workload {self.label!r} has neither instance nor scenario")
         return make_scenario(self.scenario, self.seed)
+
+    def content_key(self) -> str:
+        """Stable identity of the workload for content-addressed storage.
+
+        Scenario workloads are keyed by (scenario name, seed) — the pair
+        that fully determines the generated instance; concrete instances by
+        a digest of their full payload (jobs, machines, costs).
+        """
+        if self.scenario is not None:
+            # One format, owned by ScenarioSpec: diverging copies would
+            # silently stop matching previously stored cells.
+            return ScenarioSpec(
+                label=self.label, scenario=self.scenario, seed=self.seed
+            ).content_key()
+        if self.instance is None:
+            raise WorkloadError(f"workload {self.label!r} has neither instance nor scenario")
+        from ..store.digest import instance_digest  # deferred: avoids module cycle
+
+        return f"instance-sha256={instance_digest(self.instance)}"
 
 
 # --------------------------------------------------------------------------- #
@@ -253,7 +316,13 @@ class CampaignResult:
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class _CampaignItem:
-    """One dispatch unit: a chunk of policies over one workload."""
+    """One dispatch unit: a chunk of policies over one workload.
+
+    ``pinned_optimum`` carries a workload's already-known off-line optimum
+    (from the parent's first finished item of the workload, or from a
+    resumed store record) into the worker, which then skips the LP search
+    entirely.
+    """
 
     dispatch_id: int
     index: int
@@ -262,6 +331,7 @@ class _CampaignItem:
     policies: Tuple[str, ...]
     emit_offline: bool
     scheduler_factory: Optional[Callable[[str], object]] = None
+    pinned_optimum: Optional[float] = None
 
 
 @dataclass
@@ -269,12 +339,14 @@ class _ItemResult:
     index: int
     records: List[CampaignRecord]
     probe_constructions: int
+    offline_solves: int = 0
+    optimum: Optional[float] = None
 
 
 #: Per-process LRU of workload contexts: (dispatch id, workload index) ->
-#: (instance, offline outcome, probe).  Small by design — consecutive items of
-#: the same workload are what it exists for.
-_CONTEXT_CACHE: "OrderedDict[Tuple[int, int], Tuple[Instance, PolicyOutcome, FeasibilityProbe]]" = (
+#: (instance, offline outcome or None, optimum, probe or None).  Small by
+#: design — consecutive items of the same workload are what it exists for.
+_CONTEXT_CACHE: "OrderedDict[Tuple[int, int], Tuple[Instance, Optional[PolicyOutcome], float, Optional[FeasibilityProbe]]]" = (
     OrderedDict()
 )
 _CONTEXT_CACHE_SIZE = 4
@@ -296,32 +368,63 @@ def _thread_kernel() -> SimulationKernel:
     return kernel
 
 
+def _item_needs_probe(item: _CampaignItem) -> bool:
+    """Whether any of the item's policies is off-line (wants a shared probe)."""
+    if item.scheduler_factory is not None:
+        return False  # legacy factories produce on-line schedulers only
+    for name in item.policies:
+        try:
+            if policy_spec(name).kind == "offline":
+                return True
+        except KeyError:
+            return True  # unknown name: build the probe, let make_policy raise
+    return False
+
+
 def _workload_context(
     item: _CampaignItem,
-) -> Tuple[Instance, PolicyOutcome, FeasibilityProbe, int]:
+) -> Tuple[Instance, Optional[PolicyOutcome], float, Optional[FeasibilityProbe], int, int]:
     """Instance, off-line optimum and shared probe of the item's workload.
 
-    Returns a fourth element counting probe constructions performed by this
-    call (0 on a context-cache hit).
+    Returns two trailing counters: probe constructions and off-line LP
+    solves performed by this call (both 0 on a context-cache hit).  Items
+    carrying a ``pinned_optimum`` skip the LP search — and the probe
+    construction, unless one of their policies is itself off-line.
     """
     key = (item.dispatch_id, item.workload_index)
     with _CONTEXT_LOCK:
         cached = _CONTEXT_CACHE.get(key)
-        if cached is not None:
+        # A pinned context (offline outcome None) cannot serve an item that
+        # must emit the off-line record; fall through and solve.
+        if cached is not None and not (item.emit_offline and cached[1] is None):
             _CONTEXT_CACHE.move_to_end(key)
-            return cached[0], cached[1], cached[2], 0
-    instance = item.spec.materialise()
-    probe = FeasibilityProbe(instance)
-    offline = make_policy(OFFLINE_OPTIMAL).run(instance, probe=probe)
-    if offline.objective is None or offline.objective <= 0:
-        raise WorkloadError(
-            f"degenerate workload {item.spec.label!r}: zero optimal objective"
-        )
+            return cached[0], cached[1], cached[2], cached[3], 0, 0
+    instance = cached[0] if cached is not None else item.spec.materialise()
+    probe = cached[3] if cached is not None else None
+    constructed = 0
+    solved = 0
+    if item.pinned_optimum is not None and not item.emit_offline:
+        offline: Optional[PolicyOutcome] = None
+        optimum = item.pinned_optimum
+        if probe is None and _item_needs_probe(item):
+            probe = FeasibilityProbe(instance)
+            constructed = 1
+    else:
+        if probe is None:
+            probe = FeasibilityProbe(instance)
+            constructed = 1
+        offline = make_policy(OFFLINE_OPTIMAL).run(instance, probe=probe)
+        solved = 1
+        if offline.objective is None or offline.objective <= 0:
+            raise WorkloadError(
+                f"degenerate workload {item.spec.label!r}: zero optimal objective"
+            )
+        optimum = offline.objective
     with _CONTEXT_LOCK:
-        _CONTEXT_CACHE[key] = (instance, offline, probe)
+        _CONTEXT_CACHE[key] = (instance, offline, optimum, probe)
         while len(_CONTEXT_CACHE) > _CONTEXT_CACHE_SIZE:
             _CONTEXT_CACHE.popitem(last=False)
-    return instance, offline, probe, 1
+    return instance, offline, optimum, probe, constructed, solved
 
 
 def _resolve_policy(
@@ -353,18 +456,40 @@ def _run_campaign_item(item: _CampaignItem) -> _ItemResult:
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
     pickle it; also the in-process execution path.
     """
-    instance, offline, probe, constructed = _workload_context(item)
-    optimum = offline.objective
+    instance, offline, optimum, probe, constructed, solved = _workload_context(item)
     records: List[CampaignRecord] = []
     if item.emit_offline:
         records.append(_record_from_outcome(item.spec.label, offline, optimum))
     kernel = _thread_kernel()
     for name in item.policies:
+        if name == OFFLINE_OPTIMAL and item.scheduler_factory is None:
+            # An explicitly requested optimum cell reuses the context's
+            # outcome; a pinned context (no outcome) solves once — counted —
+            # and backfills the cache for the workload's later items.
+            if offline is None:
+                if probe is None:
+                    probe = FeasibilityProbe(instance)
+                    constructed += 1
+                offline = make_policy(OFFLINE_OPTIMAL).run(instance, probe=probe)
+                solved += 1
+                with _CONTEXT_LOCK:
+                    _CONTEXT_CACHE[(item.dispatch_id, item.workload_index)] = (
+                        instance,
+                        offline,
+                        optimum,
+                        probe,
+                    )
+            records.append(_record_from_outcome(item.spec.label, offline, optimum))
+            continue
         policy = _resolve_policy(name, item.scheduler_factory)
         outcome = policy.run(instance, probe=probe, kernel=kernel)
         records.append(_record_from_outcome(item.spec.label, outcome, optimum))
     return _ItemResult(
-        index=item.index, records=records, probe_constructions=constructed
+        index=item.index,
+        records=records,
+        probe_constructions=constructed,
+        offline_solves=solved,
+        optimum=optimum,
     )
 
 
@@ -403,6 +528,111 @@ def _campaign_items(
 
 
 # --------------------------------------------------------------------------- #
+# Parent-side dispatch plans (store lookups, resume, pinned optima)            #
+# --------------------------------------------------------------------------- #
+@dataclass
+class _RecordSlot:
+    """One output cell of an item: its policy, digest and (maybe) stored copy.
+
+    ``from_policies`` separates cells requested through ``item.policies``
+    (which may themselves name ``offline-optimal``) from the synthetic
+    emit-offline cell in front of them.
+    """
+
+    policy: str
+    digest: str = ""
+    stored: Optional[CampaignRecord] = None
+    from_policies: bool = True
+
+
+@dataclass
+class _ItemPlan:
+    """Parent-side view of one item: what to dispatch, what to reuse.
+
+    ``item`` is the (possibly reduced) dispatch unit — ``None`` when every
+    cell was found in the store; ``slots`` preserve the full emission order
+    so stored and computed records interleave deterministically.
+    """
+
+    index: int
+    workload_index: int
+    spec: WorkloadSpec
+    workload_key: str
+    item: Optional[_CampaignItem]
+    slots: List[_RecordSlot]
+
+
+def _plan_item(
+    item: _CampaignItem,
+    store: Optional["ExperimentStore"],
+    resume: bool,
+    digester: Optional[Callable[..., str]],
+    key_cache: Optional[Dict[int, str]] = None,
+) -> _ItemPlan:
+    """Consult the store for an item's cells and shrink it to the missing ones.
+
+    ``key_cache`` memoises ``content_key()`` per workload index — for
+    concrete-instance workloads the key digests the full payload, which
+    must not be recomputed once per policy chunk.
+    """
+    if store is None:
+        key = ""
+    elif key_cache is not None:
+        key = key_cache.get(item.workload_index)
+        if key is None:
+            # Items are planned in workload-major order, so one live entry
+            # suffices; clearing bounds the cache on unbounded sweeps.
+            key_cache.clear()
+            key = key_cache[item.workload_index] = item.spec.content_key()
+    else:
+        key = item.spec.content_key()
+    slots = [
+        _RecordSlot(
+            policy=name,
+            digest=digester(key, name) if store is not None else "",
+            from_policies=False,
+        )
+        for name in ([OFFLINE_OPTIMAL] if item.emit_offline else [])
+    ] + [
+        _RecordSlot(policy=name, digest=digester(key, name) if store is not None else "")
+        for name in item.policies
+    ]
+    pinned = item.pinned_optimum
+    if resume and store is not None:
+        # The workload's off-line digest is probed even when this item does
+        # not emit it: a stored optimum pins every item of the workload.
+        offline_digest = digester(key, OFFLINE_OPTIMAL)
+        found = store.lookup({slot.digest for slot in slots} | {offline_digest})
+        for slot in slots:
+            hit = found.get(slot.digest)
+            if hit is not None:
+                # The digest deliberately ignores labels (same content, any
+                # label); re-label the cell for the *current* sweep.
+                slot.stored = replace(hit.to_campaign_record(), workload=item.spec.label)
+        offline_hit = found.get(offline_digest)
+        if pinned is None and offline_hit is not None and offline_hit.objective is not None:
+            pinned = offline_hit.objective
+    missing = tuple(
+        slot.policy for slot in slots if slot.stored is None and slot.from_policies
+    )
+    offline_needed = item.emit_offline and slots[0].stored is None
+    if not missing and not offline_needed:
+        reduced: Optional[_CampaignItem] = None
+    else:
+        reduced = replace(
+            item, policies=missing, emit_offline=offline_needed, pinned_optimum=pinned
+        )
+    return _ItemPlan(
+        index=item.index,
+        workload_index=item.workload_index,
+        spec=item.spec,
+        workload_key=key,
+        item=reduced,
+        slots=slots,
+    )
+
+
+# --------------------------------------------------------------------------- #
 # The streaming dispatcher                                                     #
 # --------------------------------------------------------------------------- #
 def stream_campaign(
@@ -415,6 +645,9 @@ def stream_campaign(
     chunk_size: int = 1,
     max_inflight: Optional[int] = None,
     stats: Optional[CampaignStats] = None,
+    store: Optional[Union[str, Path, "ExperimentStore"]] = None,
+    resume: bool = False,
+    run_label: Optional[str] = None,
 ) -> Iterator[CampaignRecord]:
     """Yield campaign records incrementally, in deterministic order.
 
@@ -446,6 +679,18 @@ def stream_campaign(
     stats:
         Optional :class:`CampaignStats` filled in while streaming (counters
         update live; ``elapsed_seconds`` is set when the stream closes).
+    store:
+        Persist every record into this :class:`~repro.store.ExperimentStore`
+        (a path opens — and closes — a store for the duration).  The
+        dispatch registers as a new *run*; records are content-addressed, so
+        re-computing a known cell never duplicates data.  Batches commit
+        incrementally: a killed process loses at most one batch.
+    resume:
+        Skip cells whose digests are already present in ``store`` *before*
+        dispatch — stored records are emitted in place (flagged in
+        ``stats.resumed_records``) and only the missing cells are computed.
+    run_label:
+        Label of the run registered in the store (default ``"campaign"``).
 
     Yields
     ------
@@ -456,6 +701,37 @@ def stream_campaign(
     own_stats = stats if stats is not None else CampaignStats()
     own_stats.max_workers = max_workers
     own_stats.chunk_size = chunk_size
+    if resume and store is None:
+        raise WorkloadError("resume=True needs a store to resume from")
+
+    # Deferred imports: repro.store depends on this module for CampaignRecord,
+    # so the dependency must not be circular at import time.
+    from ..store import ExperimentStore
+    from ..store.digest import record_digest
+
+    own_store: Optional[ExperimentStore] = None
+    if store is not None and not isinstance(store, ExperimentStore):
+        store = own_store = ExperimentStore(store)
+    digester = (
+        (lambda key, policy: record_digest(key, policy)) if store is not None else None
+    )
+
+    run_id: Optional[int] = None
+    writer = None
+    if store is not None:
+        run_id = store.begin_run(
+            run_label or "campaign",
+            meta={
+                "policies": list(policies),
+                "include_offline": include_offline,
+                "chunk_size": chunk_size,
+                "max_workers": max_workers,
+                "resume": resume,
+            },
+        )
+        own_stats.store_run_id = run_id
+        writer = store.writer(run_id)
+
     dispatch_id = next(_DISPATCH_COUNTER)
     items = _campaign_items(
         specs,
@@ -467,71 +743,187 @@ def stream_campaign(
     )
     start = time.perf_counter()
     seen_workloads = -1
+    workload_keys: Dict[int, str] = {}  # content_key memo, see _plan_item
 
-    def account(result: _ItemResult, workload_index: int) -> None:
+    def note_workload(workload_index: int) -> None:
         nonlocal seen_workloads
-        own_stats.items += 1
-        own_stats.records += len(result.records)
-        own_stats.probe_constructions += result.probe_constructions
         seen_workloads = max(seen_workloads, workload_index)
         own_stats.workloads = seen_workloads + 1
         own_stats.elapsed_seconds = time.perf_counter() - start
 
-    if max_workers is None:
-        for item in items:
-            result = _run_campaign_item(item)
-            account(result, item.workload_index)
-            yield from result.records
-        own_stats.elapsed_seconds = time.perf_counter() - start
-        return
+    def account_result(result: _ItemResult, workload_index: int) -> None:
+        own_stats.items += 1
+        own_stats.probe_constructions += result.probe_constructions
+        own_stats.offline_solves += result.offline_solves
+        note_workload(workload_index)
 
-    workers = max_workers if max_workers > 0 else (os.cpu_count() or 1)
+    def emit_plan(
+        plan: _ItemPlan,
+        computed: Sequence[CampaignRecord],
+        optimum: Optional[float],
+    ) -> Iterator[CampaignRecord]:
+        """Interleave stored and computed records in slot order, persisting
+        each one as it streams out."""
+        computed_iter = iter(computed)
+        for slot in plan.slots:
+            if slot.stored is not None:
+                record = slot.stored
+                own_stats.resumed_records += 1
+            else:
+                record = next(computed_iter)
+                own_stats.computed_records += 1
+            own_stats.records += 1
+            if writer is not None:
+                writer.add(
+                    slot.digest,
+                    record,
+                    workload_key=plan.workload_key,
+                    scenario=plan.spec.scenario,
+                    seed=plan.spec.seed,
+                    objective=optimum if slot.policy == OFFLINE_OPTIMAL else None,
+                    computed=slot.stored is None,
+                )
+            yield record
+
+    completed = False
     try:
-        spec_count: Optional[int] = len(specs)  # type: ignore[arg-type]
-    except TypeError:
-        spec_count = None  # generator sweep: item count unknown up front
-    if spec_count is not None:
-        chunks_per_workload = max(1, -(-len(policies) // chunk_size))
-        # The pool spawns every worker eagerly; don't fork more processes
-        # than there are items to run.
-        workers = max(1, min(workers, spec_count * chunks_per_workload))
-    inflight_cap = max_inflight if max_inflight is not None else 4 * workers
-    if inflight_cap < 1:
-        raise WorkloadError("max_inflight must be at least 1")
+        if max_workers is None:
+            for item in items:
+                plan = _plan_item(item, store, resume, digester, workload_keys)
+                if plan.item is None:
+                    note_workload(plan.workload_index)
+                    yield from emit_plan(plan, (), None)
+                    continue
+                result = _run_campaign_item(plan.item)
+                account_result(result, plan.workload_index)
+                yield from emit_plan(plan, result.records, result.optimum)
+            completed = True
+            return
 
-    pending: Dict = {}  # future -> item
-    ready: Dict[int, _ItemResult] = {}  # completed, waiting for emission order
-    next_emit = 0
+        workers = max_workers if max_workers > 0 else (os.cpu_count() or 1)
+        try:
+            spec_count: Optional[int] = len(specs)  # type: ignore[arg-type]
+        except TypeError:
+            spec_count = None  # generator sweep: item count unknown up front
+        if spec_count is not None:
+            chunks_per_workload = max(1, -(-len(policies) // chunk_size))
+            # The pool spawns every worker eagerly; don't fork more processes
+            # than there are items to run.
+            workers = max(1, min(workers, spec_count * chunks_per_workload))
+        inflight_cap = max_inflight if max_inflight is not None else 4 * workers
+        if inflight_cap < 1:
+            raise WorkloadError("max_inflight must be at least 1")
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending: Dict = {}  # future -> plan
+        plans: Dict[int, _ItemPlan] = {}  # admitted, not yet emitted
+        #: completed or fully-resumed, waiting for emission order:
+        #: index -> (computed records, optimum)
+        ready: Dict[int, Tuple[List[CampaignRecord], Optional[float]]] = {}
+        deferred: Dict[int, List[_ItemPlan]] = {}  # workload -> gated plans
+        release_queue: "deque[_ItemPlan]" = deque()
+        known_optimum: Dict[int, float] = {}
+        solving: Set[int] = set()  # workloads with their LP search in flight
+        next_emit = 0
+        exhausted = False
 
-        def submit_up_to_cap() -> None:
-            while len(pending) + len(ready) < inflight_cap:
-                item = next(items, None)
-                if item is None:
-                    return
-                pending[pool.submit(_run_campaign_item, item)] = item
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+
+            def submit(plan: _ItemPlan) -> None:
+                pending[pool.submit(_run_campaign_item, plan.item)] = plan
                 own_stats.peak_in_flight = max(own_stats.peak_in_flight, len(pending))
 
-        submit_up_to_cap()
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                item = pending.pop(future)
-                result = future.result()  # propagate worker exceptions
-                ready[result.index] = result
-                account(result, item.workload_index)
-            own_stats.peak_pending_records = max(
-                own_stats.peak_pending_records,
-                sum(len(r.records) for r in ready.values()),
-            )
-            while next_emit in ready:
-                yield from ready.pop(next_emit).records
-                next_emit += 1
-            submit_up_to_cap()
-        # Emission order is dense, so nothing can remain buffered.
-        assert not ready, "streaming dispatcher lost an item"
-    own_stats.elapsed_seconds = time.perf_counter() - start
+            def admit(plan: _ItemPlan) -> None:
+                """Route one plan: mark ready, submit, or gate on the optimum.
+
+                Items of a workload whose optimum is neither stored nor yet
+                shipped back wait for the workload's first (solver) item, so
+                the LP search runs exactly once per workload.
+                """
+                plans[plan.index] = plan
+                if plan.item is None:
+                    note_workload(plan.workload_index)
+                    ready[plan.index] = ([], None)
+                    return
+                workload = plan.workload_index
+                if plan.item.pinned_optimum is None and not plan.item.emit_offline:
+                    if workload in known_optimum:
+                        plan.item = replace(
+                            plan.item, pinned_optimum=known_optimum[workload]
+                        )
+                    elif workload in solving:
+                        deferred.setdefault(workload, []).append(plan)
+                        return
+                    else:
+                        solving.add(workload)
+                elif plan.item.pinned_optimum is None:
+                    solving.add(workload)  # the emit-offline item is the solver
+                submit(plan)
+
+            def fill() -> None:
+                nonlocal exhausted
+                # Released (previously gated) plans are gated on the pending
+                # count only: the cell blocking in-order emission may itself
+                # sit in the release queue, so counting aggregated-but-
+                # unemitted records here would livelock the stream under an
+                # adverse completion order.
+                while release_queue and len(pending) < inflight_cap:
+                    plan = release_queue.popleft()
+                    plan.item = replace(
+                        plan.item,
+                        pinned_optimum=known_optimum[plan.workload_index],
+                    )
+                    submit(plan)
+                while len(pending) + len(ready) < inflight_cap and not release_queue:
+                    if exhausted:
+                        return
+                    item = next(items, None)
+                    if item is None:
+                        exhausted = True
+                        return
+                    admit(_plan_item(item, store, resume, digester, workload_keys))
+
+            fill()
+            while pending or ready or release_queue or not exhausted:
+                while next_emit in ready:
+                    records, optimum = ready.pop(next_emit)
+                    plan = plans.pop(next_emit)
+                    yield from emit_plan(plan, records, optimum)
+                    next_emit += 1
+                    fill()  # emission freed in-flight budget
+                fill()
+                if not pending:
+                    # Nothing in flight: either more work just became ready /
+                    # releasable (loop again), or the sweep is drained.
+                    if ready or release_queue or not exhausted:
+                        continue
+                    break
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    plan = pending.pop(future)
+                    result = future.result()  # propagate worker exceptions
+                    account_result(result, plan.workload_index)
+                    ready[plan.index] = (result.records, result.optimum)
+                    workload = plan.workload_index
+                    solving.discard(workload)
+                    if result.optimum is not None and workload not in known_optimum:
+                        known_optimum[workload] = result.optimum
+                    if workload in deferred and workload in known_optimum:
+                        release_queue.extend(deferred.pop(workload))
+                own_stats.peak_pending_records = max(
+                    own_stats.peak_pending_records,
+                    sum(len(records) for records, _ in ready.values()),
+                )
+            # Emission order is dense, so nothing can remain buffered.
+            assert not ready and not deferred, "streaming dispatcher lost an item"
+        completed = True
+    finally:
+        own_stats.elapsed_seconds = time.perf_counter() - start
+        if writer is not None:
+            writer.close()
+            own_stats.store_new_records = writer.inserted
+            store.finish_run(run_id, completed=completed, stats=own_stats.as_dict())
+        if own_store is not None:
+            own_store.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -547,6 +939,9 @@ def run_policy_campaign(
     max_workers: Optional[int] = None,
     chunk_size: int = 1,
     max_inflight: Optional[int] = None,
+    store: Optional[Union[str, Path, "ExperimentStore"]] = None,
+    resume: bool = False,
+    run_label: Optional[str] = None,
 ) -> CampaignResult:
     """Run every policy on every instance and collect normalised metrics.
 
@@ -574,6 +969,8 @@ def run_policy_campaign(
         sequential path.
     chunk_size, max_inflight:
         Streaming-dispatch knobs, see :func:`stream_campaign`.
+    store, resume, run_label:
+        Experiment-store sink and resume mode, see :func:`stream_campaign`.
     """
     instances = list(instances)
     if not instances:
@@ -598,6 +995,9 @@ def run_policy_campaign(
         chunk_size=chunk_size,
         max_inflight=max_inflight,
         stats=stats,
+        store=store,
+        resume=resume,
+        run_label=run_label,
     ):
         result.records.append(record)
     return result
@@ -614,6 +1014,9 @@ def run_scenario_campaign(
     max_workers: Optional[int] = None,
     chunk_size: int = 1,
     max_inflight: Optional[int] = None,
+    store: Optional[Union[str, Path, "ExperimentStore"]] = None,
+    resume: bool = False,
+    run_label: Optional[str] = None,
 ) -> CampaignResult:
     """Sweep named workload scenarios (optionally over several seeds).
 
@@ -624,7 +1027,8 @@ def run_scenario_campaign(
     scenario name when a single default seed is used).  Pass ``base_seed``
     (with ``seeds_per_scenario``) instead of explicit ``seeds`` to spawn
     per-scenario seed streams that are reproducible independent of worker
-    count and chunking.
+    count and chunking.  ``store``/``resume`` persist the sweep and top up a
+    partial one (see :func:`stream_campaign`).
     """
     if base_seed is not None and seeds == (None,):
         seeds = None  # the default sentinel must not conflict with base_seed
@@ -642,6 +1046,9 @@ def run_scenario_campaign(
         chunk_size=chunk_size,
         max_inflight=max_inflight,
         stats=stats,
+        store=store,
+        resume=resume,
+        run_label=run_label,
     ):
         result.records.append(record)
     return result

@@ -1,23 +1,36 @@
-"""Least-squares linear regression with the statistics the paper quotes.
+"""Regression analyses: least-squares fits and cross-run metric diffs.
 
 Section 2 of the paper estimates the fixed overheads of the GriPPS divisibility
 experiments by linear regression (1.1 s for sequence partitioning, 10.5 s for
 motif partitioning) and argues that the correlation is "nearly perfectly
 linear".  This module provides the corresponding analysis: slope, intercept,
 coefficient of determination, standard errors and confidence intervals.
+
+It also hosts the *cross-run* regression analysis of the experiment store:
+:func:`cross_run_diff` compares the per-policy headline metrics of two
+campaign runs (today's sweep against last PR's) and flags each delta as
+``ok`` / ``regressed`` / ``improved`` under a relative tolerance — the
+computation behind ``repro-sched store diff``
+(:func:`repro.analysis.reporting.render_cross_run_diff` renders it).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats
 
 from ..exceptions import WorkloadError
 
-__all__ = ["LinearFit", "linear_regression"]
+__all__ = [
+    "CrossRunDiff",
+    "LinearFit",
+    "MetricDelta",
+    "cross_run_diff",
+    "linear_regression",
+]
 
 
 @dataclass(frozen=True)
@@ -117,4 +130,116 @@ def linear_regression(x: Sequence[float], y: Sequence[float]) -> LinearFit:
         slope_stderr=slope_stderr,
         intercept_stderr=intercept_stderr,
         num_points=n,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Cross-run regression diffs                                                   #
+# --------------------------------------------------------------------------- #
+
+#: Metrics compared for exact equality rather than a relative tolerance
+#: (a coverage change is a "changed", never a "regressed").
+_COUNT_METRICS = frozenset({"records"})
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One (policy, metric) comparison between two campaign runs.
+
+    All headline metrics of the experiment store are *lower-is-better*
+    (geo-mean/max normalised degradation, mean preemptions) except the
+    coverage counts in :data:`_COUNT_METRICS`, which are compared for
+    equality.
+    """
+
+    policy: str
+    metric: str
+    baseline: Optional[float]
+    current: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        """``current - baseline`` (``None`` when either side is missing)."""
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    @property
+    def relative_delta(self) -> Optional[float]:
+        """``(current - baseline) / |baseline|``; ``None`` when undefined."""
+        if self.baseline is None or self.current is None or self.baseline == 0:
+            return None
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    def flag(self, tolerance: float = 1e-6) -> str:
+        """Classify the delta: ``ok``/``regressed``/``improved``/``changed``/
+        ``added``/``removed``."""
+        if self.baseline is None:
+            return "added"
+        if self.current is None:
+            return "removed"
+        if self.metric in _COUNT_METRICS:
+            return "ok" if self.current == self.baseline else "changed"
+        scale = max(abs(self.baseline), abs(self.current), 1e-300)
+        if abs(self.current - self.baseline) <= tolerance * scale:
+            return "ok"
+        return "regressed" if self.current > self.baseline else "improved"
+
+
+@dataclass
+class CrossRunDiff:
+    """Per-policy metric deltas between a baseline and a current run.
+
+    Deltas are ordered by (policy, metric), so the diff — and anything
+    rendered from it — is deterministic for given inputs.
+    """
+
+    baseline_label: str
+    current_label: str
+    deltas: List[MetricDelta]
+
+    def for_policy(self, policy: str) -> List[MetricDelta]:
+        """The deltas of one policy."""
+        return [delta for delta in self.deltas if delta.policy == policy]
+
+    def regressions(self, tolerance: float = 1e-6) -> List[MetricDelta]:
+        """Deltas flagged ``regressed`` under ``tolerance``."""
+        return [delta for delta in self.deltas if delta.flag(tolerance) == "regressed"]
+
+    def is_clean(self, tolerance: float = 1e-6) -> bool:
+        """True when every delta is ``ok`` (no regressions, improvements or
+        coverage changes — byte-level reproducibility)."""
+        return all(delta.flag(tolerance) == "ok" for delta in self.deltas)
+
+
+def cross_run_diff(
+    baseline: Mapping[str, Mapping[str, float]],
+    current: Mapping[str, Mapping[str, float]],
+    *,
+    baseline_label: str = "baseline",
+    current_label: str = "current",
+) -> CrossRunDiff:
+    """Diff two ``policy -> metric -> value`` mappings.
+
+    The mappings are what :meth:`repro.store.ExperimentStore.headline_metrics`
+    returns for a finished run; policies or metrics present on only one side
+    yield ``added``/``removed`` deltas instead of being dropped.
+    """
+    if not baseline and not current:
+        raise WorkloadError("cross_run_diff needs at least one non-empty run")
+    deltas: List[MetricDelta] = []
+    for policy in sorted(set(baseline) | set(current)):
+        base_metrics = baseline.get(policy, {})
+        curr_metrics = current.get(policy, {})
+        for metric in sorted(set(base_metrics) | set(curr_metrics)):
+            deltas.append(
+                MetricDelta(
+                    policy=policy,
+                    metric=metric,
+                    baseline=base_metrics.get(metric),
+                    current=curr_metrics.get(metric),
+                )
+            )
+    return CrossRunDiff(
+        baseline_label=baseline_label, current_label=current_label, deltas=deltas
     )

@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .regression import CrossRunDiff
 from .tables import format_table
 
-__all__ = ["ComparisonRecord", "ExperimentReport"]
+__all__ = ["ComparisonRecord", "ExperimentReport", "render_cross_run_diff"]
 
 
 @dataclass(frozen=True)
@@ -95,3 +96,40 @@ class ExperimentReport:
         """Largest relative error across records (0.0 when empty)."""
         errors = [record.relative_error for record in self.records if record.relative_error is not None]
         return max(errors, default=0.0)
+
+
+def render_cross_run_diff(diff: CrossRunDiff, *, tolerance: float = 1e-6) -> str:
+    """Render a :class:`~repro.analysis.regression.CrossRunDiff` as a table.
+
+    One row per (policy, metric) delta with its tolerance flag; the footer
+    summarises the verdict (``clean`` / regression count).  This is the
+    output of ``repro-sched store diff``.
+    """
+    rows = []
+    for delta in diff.deltas:
+        rel = delta.relative_delta
+        rows.append(
+            (
+                delta.policy,
+                delta.metric,
+                "-" if delta.baseline is None else f"{delta.baseline:.6g}",
+                "-" if delta.current is None else f"{delta.current:.6g}",
+                "-" if delta.delta is None else f"{delta.delta:+.3g}",
+                "-" if rel is None else f"{rel:+.3%}",
+                delta.flag(tolerance),
+            )
+        )
+    table = format_table(
+        ["policy", "metric", diff.baseline_label, diff.current_label, "delta", "rel", "flag"],
+        rows,
+        title=f"Cross-run diff: {diff.baseline_label} -> {diff.current_label} "
+        f"(tolerance {tolerance:g})",
+    )
+    regressions = diff.regressions(tolerance)
+    if regressions:
+        verdict = f"{len(regressions)} regression(s) beyond tolerance"
+    elif diff.is_clean(tolerance):
+        verdict = "clean: every metric within tolerance"
+    else:
+        verdict = "no regressions (improvements or coverage changes present)"
+    return f"{table}\n{verdict}"

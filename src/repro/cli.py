@@ -13,7 +13,13 @@ The CLI exposes the library's main workflows without writing any Python:
     On-line replay of the instance with one or all policies.
 ``repro-sched campaign --scenarios ... --policies ... --base-seed N``
     Scenario × seed × policy sweep through the streaming campaign
-    dispatcher (``--max-workers``, ``--chunk-size``).
+    dispatcher (``--max-workers``, ``--chunk-size``); ``--store PATH``
+    persists every record into a content-addressed experiment store and
+    ``--resume`` computes only the cells missing from it.
+``repro-sched store ls|show|diff PATH ...``
+    Query an experiment store: list runs, dump one run's records and
+    headline metrics, or diff two runs policy by policy with tolerance
+    flags.
 ``repro-sched divisibility --dimension sequences|motifs``
     Regenerate the Figure 1 series and its regression.
 
@@ -30,7 +36,12 @@ import sys
 from typing import Optional, Sequence
 
 from . import __version__
-from .analysis import format_table, linear_regression, run_scenario_campaign
+from .analysis import (
+    format_table,
+    linear_regression,
+    render_cross_run_diff,
+    run_scenario_campaign,
+)
 from .core import (
     Instance,
     minimize_makespan,
@@ -156,6 +167,56 @@ def build_parser() -> argparse.ArgumentParser:
         "for normalisation)",
     )
     campaign.add_argument("--output", help="write records and throughput stats to this JSON file")
+    campaign.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persist records into this experiment store (SQLite, created on demand)",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already present in --store; compute only the missing ones",
+    )
+    campaign.add_argument(
+        "--run-label",
+        default=None,
+        help="label of the run registered in --store (default: 'campaign')",
+    )
+
+    # store ----------------------------------------------------------------------
+    store = subparsers.add_parser(
+        "store", help="query a campaign experiment store (runs, records, diffs)"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser("ls", help="list the runs of a store")
+    store_ls.add_argument("path", help="experiment store file")
+    store_show = store_sub.add_parser(
+        "show", help="show one run: headline metrics (and records with --records)"
+    )
+    store_show.add_argument("path", help="experiment store file")
+    store_show.add_argument(
+        "run", help="run reference: an id, a label (latest match), or 'latest'"
+    )
+    store_show.add_argument(
+        "--records", action="store_true", help="also list the run's individual records"
+    )
+    store_diff = store_sub.add_parser(
+        "diff", help="per-policy metric deltas between two runs, with tolerance flags"
+    )
+    store_diff.add_argument("path", help="experiment store file")
+    store_diff.add_argument("baseline", help="baseline run (id, label or 'latest')")
+    store_diff.add_argument("current", help="current run (id, label or 'latest')")
+    store_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-6,
+        help="relative tolerance under which a delta is 'ok' (default 1e-6)",
+    )
+    store_diff.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit with status 1 when any metric regressed beyond the tolerance",
+    )
 
     # divisibility ---------------------------------------------------------------
     divisibility = subparsers.add_parser(
@@ -285,6 +346,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
               "(or list the seeds explicitly with --seeds)", file=sys.stderr)
         return 1
 
+    if args.resume and not args.store:
+        print("error: --resume needs --store PATH to resume from", file=sys.stderr)
+        return 1
+
     result = run_scenario_campaign(
         scenarios,
         policies,
@@ -294,6 +359,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         include_offline=not args.no_offline,
         max_workers=args.max_workers,
         chunk_size=args.chunk_size,
+        store=args.store,
+        resume=args.resume,
+        run_label=args.run_label,
     )
 
     print(result.as_table())
@@ -305,8 +373,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             f"{stats.elapsed_seconds:.2f}s "
             f"({stats.scenarios_per_second:.2f} scenarios/s, "
             f"{stats.probe_constructions} probe constructions, "
+            f"{stats.offline_solves} offline solves, "
             f"peak in-flight {stats.peak_in_flight})"
         )
+        if args.store:
+            print(
+                f"store {args.store}: run #{stats.store_run_id}, "
+                f"{stats.store_new_records} new cells, "
+                f"{stats.resumed_records} resumed "
+                f"(skip rate {stats.resume_skip_rate:.0%})"
+            )
     if args.output:
         payload = {
             "records": [dataclasses.asdict(record) for record in result.records],
@@ -317,6 +393,83 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"campaign written to {args.output}")
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import ExperimentStore, diff_runs
+
+    with ExperimentStore(args.path, create=False) as store:
+        if args.store_command == "ls":
+            rows = [
+                (
+                    run.run_id,
+                    run.label,
+                    run.created_at,
+                    "yes" if run.completed else "no",
+                    run.num_records,
+                )
+                for run in store.runs()
+            ]
+            print(
+                format_table(
+                    ["run", "label", "created", "completed", "records"],
+                    rows,
+                    title=f"Runs in {args.path} ({store.num_records()} distinct cells)",
+                )
+            )
+            return 0
+
+        if args.store_command == "show":
+            run_id = store.resolve_run(args.run)
+            info = next(run for run in store.runs() if run.run_id == run_id)
+            print(
+                f"run #{info.run_id} {info.label!r}, created {info.created_at}, "
+                f"{'completed' if info.completed else 'INCOMPLETE'}, "
+                f"{info.num_records} records"
+            )
+            metrics = store.headline_metrics(run_id)
+            if metrics:
+                rows = [
+                    (policy, metric, value)
+                    for policy, per_metric in sorted(metrics.items())
+                    for metric, value in sorted(per_metric.items())
+                ]
+                print(
+                    format_table(
+                        ["policy", "metric", "value"],
+                        rows,
+                        title="Headline metrics",
+                        float_format=".6g",
+                    )
+                )
+            if args.records:
+                rows = [
+                    (
+                        record.workload,
+                        record.policy,
+                        record.max_weighted_flow,
+                        record.normalised,
+                        record.preemptions,
+                        record.digest[:12],
+                    )
+                    for record in store.run_records(run_id)
+                ]
+                print(
+                    format_table(
+                        ["workload", "policy", "max w-flow", "vs optimum", "preempt", "digest"],
+                        rows,
+                        title="Records (emission order)",
+                        float_format=".4g",
+                    )
+                )
+            return 0
+
+        # diff
+        diff = diff_runs(store, args.baseline, args.current)
+        print(render_cross_run_diff(diff, tolerance=args.tolerance))
+        if args.fail_on_regression and diff.regressions(args.tolerance):
+            return 1
+        return 0
 
 
 def _cmd_divisibility(args: argparse.Namespace) -> int:
@@ -359,6 +512,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_simulate(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "store":
+            return _cmd_store(args)
         if args.command == "divisibility":
             return _cmd_divisibility(args)
     except (ReproError, FileNotFoundError, json.JSONDecodeError, KeyError) as error:

@@ -68,3 +68,11 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator or trace reader received invalid parameters."""
+
+
+class StoreError(ReproError):
+    """The persistent experiment store was misused or is corrupt.
+
+    Raised for unknown run references, schema/epoch mismatches, writes to a
+    closed store, or resume requests without a backing store.
+    """

@@ -121,10 +121,12 @@ class SimulationKernel:
     """Reusable array-backed state for the discrete-event loop.
 
     A kernel owns preallocated numpy vectors (remaining fractions, progress
-    rates) and a pool of
-    :class:`~repro.simulation.state.JobProgress` mirrors.  :meth:`run` binds
-    them to an instance and executes the event loop; running another instance
-    of the same (or smaller) size reuses every buffer.
+    rates), a pool of :class:`~repro.simulation.state.JobProgress` mirrors,
+    and one pooled :class:`~repro.simulation.state.SimulationState` snapshot
+    that is updated in place at every event (no per-event allocation).
+    :meth:`run` binds them to an instance and executes the event loop;
+    running another instance of the same (or smaller) size reuses every
+    buffer.
 
     Kernels are cheap to create but not thread-safe; use one per thread.
     """
@@ -134,6 +136,10 @@ class SimulationKernel:
         self._remaining: Optional[np.ndarray] = None
         self._rate: Optional[np.ndarray] = None
         self._job_pool: List[JobProgress] = []
+        # One pooled policy-facing snapshot, rebound per run and updated in
+        # place per event (policies receive the same object at every event
+        # and must not retain it across decide() calls).
+        self._state: Optional[SimulationState] = None
 
     # ------------------------------------------------------------------ #
     def _bind(self, num_jobs: int) -> Tuple[np.ndarray, np.ndarray, List[JobProgress]]:
@@ -188,6 +194,18 @@ class SimulationKernel:
         if hasattr(scheduler, "reset"):
             scheduler.reset(instance)
 
+        # Pooled snapshot: instance/jobs/active are fixed for the whole run,
+        # only time and next_arrival change per event.
+        state = self._state
+        if state is None:
+            state = self._state = SimulationState(
+                instance=instance, time=time, jobs=jobs, next_arrival=None, active=active
+            )
+        else:
+            state.instance = instance
+            state.jobs = jobs
+            state.active = active
+
         event_count = 0
         while True:
             event_count += 1
@@ -213,13 +231,8 @@ class SimulationKernel:
                 time = next_arrival
                 continue
 
-            state = SimulationState(
-                instance=instance,
-                time=time,
-                jobs=jobs,
-                next_arrival=next_arrival,
-                active=active,
-            )
+            state.time = time
+            state.next_arrival = next_arrival
             decision: AllocationDecision = scheduler.decide(state)
             num_calls += 1
             if validate_decisions:

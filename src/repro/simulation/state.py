@@ -58,6 +58,11 @@ class JobProgress:
 class SimulationState:
     """Snapshot handed to the scheduling policy at every event.
 
+    The array-backed kernel pools one state object per kernel and updates it
+    in place between events, so policies must read what they need inside
+    ``decide`` and must not retain the object (or its ``jobs``/``active``
+    lists) across calls.
+
     Attributes
     ----------
     instance:

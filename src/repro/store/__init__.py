@@ -1,0 +1,29 @@
+"""Persistent experiment store: content-addressed campaign results.
+
+The store subsystem makes campaign results durable and queryable:
+
+* :mod:`repro.store.digest` — deterministic cell digests over
+  (workload key, policy, params, code epoch);
+* :mod:`repro.store.store` — the SQLite-backed
+  :class:`~repro.store.store.ExperimentStore` (runs, records, headline
+  metrics, bulk writer) and :func:`~repro.store.store.diff_runs`.
+
+The campaign dispatcher streams into a store via
+``stream_campaign(..., store=...)`` and skips already-present digests with
+``resume=True``; ``repro-sched store ls/show/diff`` queries it from the CLI.
+"""
+
+from .digest import CODE_EPOCH, canonical_digest, instance_digest, record_digest
+from .store import BulkWriter, ExperimentStore, RunInfo, StoredRecord, diff_runs
+
+__all__ = [
+    "BulkWriter",
+    "CODE_EPOCH",
+    "ExperimentStore",
+    "RunInfo",
+    "StoredRecord",
+    "canonical_digest",
+    "diff_runs",
+    "instance_digest",
+    "record_digest",
+]

@@ -185,6 +185,26 @@ class ScenarioSpec:
         """Materialise the spec into an :class:`Instance`."""
         return make_scenario(self.scenario, self.seed)
 
+    def content_key(self) -> str:
+        """Stable identity of the workload this spec points at.
+
+        Depends only on (scenario name, seed) — the pair that fully
+        determines the generated instance — so the experiment store can
+        content-address results of lazy sweeps without materialising them.
+        """
+        return f"scenario={self.scenario};seed={self.seed}"
+
+    def digest(self) -> str:
+        """Hex SHA-256 of :meth:`content_key` — a compact stable workload id
+        (file names, log keys).
+
+        Note this is *not* the cell digest of the experiment store:
+        :func:`repro.store.record_digest` embeds the raw :meth:`content_key`
+        string (plus policy, params, code epoch) in a canonical-JSON payload
+        and hashes that.
+        """
+        return hashlib.sha256(self.content_key().encode("utf-8")).hexdigest()
+
 
 def spawn_scenario_seeds(base_seed: int, scenario: str, count: int) -> List[int]:
     """Derive ``count`` per-scenario seeds from one base seed.

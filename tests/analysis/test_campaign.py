@@ -206,3 +206,83 @@ class TestScenarioCampaign:
             run_scenario_campaign(
                 ["unrelated-stress"], policies=("mct",), seeds=(1, 2), base_seed=3
             )
+
+
+class TestPinnedOptimumShipping:
+    def test_offline_solved_exactly_once_per_workload_at_any_worker_count(self):
+        """The parent ships each workload's pinned optimum into later items,
+        so the LP search runs once per workload regardless of dispatch."""
+        kwargs = dict(policies=("mct", "fifo", "spt"), base_seed=13, seeds_per_scenario=2)
+        sequential = run_scenario_campaign(["unrelated-stress", "bursty-batch"], **kwargs)
+        assert sequential.stats.offline_solves == 4
+        assert sequential.stats.probe_constructions == 4
+        for max_workers, chunk_size in ((2, 1), (3, 1), (2, 2)):
+            parallel = run_scenario_campaign(
+                ["unrelated-stress", "bursty-batch"],
+                max_workers=max_workers,
+                chunk_size=chunk_size,
+                **kwargs,
+            )
+            assert parallel.records == sequential.records
+            assert parallel.stats.offline_solves == 4, (max_workers, chunk_size)
+            assert parallel.stats.probe_constructions == 4, (max_workers, chunk_size)
+
+    def test_stats_expose_the_new_counters(self):
+        from repro.workload import random_restricted_instance as _rri
+
+        result = run_policy_campaign(
+            [_rri(5, 2, seed=0, num_databanks=2)], policies=("mct",)
+        )
+        stats = result.stats.as_dict()
+        assert stats["offline_solves"] == 1
+        assert stats["computed_records"] == 2
+        assert stats["resumed_records"] == 0
+        assert stats["resume_skip_rate"] == 0.0
+        assert stats["store_run_id"] is None
+
+    def test_tight_inflight_cap_with_gated_items_makes_progress(self):
+        """Regression guard: released (gated) items must not be starved by
+        aggregated-but-unemitted records when max_inflight is tiny."""
+        from repro.workload import random_restricted_instance as _rri
+
+        instances = [_rri(4, 2, seed=seed) for seed in range(4)]
+        reference = run_policy_campaign(instances, policies=("mct", "fifo"))
+        for max_inflight in (1, 2, 3):
+            result = run_policy_campaign(
+                instances,
+                policies=("mct", "fifo"),
+                max_workers=2,
+                max_inflight=max_inflight,
+            )
+            assert result.records == reference.records, max_inflight
+            assert result.stats.peak_in_flight <= max_inflight
+            assert result.stats.offline_solves == 4
+
+
+class TestExplicitOfflinePolicy:
+    def test_offline_optimal_can_be_requested_as_a_policy(self):
+        result = run_scenario_campaign(
+            ["unrelated-stress"], policies=("offline-optimal",),
+            include_offline=False, seeds=(1,),
+        )
+        assert [record.policy for record in result.records] == ["offline-optimal"]
+        assert result.records[0].normalised == pytest.approx(1.0)
+
+    def test_offline_optimal_mixed_with_online_policies(self):
+        result = run_scenario_campaign(
+            ["unrelated-stress"], policies=("offline-optimal", "srpt"), seeds=(1, 2),
+        )
+        # Per workload: the synthetic offline record, the requested
+        # offline-optimal cell, then srpt.
+        assert [record.policy for record in result.records[:3]] == [
+            "offline-optimal", "offline-optimal", "srpt",
+        ]
+        assert len(result.records) == 6
+
+    def test_explicit_offline_cell_reuses_the_context_outcome(self):
+        # One LP search per workload even when offline-optimal is also an
+        # explicit policy: the cell reuses the shared workload context.
+        result = run_scenario_campaign(
+            ["unrelated-stress"], policies=("mct", "offline-optimal"), seeds=(1,),
+        )
+        assert result.stats.offline_solves == 1

@@ -81,3 +81,50 @@ class TestCompareFairness:
     def test_empty_mapping_rejected(self):
         with pytest.raises(WorkloadError):
             compare_fairness({})
+
+
+class TestFairnessEdgeCases:
+    def test_starvation_ratio_is_infinite_when_median_stretch_is_zero(self):
+        # Jobs with zero-size work complete instantly: stretch 0 for the
+        # median job makes the ratio degenerate, reported as inf.
+        from repro.analysis.fairness import FairnessReport
+
+        report = FairnessReport(
+            stretches=[0.0, 0.0, 5.0],
+            weighted_flows=[0.0, 0.0, 5.0],
+            max_stretch=5.0,
+            mean_stretch=5.0 / 3.0,
+            median_stretch=0.0,
+            jain=jain_index([0.0, 0.0, 5.0]),
+            starvation_ratio=float("inf"),
+        )
+        assert report.starvation_ratio == float("inf")
+        assert len(report.as_rows()) == 3
+
+    def test_weighted_flows_follow_job_weights(self):
+        from repro.core import Job, Instance
+
+        jobs = [Job("light", 0.0, weight=1.0), Job("heavy", 0.0, weight=3.0)]
+        costs = [[2.0, 2.0]]
+        instance = Instance.from_costs(jobs, costs)
+        from repro.core import Schedule
+
+        schedule = Schedule(instance)
+        schedule.add_piece(0, 0, 0.0, 2.0, 1.0)
+        schedule.add_piece(1, 0, 2.0, 4.0, 1.0)
+        report = fairness_report(schedule)
+        # heavy finishes at 4 with weight 3 -> weighted flow 12; light 2.
+        assert report.weighted_flows == [pytest.approx(2.0), pytest.approx(12.0)]
+        assert report.as_rows()[1] == (1, pytest.approx(2.0), pytest.approx(12.0))
+
+    def test_comparison_table_orders_by_max_stretch(self):
+        instance = random_restricted_instance(6, 3, seed=4, num_databanks=2,
+                                              stretch_weights=True)
+        from repro.core import minimize_max_stretch
+
+        optimal = minimize_max_stretch(instance).schedule
+        fifo = simulate(instance, FIFOScheduler()).schedule
+        table = compare_fairness({"fifo": fifo, "optimal": optimal})
+        # The stretch-optimal schedule has the smaller max stretch, so its
+        # row renders first regardless of insertion order.
+        assert table.index("optimal") < table.index("fifo")

@@ -70,3 +70,96 @@ class TestInputValidation:
     def test_constant_abscissa(self):
         with pytest.raises(WorkloadError):
             linear_regression([3.0, 3.0, 3.0], [1.0, 2.0, 3.0])
+
+
+class TestCrossRunDiff:
+    def _metrics(self, geo, records=4.0):
+        return {"geo_mean_normalised": geo, "records": records}
+
+    def test_identical_runs_are_clean(self):
+        from repro.analysis import cross_run_diff
+
+        metrics = {"mct": self._metrics(1.5), "fifo": self._metrics(3.0)}
+        diff = cross_run_diff(metrics, metrics)
+        assert diff.is_clean()
+        assert diff.regressions() == []
+        assert all(delta.flag() == "ok" for delta in diff.deltas)
+
+    def test_worse_metric_is_a_regression_better_is_an_improvement(self):
+        from repro.analysis import cross_run_diff
+
+        baseline = {"mct": self._metrics(1.5), "fifo": self._metrics(3.0)}
+        current = {"mct": self._metrics(1.8), "fifo": self._metrics(2.0)}
+        diff = cross_run_diff(baseline, current)
+        flags = {(d.policy, d.metric): d.flag() for d in diff.deltas}
+        assert flags[("mct", "geo_mean_normalised")] == "regressed"
+        assert flags[("fifo", "geo_mean_normalised")] == "improved"
+        assert not diff.is_clean()
+        regression = diff.regressions()[0]
+        assert regression.delta == pytest.approx(0.3)
+        assert regression.relative_delta == pytest.approx(0.2)
+
+    def test_tolerance_suppresses_small_deltas(self):
+        from repro.analysis import cross_run_diff
+
+        diff = cross_run_diff(
+            {"mct": self._metrics(1.5)}, {"mct": self._metrics(1.5 * (1 + 1e-9))}
+        )
+        assert diff.is_clean(1e-6)
+        assert not diff.is_clean(1e-12)
+
+    def test_coverage_changes_are_flagged_changed_not_regressed(self):
+        from repro.analysis import cross_run_diff
+
+        diff = cross_run_diff(
+            {"mct": self._metrics(1.5, records=4.0)},
+            {"mct": self._metrics(1.5, records=6.0)},
+        )
+        flags = {d.metric: d.flag() for d in diff.deltas}
+        assert flags["records"] == "changed"
+        assert diff.regressions() == []
+        assert not diff.is_clean()
+
+    def test_added_and_removed_policies(self):
+        from repro.analysis import cross_run_diff
+
+        diff = cross_run_diff({"mct": self._metrics(1.5)}, {"fifo": self._metrics(2.0)})
+        flags = {(d.policy, d.metric): d.flag() for d in diff.deltas}
+        assert flags[("mct", "geo_mean_normalised")] == "removed"
+        assert flags[("fifo", "geo_mean_normalised")] == "added"
+        for delta in diff.deltas:
+            assert delta.delta is None and delta.relative_delta is None
+
+    def test_deterministic_ordering(self):
+        from repro.analysis import cross_run_diff
+
+        baseline = {"z": self._metrics(1.0), "a": self._metrics(1.0)}
+        diff = cross_run_diff(baseline, baseline)
+        keys = [(d.policy, d.metric) for d in diff.deltas]
+        assert keys == sorted(keys)
+
+    def test_two_empty_runs_rejected(self):
+        from repro.analysis import cross_run_diff
+
+        with pytest.raises(WorkloadError):
+            cross_run_diff({}, {})
+
+    def test_for_policy_selector(self):
+        from repro.analysis import cross_run_diff
+
+        diff = cross_run_diff(
+            {"mct": self._metrics(1.5), "fifo": self._metrics(2.0)},
+            {"mct": self._metrics(1.5), "fifo": self._metrics(2.0)},
+        )
+        assert {d.policy for d in diff.for_policy("mct")} == {"mct"}
+
+    def test_render_cross_run_diff_table(self):
+        from repro.analysis import cross_run_diff, render_cross_run_diff
+
+        baseline = {"mct": self._metrics(1.5)}
+        clean = render_cross_run_diff(cross_run_diff(baseline, baseline))
+        assert "clean" in clean and "mct" in clean and "flag" in clean
+        dirty = render_cross_run_diff(
+            cross_run_diff(baseline, {"mct": self._metrics(9.0)})
+        )
+        assert "regression" in dirty and "regressed" in dirty

@@ -101,3 +101,47 @@ class TestStateViewIntegrity:
         instance = random_unrelated_instance(10, 3, seed=5)
         result = simulate(instance, CheckingScheduler())
         result.schedule.validate()
+
+
+class TestPooledState:
+    def test_state_object_is_pooled_across_events_and_runs(self):
+        # The kernel hands the policy the same SimulationState object at
+        # every event (updated in place) and reuses it across runs.
+        from repro.heuristics.base import OnlineScheduler, exclusive_allocation
+
+        seen = []
+
+        class IdentityRecorder(OnlineScheduler):
+            name = "identity-recorder"
+
+            def decide(self, state):
+                seen.append(id(state))
+                active = state.active_jobs()
+                return exclusive_allocation({0: active[0]})
+
+        kernel = SimulationKernel()
+        kernel.run(random_unrelated_instance(6, 2, seed=1), IdentityRecorder())
+        assert len(set(seen)) == 1  # one object, every event
+        first_run_id = seen[0]
+        seen.clear()
+        kernel.run(random_unrelated_instance(8, 3, seed=2), IdentityRecorder())
+        assert set(seen) == {first_run_id}  # and across runs of one kernel
+
+    def test_pooled_state_tracks_time_and_arrivals(self):
+        from repro.heuristics.base import OnlineScheduler, exclusive_allocation
+
+        observations = []
+
+        class Recorder(OnlineScheduler):
+            name = "recorder"
+
+            def decide(self, state):
+                observations.append((state.time, state.next_arrival))
+                active = state.active_jobs()
+                return exclusive_allocation({0: active[0]})
+
+        instance = random_unrelated_instance(6, 2, seed=3)
+        SimulationKernel().run(instance, Recorder())
+        times = [time for time, _ in observations]
+        assert times == sorted(times)  # in-place updates advance monotonically
+        assert observations[-1][1] is None  # all arrivals eventually consumed

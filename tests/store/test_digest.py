@@ -1,0 +1,76 @@
+"""Unit tests for the content-addressing digest scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import WorkloadSpec
+from repro.exceptions import WorkloadError
+from repro.store import CODE_EPOCH, canonical_digest, instance_digest, record_digest
+from repro.workload import make_scenario
+from repro.workload.scenarios import ScenarioSpec
+
+
+class TestCanonicalDigest:
+    def test_key_order_does_not_matter(self):
+        assert canonical_digest({"a": 1, "b": 2}) == canonical_digest({"b": 2, "a": 1})
+
+    def test_value_changes_do_matter(self):
+        assert canonical_digest({"a": 1}) != canonical_digest({"a": 2})
+
+    def test_stable_hex_format(self):
+        digest = canonical_digest({"x": "y"})
+        assert len(digest) == 64
+        assert all(c in "0123456789abcdef" for c in digest)
+
+    def test_non_finite_values_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_digest({"a": float("inf")})
+
+
+class TestRecordDigest:
+    def test_depends_on_every_component(self):
+        base = record_digest("scenario=s;seed=1", "mct")
+        assert record_digest("scenario=s;seed=2", "mct") != base
+        assert record_digest("scenario=s;seed=1", "fifo") != base
+        assert record_digest("scenario=s;seed=1", "mct", params={"q": 2}) != base
+        assert record_digest("scenario=s;seed=1", "mct", code_epoch="other") != base
+
+    def test_default_epoch_is_baked_in(self):
+        explicit = record_digest("k", "mct", code_epoch=CODE_EPOCH)
+        assert explicit == record_digest("k", "mct")
+
+    def test_empty_params_equal_missing_params(self):
+        assert record_digest("k", "mct", params={}) == record_digest("k", "mct")
+
+
+class TestSpecDigests:
+    def test_scenario_spec_content_key_and_digest(self):
+        spec = ScenarioSpec(label="x", scenario="unrelated-stress", seed=7)
+        assert spec.content_key() == "scenario=unrelated-stress;seed=7"
+        assert len(spec.digest()) == 64
+        other = ScenarioSpec(label="y", scenario="unrelated-stress", seed=8)
+        assert other.digest() != spec.digest()
+
+    def test_workload_spec_scenario_key_matches_scenario_spec(self):
+        scenario = ScenarioSpec(label="x", scenario="unrelated-stress", seed=7)
+        workload = WorkloadSpec.from_scenario(scenario)
+        assert workload.content_key() == scenario.content_key()
+
+    def test_workload_spec_label_does_not_affect_identity(self):
+        instance = make_scenario("unrelated-stress", seed=3)
+        a = WorkloadSpec.from_instance("label-a", instance)
+        b = WorkloadSpec.from_instance("label-b", instance)
+        assert a.content_key() == b.content_key()
+
+    def test_instance_content_is_the_identity(self):
+        one = make_scenario("unrelated-stress", seed=3)
+        two = make_scenario("unrelated-stress", seed=4)
+        key_one = WorkloadSpec.from_instance("w", one).content_key()
+        key_two = WorkloadSpec.from_instance("w", two).content_key()
+        assert key_one != key_two
+        assert key_one == f"instance-sha256={instance_digest(one)}"
+
+    def test_empty_workload_spec_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(label="empty").content_key()

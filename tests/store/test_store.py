@@ -1,0 +1,191 @@
+"""Unit tests for the SQLite experiment store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.campaign import CampaignRecord
+from repro.exceptions import StoreError
+from repro.store import CODE_EPOCH, ExperimentStore, diff_runs, record_digest
+
+
+def _record(workload: str, policy: str, normalised: float = 1.5) -> CampaignRecord:
+    return CampaignRecord(
+        workload=workload,
+        policy=policy,
+        max_weighted_flow=normalised * 10.0,
+        max_stretch=2.0,
+        makespan=30.0,
+        normalised=normalised,
+        preemptions=1,
+    )
+
+
+def _fill_run(store, label, cells, *, batch_size=256):
+    """Write (workload, policy, normalised) cells as one finished run."""
+    run_id = store.begin_run(label, {"cells": len(cells)})
+    with store.writer(run_id, batch_size=batch_size) as writer:
+        for workload, policy, normalised in cells:
+            key = f"scenario={workload};seed=0"
+            writer.add(
+                record_digest(key, policy),
+                _record(workload, policy, normalised),
+                workload_key=key,
+                scenario=workload,
+                seed=0,
+                objective=normalised * 10.0 if policy == "offline-optimal" else None,
+            )
+    store.finish_run(run_id, stats={"records": len(cells)})
+    return run_id
+
+
+class TestStoreLifecycle:
+    def test_schema_created_and_reopened(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with ExperimentStore(path) as store:
+            run_id = _fill_run(store, "first", [("w0", "mct", 1.5)])
+        with ExperimentStore(path, create=False) as store:
+            assert [run.run_id for run in store.runs()] == [run_id]
+            assert store.num_records() == 1
+
+    def test_missing_store_without_create_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            ExperimentStore(tmp_path / "absent.sqlite", create=False)
+
+    def test_closed_store_rejects_use(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store.sqlite")
+        store.close()
+        with pytest.raises(StoreError):
+            store.runs()
+        store.close()  # idempotent
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "foreign.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute("PRAGMA user_version = 99")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError):
+            ExperimentStore(path)
+
+
+class TestRecordsAndRuns:
+    def test_content_addressing_dedupes_across_runs(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.sqlite") as store:
+            cells = [("w0", "mct", 1.5), ("w0", "fifo", 2.5)]
+            first = _fill_run(store, "a", cells)
+            second = _fill_run(store, "b", cells)
+            assert store.num_records() == 2  # content stored once
+            assert len(store.run_records(first)) == 2
+            assert len(store.run_records(second)) == 2  # membership per run
+            # Provenance points at the run that computed the cell.
+            assert all(r.run_id == first for r in store.run_records(second))
+
+    def test_lookup_returns_only_present_digests(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.sqlite") as store:
+            _fill_run(store, "a", [("w0", "mct", 1.5)])
+            key = "scenario=w0;seed=0"
+            present = record_digest(key, "mct")
+            absent = record_digest(key, "fifo")
+            found = store.lookup([present, absent])
+            assert set(found) == {present}
+            stored = found[present]
+            assert stored.policy == "mct"
+            assert stored.code_epoch == CODE_EPOCH
+            assert stored.to_campaign_record() == _record("w0", "mct", 1.5)
+            assert present in store and absent not in store
+
+    def test_small_batches_commit_incrementally(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with ExperimentStore(path) as store:
+            run_id = store.begin_run("partial", {})
+            writer = store.writer(run_id, batch_size=2)
+            for index in range(5):
+                writer.add(
+                    record_digest(f"w{index}", "mct"),
+                    _record(f"w{index}", "mct"),
+                    workload_key=f"w{index}",
+                )
+            # Writer never closed — simulates a killed process.  Two full
+            # batches (4 rows) are already committed.
+            with ExperimentStore(path, create=False) as reader:
+                assert reader.num_records() == 4
+
+    def test_resolve_run_by_id_label_and_latest(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.sqlite") as store:
+            first = _fill_run(store, "alpha", [("w0", "mct", 1.5)])
+            second = _fill_run(store, "alpha", [("w1", "mct", 1.5)])
+            assert store.resolve_run(first) == first
+            assert store.resolve_run(str(first)) == first
+            assert store.resolve_run("alpha") == second  # latest match wins
+            assert store.resolve_run("latest") == second
+            with pytest.raises(StoreError):
+                store.resolve_run("no-such-label")
+            with pytest.raises(StoreError):
+                store.resolve_run(99)
+
+    def test_run_info_carries_meta_and_stats(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.sqlite") as store:
+            _fill_run(store, "a", [("w0", "mct", 1.5)])
+            info = store.runs()[0]
+            assert info.completed
+            assert info.meta == {"cells": 1}
+            assert info.stats == {"records": 1}
+            assert info.num_records == 1
+
+
+class TestHeadlineMetricsAndDiff:
+    def test_headline_metrics_aggregate_per_policy(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.sqlite") as store:
+            run_id = _fill_run(
+                store, "a", [("w0", "mct", 2.0), ("w1", "mct", 8.0), ("w0", "fifo", 3.0)]
+            )
+            metrics = store.headline_metrics(run_id)
+            assert metrics["mct"]["geo_mean_normalised"] == pytest.approx(4.0)
+            assert metrics["mct"]["max_normalised"] == pytest.approx(8.0)
+            assert metrics["mct"]["records"] == 2
+            assert metrics["fifo"]["records"] == 1
+
+    def test_diff_runs_flags_regressions_deterministically(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.sqlite") as store:
+            base = _fill_run(store, "base", [("w0", "mct", 2.0), ("w1", "mct", 2.0)])
+            # mct got worse on one workload in the second run.
+            curr = _fill_run(store, "curr", [("w2", "mct", 2.0), ("w3", "mct", 3.0)])
+            diff = diff_runs(store, base, curr)
+            assert [(d.policy, d.metric) for d in diff.deltas] == sorted(
+                (d.policy, d.metric) for d in diff.deltas
+            )
+            regressed = {(d.policy, d.metric) for d in diff.regressions(1e-6)}
+            assert ("mct", "geo_mean_normalised") in regressed
+            assert ("mct", "max_normalised") in regressed
+            assert not diff.is_clean()
+            # The identical diff computed twice is byte-identical.
+            assert diff == diff_runs(store, base, curr)
+
+    def test_diff_of_unfinished_run_rejected(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.sqlite") as store:
+            done = _fill_run(store, "done", [("w0", "mct", 2.0)])
+            open_run = store.begin_run("open", {})
+            with pytest.raises(StoreError):
+                diff_runs(store, done, open_run)
+
+
+def test_non_sqlite_file_is_a_clean_store_error(tmp_path):
+    path = tmp_path / "not_a_db.sqlite"
+    path.write_text("plain text, not a database\n")
+    with pytest.raises(StoreError):
+        ExperimentStore(path)
+
+
+def test_digit_and_keyword_labels_stay_reachable(tmp_path):
+    with ExperimentStore(tmp_path / "s.sqlite") as store:
+        first = _fill_run(store, "123", [("w0", "mct", 1.5)])
+        second = _fill_run(store, "latest", [("w1", "mct", 1.5)])
+        third = _fill_run(store, "plain", [("w2", "mct", 1.5)])
+        # Labels win over numeric ids and over the 'latest' keyword.
+        assert store.resolve_run("123") == first
+        assert store.resolve_run("latest") == second
+        assert store.resolve_run(str(third)) == third  # unlabelled digits -> id
+        assert store.resolve_run(first) == first  # ints are always ids

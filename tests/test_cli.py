@@ -22,7 +22,8 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("info", "scenario", "solve", "simulate", "campaign", "divisibility"):
+        for command in ("info", "scenario", "solve", "simulate", "campaign", "store",
+                        "divisibility"):
             assert command in text
 
     def test_missing_command_is_an_error(self):
@@ -148,6 +149,58 @@ class TestCampaign:
 
     def test_campaign_unknown_scenario_is_a_clean_error(self, capsys):
         assert main(["campaign", "--scenarios", "no-such", "--policies", "mct"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    @pytest.fixture
+    def store_path(self, tmp_path):
+        """A store holding two identical campaign runs."""
+        path = tmp_path / "experiments.sqlite"
+        base = ["campaign", "--scenarios", "unrelated-stress", "--policies", "mct,fifo",
+                "--seeds", "1,2", "--store", str(path)]
+        assert main(base + ["--run-label", "first"]) == 0
+        assert main(base + ["--resume", "--run-label", "second"]) == 0
+        return path
+
+    def test_campaign_store_reports_resume_skip_rate(self, store_path, capsys):
+        assert main(["campaign", "--scenarios", "unrelated-stress",
+                     "--policies", "mct,fifo", "--seeds", "1,2",
+                     "--store", str(store_path), "--resume"]) == 0
+        output = capsys.readouterr().out
+        assert "skip rate 100%" in output
+        assert "0 offline solves" in output
+
+    def test_campaign_resume_without_store_is_a_clean_error(self, capsys):
+        assert main(["campaign", "--scenarios", "unrelated-stress",
+                     "--policies", "mct", "--resume"]) == 1
+        assert "--store" in capsys.readouterr().err
+
+    def test_store_ls(self, store_path, capsys):
+        assert main(["store", "ls", str(store_path)]) == 0
+        output = capsys.readouterr().out
+        assert "first" in output and "second" in output
+        assert "distinct cells" in output
+
+    def test_store_show_with_records(self, store_path, capsys):
+        assert main(["store", "show", str(store_path), "first", "--records"]) == 0
+        output = capsys.readouterr().out
+        assert "geo_mean_normalised" in output
+        assert "offline-optimal" in output
+        assert "unrelated-stress#1" in output
+
+    def test_store_diff_is_clean_between_identical_runs(self, store_path, capsys):
+        assert main(["store", "diff", str(store_path), "first", "second",
+                     "--fail-on-regression"]) == 0
+        output = capsys.readouterr().out
+        assert "clean" in output and "flag" in output
+
+    def test_store_diff_unknown_run_is_a_clean_error(self, store_path, capsys):
+        assert main(["store", "diff", str(store_path), "first", "no-such-run"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_store_ls_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["store", "ls", str(tmp_path / "absent.sqlite")]) == 1
         assert "error:" in capsys.readouterr().err
 
 
