@@ -1,0 +1,123 @@
+"""Acceptance bench for the parametric replanning runtime (PR 4 tentpole).
+
+Protects the three headline properties of the probe-backed on-line policies:
+
+1. **Byte-identical schedules** — the ``online-offline`` policy backed by the
+   shared :class:`~repro.core.replanning.ReplanProbe` (``parametric=True``,
+   the default) executes exactly the same schedule, event trace and
+   completion times as the pre-refactor from-scratch rebuild
+   (``parametric=False``).
+2. **Model-build economy** — the from-scratch path builds one feasibility LP
+   per check, O(events × bisection steps) per simulation; the probe path
+   builds one per *distinct active-set structure*.  Per simulation that is a
+   ≥ 3× reduction, and as events accumulate across runs (the campaign case:
+   one scheduler, many seeds) the cumulative checks-per-build ratio *grows*
+   — builds are sublinear in events while from-scratch builds stay linear,
+   i.e. the build count drops superlinearly with the event count.
+3. **No slower** — the probe-backed simulation must not lose wall-clock time
+   to its bookkeeping (it should win: the symbolic build and lowering it
+   skips dominate small LP solves).
+
+Marked ``bench`` (hence tier-2): run with ``-m bench``/``-m tier2`` or by
+dropping the tier-1 filter.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.heuristics import OnlineOfflineAdaptationScheduler
+from repro.simulation import simulate, simulate_many
+from repro.workload import random_unrelated_instance
+
+
+def _staggered_instance(num_jobs: int, seed: int = 7):
+    """An unrelated instance whose arrivals stagger into many replanning events."""
+    return random_unrelated_instance(
+        num_jobs, 3, cost_range=(2.0, 12.0), forbidden_probability=0.0, seed=seed
+    )
+
+
+def _run(num_jobs: int, parametric: bool):
+    scheduler = OnlineOfflineAdaptationScheduler(parametric=parametric)
+    instance = _staggered_instance(num_jobs)
+    start = time.perf_counter()
+    result = simulate(instance, scheduler)
+    elapsed = time.perf_counter() - start
+    return result, scheduler, elapsed
+
+
+@pytest.mark.bench
+def test_parametric_replanning_is_byte_identical_with_fewer_builds():
+    for num_jobs in (8, 16, 24):
+        scratch_result, scratch, scratch_seconds = _run(num_jobs, parametric=False)
+        probe_result, probed, probe_seconds = _run(num_jobs, parametric=True)
+
+        # 1. Byte-identical output.
+        assert probe_result.schedule.pieces == scratch_result.schedule.pieces
+        assert probe_result.events == scratch_result.events
+        assert probe_result.completion_times == scratch_result.completion_times
+        assert probe_result.num_preemptions == scratch_result.num_preemptions
+
+        # 2. Build economy: one build per feasibility check from scratch, one
+        # per distinct structure through the probe — at least 3x fewer.
+        checks = probed.replanning_feasibility_checks
+        builds = probed.replanning_model_builds
+        assert scratch.replanning_model_builds == scratch.replanning_feasibility_checks
+        assert checks == scratch.replanning_feasibility_checks
+        assert probed.replanning_count == scratch.replanning_count
+        assert builds * 3 <= checks, (num_jobs, builds, checks)
+
+        print(
+            f"[replanning] n={num_jobs}: events={probed.replanning_count} "
+            f"checks={checks} builds={builds} "
+            f"(from-scratch {scratch.replanning_model_builds}) "
+            f"time {scratch_seconds:.2f}s -> {probe_seconds:.2f}s "
+            f"({scratch_seconds / max(probe_seconds, 1e-9):.1f}x)"
+        )
+
+
+@pytest.mark.bench
+def test_model_builds_drop_superlinearly_as_events_accumulate():
+    """Builds are sublinear in events: the checks-per-build ratio grows.
+
+    One scheduler replays batches of seeded instances (the campaign shape);
+    every batch adds a linear slice of replanning events and feasibility
+    checks, but active-set structures repeat across runs, so the cumulative
+    build count falls ever further behind the from-scratch O(checks) line.
+    """
+    scheduler = OnlineOfflineAdaptationScheduler()
+    probe = scheduler.replan_probe
+    ratios = []
+    for batch in range(3):
+        seeds = range(batch * 4, batch * 4 + 4)
+        instances = [_staggered_instance(10, seed=s) for s in seeds]
+        simulate_many(instances, scheduler)
+        ratios.append(probe.probes / probe.model_constructions)
+        print(
+            f"[replanning] after {(batch + 1) * 4} runs: checks={probe.probes} "
+            f"builds={probe.model_constructions} "
+            f"(checks/build {ratios[-1]:.2f})"
+        )
+    # Strictly fewer builds than a linear-in-events baseline at every point...
+    assert probe.model_constructions * 5 <= probe.probes
+    # ...and the amortisation improves as events accumulate.
+    assert ratios[-1] > ratios[0], ratios
+
+
+@pytest.mark.bench
+def test_parametric_replanning_is_no_slower(bench_scale):
+    num_jobs = 24 if bench_scale == "small" else 60
+    # Warm both paths once (imports, scipy setup), then time best-of-3.
+    _run(num_jobs, parametric=False)
+    _run(num_jobs, parametric=True)
+    scratch_best = min(_run(num_jobs, parametric=False)[2] for _ in range(3))
+    probe_best = min(_run(num_jobs, parametric=True)[2] for _ in range(3))
+    print(
+        f"[replanning] n={num_jobs}: from-scratch {scratch_best:.3f}s, "
+        f"probe-backed {probe_best:.3f}s ({scratch_best / max(probe_best, 1e-9):.2f}x)"
+    )
+    # Generous slack: the probe must never lose meaningful time.
+    assert probe_best <= scratch_best * 1.10

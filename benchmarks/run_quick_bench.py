@@ -43,10 +43,10 @@ from repro.core import (  # noqa: E402
     minimize_max_weighted_flow,
     minimize_max_weighted_flow_bisection,
 )
-from repro.heuristics import make_scheduler  # noqa: E402
+from repro.heuristics import OnlineOfflineAdaptationScheduler, make_scheduler  # noqa: E402
 from repro.lp import to_matrix_form  # noqa: E402
 from repro.lp.scipy_backend import solve_matrix_form  # noqa: E402
-from repro.simulation import SimulationKernel  # noqa: E402
+from repro.simulation import SimulationKernel, simulate  # noqa: E402
 from repro.workload import random_unrelated_instance  # noqa: E402
 
 from bench_lp_backends import _largest_bench_lp  # noqa: E402  (same directory)
@@ -130,6 +130,43 @@ def bench_engine(num_jobs: int = 150, num_machines: int = 6, repeats: int = 5) -
         "num_machines": num_machines,
         "policy": "fifo",
         "single_simulation_seconds": best,
+    }
+
+
+def bench_replanning(num_jobs: int = 16, num_machines: int = 3) -> dict:
+    """Parametric-replanning speedup of the on-line LP adaptation.
+
+    One simulation per path: the probe-backed default against the
+    from-scratch rebuild.  Schedules must be byte-identical; the record
+    carries the feasibility-check/model-build counts and the wall-clock
+    speedup for the PR-over-PR trajectory.
+    """
+    instance = random_unrelated_instance(
+        num_jobs, num_machines, cost_range=(2.0, 12.0), forbidden_probability=0.0, seed=7
+    )
+    timings = {}
+    results = {}
+    schedulers = {}
+    for label, parametric in (("from_scratch", False), ("parametric", True)):
+        scheduler = OnlineOfflineAdaptationScheduler(parametric=parametric)
+        start = time.perf_counter()
+        results[label] = simulate(instance, scheduler)
+        timings[label] = time.perf_counter() - start
+        schedulers[label] = scheduler
+    assert results["parametric"].schedule.pieces == results["from_scratch"].schedule.pieces
+    probe = schedulers["parametric"].replan_probe
+    assert probe.model_constructions < probe.probes
+    return {
+        "num_jobs": num_jobs,
+        "num_machines": num_machines,
+        "replanning_events": schedulers["parametric"].replanning_count,
+        "feasibility_checks": probe.probes,
+        "model_builds_parametric": probe.model_constructions,
+        "model_builds_from_scratch": schedulers["from_scratch"].replanning_model_builds,
+        "from_scratch_seconds": timings["from_scratch"],
+        "parametric_seconds": timings["parametric"],
+        "replanning_speedup": timings["from_scratch"] / max(timings["parametric"], 1e-12),
+        "schedules_identical": True,
     }
 
 
@@ -320,6 +357,7 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count() or 1,
         "engine": bench_engine(),
+        "replanning": bench_replanning(),
         "campaign": bench_campaign(),
         "pr1_comparison": bench_pr1_comparison(),
         "store": bench_store(os.path.abspath(args.store)),
@@ -355,6 +393,13 @@ def main(argv=None) -> int:
     print(
         f"engine: {engine['single_simulation_seconds'] * 1e3:.2f}ms per "
         f"{engine['num_jobs']}-job simulation (warm kernel)"
+    )
+    replanning = campaign_record["replanning"]
+    print(
+        f"replanning: {replanning['feasibility_checks']} checks -> "
+        f"{replanning['model_builds_parametric']} models built "
+        f"(from-scratch {replanning['model_builds_from_scratch']}), "
+        f"{replanning['replanning_speedup']:.2f}x faster, schedules identical"
     )
     for label, run in campaign["runs"].items():
         print(

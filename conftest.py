@@ -8,7 +8,14 @@ ROADMAP.md) deselects ``tier2``::
 ``tier2`` marks the slow store/bench round-trip tests (bulk-insert
 throughput, resume skip-rate sweeps); run them explicitly with
 ``-m tier2`` or by omitting the deselection.
+
+``bench`` is an alias marker for the heavyweight acceptance benches: any
+test marked ``bench`` is automatically also marked ``tier2`` (so bench
+modules only need the one marker and tier-1 stays fast), and the benches
+can be selected as a family with ``-m bench``.
 """
+
+import pytest
 
 
 def pytest_configure(config):
@@ -16,3 +23,13 @@ def pytest_configure(config):
         "markers",
         "tier2: slow store/bench round-trip tests, deselected from the tier-1 gate",
     )
+    config.addinivalue_line(
+        "markers",
+        "bench: heavyweight acceptance benches; implies tier2 (tier-1 deselects them)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if item.get_closest_marker("bench") and not item.get_closest_marker("tier2"):
+            item.add_marker(pytest.mark.tier2)

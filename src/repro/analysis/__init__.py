@@ -11,8 +11,22 @@ from .campaign import (
 )
 from .fairness import FairnessReport, compare_fairness, fairness_report, jain_index
 from .plots import ascii_scatter, ascii_series
-from .regression import CrossRunDiff, LinearFit, MetricDelta, cross_run_diff, linear_regression
-from .reporting import ComparisonRecord, ExperimentReport, render_cross_run_diff
+from .regression import (
+    CellDelta,
+    CellDiff,
+    CrossRunDiff,
+    LinearFit,
+    MetricDelta,
+    cross_run_cell_diff,
+    cross_run_diff,
+    linear_regression,
+)
+from .reporting import (
+    ComparisonRecord,
+    ExperimentReport,
+    render_cell_diff,
+    render_cross_run_diff,
+)
 from .stats import (
     SummaryStatistics,
     confidence_interval,
@@ -36,11 +50,15 @@ __all__ = [
     "run_policy_campaign",
     "run_scenario_campaign",
     "stream_campaign",
+    "CellDelta",
+    "CellDiff",
     "CrossRunDiff",
     "LinearFit",
     "MetricDelta",
     "SummaryStatistics",
+    "cross_run_cell_diff",
     "cross_run_diff",
+    "render_cell_diff",
     "render_cross_run_diff",
     "ascii_scatter",
     "ascii_series",

@@ -67,7 +67,12 @@ from ..core.instance import Instance
 from ..core.maxflow import FeasibilityProbe
 from ..exceptions import WorkloadError
 from ..heuristics import OnlinePolicy, PolicyOutcome, make_policy
-from ..heuristics.registry import OFFLINE_OPTIMAL, SchedulingPolicy, policy_spec
+from ..heuristics.registry import (
+    OFFLINE_OPTIMAL,
+    SchedulingPolicy,
+    policy_spec,
+    resolve_policy_variant,
+)
 from ..simulation import SimulationKernel
 from ..workload.scenarios import ScenarioSpec, make_scenario, scenario_grid
 from .stats import geometric_mean, summarize
@@ -368,13 +373,34 @@ def _thread_kernel() -> SimulationKernel:
     return kernel
 
 
+def _policy_base_name(token: str) -> str:
+    """Base registry name of a (possibly parameterised) policy token."""
+    return token.partition(":")[0] if ":" in token else token
+
+
+def _policy_cell_identity(token: str) -> Tuple[str, Dict]:
+    """The ``(policy name, params)`` identity a cell token digests under.
+
+    Registered policies resolve their variant tokens to the canonical base
+    name plus non-default params (so ``"name:param=default"`` digests like a
+    bare ``"name"``); unregistered names — legacy ``scheduler_factory``
+    campaigns — digest the raw token with empty params, as before.
+    """
+    try:
+        policy_spec(_policy_base_name(token))
+    except KeyError:
+        return token, {}
+    variant = resolve_policy_variant(token)
+    return variant.base, dict(variant.params)
+
+
 def _item_needs_probe(item: _CampaignItem) -> bool:
     """Whether any of the item's policies is off-line (wants a shared probe)."""
     if item.scheduler_factory is not None:
         return False  # legacy factories produce on-line schedulers only
     for name in item.policies:
         try:
-            if policy_spec(name).kind == "offline":
+            if policy_spec(_policy_base_name(name)).kind == "offline":
                 return True
         except KeyError:
             return True  # unknown name: build the probe, let make_policy raise
@@ -450,6 +476,24 @@ def _record_from_outcome(
     )
 
 
+def _compatible_probe(
+    probe: Optional[FeasibilityProbe], policy: SchedulingPolicy
+) -> Optional[FeasibilityProbe]:
+    """The shared workload probe, unless the policy's LP model mismatches it.
+
+    Parameterised off-line variants (``offline-optimal:preemptive=true``) use
+    a different parametric model than the workload's shared probe; handing
+    them the mismatched probe would raise, so they solve standalone instead.
+    """
+    if probe is None or policy.kind != "offline":
+        return probe
+    if getattr(policy, "preemptive", False) != probe.preemptive:
+        return None
+    if getattr(policy, "backend", probe.backend) != probe.backend:
+        return None
+    return probe
+
+
 def _run_campaign_item(item: _CampaignItem) -> _ItemResult:
     """Measure one item: (workload, policy chunk), sharing the workload context.
 
@@ -482,7 +526,9 @@ def _run_campaign_item(item: _CampaignItem) -> _ItemResult:
             records.append(_record_from_outcome(item.spec.label, offline, optimum))
             continue
         policy = _resolve_policy(name, item.scheduler_factory)
-        outcome = policy.run(instance, probe=probe, kernel=kernel)
+        outcome = policy.run(
+            instance, probe=_compatible_probe(probe, policy), kernel=kernel
+        )
         records.append(_record_from_outcome(item.spec.label, outcome, optimum))
     return _ItemResult(
         index=item.index,
@@ -494,6 +540,10 @@ def _run_campaign_item(item: _CampaignItem) -> _ItemResult:
 
 
 _DISPATCH_COUNTER = itertools.count()
+
+#: Items planned per store-lookup round on the in-process path (the parallel
+#: path rounds by its in-flight budget instead).
+_PLAN_BATCH = 64
 
 
 def _campaign_items(
@@ -562,74 +612,94 @@ class _ItemPlan:
     slots: List[_RecordSlot]
 
 
-def _plan_item(
-    item: _CampaignItem,
+def _plan_items(
+    items: Sequence[_CampaignItem],
     store: Optional["ExperimentStore"],
     resume: bool,
     digester: Optional[Callable[..., str]],
     key_cache: Optional[Dict[int, str]] = None,
-) -> _ItemPlan:
-    """Consult the store for an item's cells and shrink it to the missing ones.
+) -> List[_ItemPlan]:
+    """Consult the store for a batch of items and shrink each to its missing cells.
+
+    All the batch's cell digests (plus each workload's off-line digest, which
+    pins the optimum even for items that do not emit it) go to the store in
+    **one** :meth:`~repro.store.ExperimentStore.lookup` call — one ``IN``
+    query per planning round instead of one per dispatched item, which is
+    what keeps parent-side query counts flat on 10k-cell resumed sweeps.
 
     ``key_cache`` memoises ``content_key()`` per workload index — for
-    concrete-instance workloads the key digests the full payload, which
-    must not be recomputed once per policy chunk.
+    concrete-instance workloads the key digests the full payload, which must
+    not be recomputed once per policy chunk.
     """
-    if store is None:
-        key = ""
-    elif key_cache is not None:
-        key = key_cache.get(item.workload_index)
-        if key is None:
-            # Items are planned in workload-major order, so one live entry
-            # suffices; clearing bounds the cache on unbounded sweeps.
-            key_cache.clear()
-            key = key_cache[item.workload_index] = item.spec.content_key()
-    else:
-        key = item.spec.content_key()
-    slots = [
-        _RecordSlot(
-            policy=name,
-            digest=digester(key, name) if store is not None else "",
-            from_policies=False,
+    prepared: List[Tuple[_CampaignItem, str, List[_RecordSlot], str]] = []
+    wanted: Set[str] = set()
+    for item in items:
+        if store is None:
+            key = ""
+        elif key_cache is not None:
+            key = key_cache.get(item.workload_index)
+            if key is None:
+                # Items arrive in workload-major order, so one live entry
+                # suffices; clearing bounds the cache on unbounded sweeps.
+                key_cache.clear()
+                key = key_cache[item.workload_index] = item.spec.content_key()
+        else:
+            key = item.spec.content_key()
+        slots = [
+            _RecordSlot(
+                policy=name,
+                digest=digester(key, name) if store is not None else "",
+                from_policies=False,
+            )
+            for name in ([OFFLINE_OPTIMAL] if item.emit_offline else [])
+        ] + [
+            _RecordSlot(policy=name, digest=digester(key, name) if store is not None else "")
+            for name in item.policies
+        ]
+        offline_digest = digester(key, OFFLINE_OPTIMAL) if resume and store is not None else ""
+        if resume and store is not None:
+            wanted.update(slot.digest for slot in slots)
+            wanted.add(offline_digest)
+        prepared.append((item, key, slots, offline_digest))
+
+    found = store.lookup(wanted) if wanted else {}
+
+    plans: List[_ItemPlan] = []
+    for item, key, slots, offline_digest in prepared:
+        pinned = item.pinned_optimum
+        if resume and store is not None:
+            for slot in slots:
+                hit = found.get(slot.digest)
+                if hit is not None:
+                    # The digest deliberately ignores labels (same content,
+                    # any label); re-label the cell for the *current* sweep.
+                    slot.stored = replace(
+                        hit.to_campaign_record(), workload=item.spec.label
+                    )
+            offline_hit = found.get(offline_digest)
+            if pinned is None and offline_hit is not None and offline_hit.objective is not None:
+                pinned = offline_hit.objective
+        missing = tuple(
+            slot.policy for slot in slots if slot.stored is None and slot.from_policies
         )
-        for name in ([OFFLINE_OPTIMAL] if item.emit_offline else [])
-    ] + [
-        _RecordSlot(policy=name, digest=digester(key, name) if store is not None else "")
-        for name in item.policies
-    ]
-    pinned = item.pinned_optimum
-    if resume and store is not None:
-        # The workload's off-line digest is probed even when this item does
-        # not emit it: a stored optimum pins every item of the workload.
-        offline_digest = digester(key, OFFLINE_OPTIMAL)
-        found = store.lookup({slot.digest for slot in slots} | {offline_digest})
-        for slot in slots:
-            hit = found.get(slot.digest)
-            if hit is not None:
-                # The digest deliberately ignores labels (same content, any
-                # label); re-label the cell for the *current* sweep.
-                slot.stored = replace(hit.to_campaign_record(), workload=item.spec.label)
-        offline_hit = found.get(offline_digest)
-        if pinned is None and offline_hit is not None and offline_hit.objective is not None:
-            pinned = offline_hit.objective
-    missing = tuple(
-        slot.policy for slot in slots if slot.stored is None and slot.from_policies
-    )
-    offline_needed = item.emit_offline and slots[0].stored is None
-    if not missing and not offline_needed:
-        reduced: Optional[_CampaignItem] = None
-    else:
-        reduced = replace(
-            item, policies=missing, emit_offline=offline_needed, pinned_optimum=pinned
+        offline_needed = item.emit_offline and slots[0].stored is None
+        if not missing and not offline_needed:
+            reduced: Optional[_CampaignItem] = None
+        else:
+            reduced = replace(
+                item, policies=missing, emit_offline=offline_needed, pinned_optimum=pinned
+            )
+        plans.append(
+            _ItemPlan(
+                index=item.index,
+                workload_index=item.workload_index,
+                spec=item.spec,
+                workload_key=key,
+                item=reduced,
+                slots=slots,
+            )
         )
-    return _ItemPlan(
-        index=item.index,
-        workload_index=item.workload_index,
-        spec=item.spec,
-        workload_key=key,
-        item=reduced,
-        slots=slots,
-    )
+    return plans
 
 
 # --------------------------------------------------------------------------- #
@@ -712,9 +782,22 @@ def stream_campaign(
     own_store: Optional[ExperimentStore] = None
     if store is not None and not isinstance(store, ExperimentStore):
         store = own_store = ExperimentStore(store)
-    digester = (
-        (lambda key, policy: record_digest(key, policy)) if store is not None else None
-    )
+    digester = None
+    if store is not None:
+        # Cell identity is (base policy, non-default params): parameterised
+        # variants digest distinct cells while bare names keep their
+        # historical digests (legacy factory names stay opaque tokens).
+        identity_memo: Dict[str, Tuple[str, Dict]] = {}
+
+        def digester(key: str, token: str) -> str:
+            identity = identity_memo.get(token)
+            if identity is None:
+                if scheduler_factory is not None:
+                    identity = (token, {})
+                else:
+                    identity = _policy_cell_identity(token)
+                identity_memo[token] = identity
+            return record_digest(key, identity[0], params=identity[1])
 
     run_id: Optional[int] = None
     writer = None
@@ -788,15 +871,18 @@ def stream_campaign(
     completed = False
     try:
         if max_workers is None:
-            for item in items:
-                plan = _plan_item(item, store, resume, digester, workload_keys)
-                if plan.item is None:
-                    note_workload(plan.workload_index)
-                    yield from emit_plan(plan, (), None)
-                    continue
-                result = _run_campaign_item(plan.item)
-                account_result(result, plan.workload_index)
-                yield from emit_plan(plan, result.records, result.optimum)
+            while True:
+                batch = list(itertools.islice(items, _PLAN_BATCH))
+                if not batch:
+                    break
+                for plan in _plan_items(batch, store, resume, digester, workload_keys):
+                    if plan.item is None:
+                        note_workload(plan.workload_index)
+                        yield from emit_plan(plan, (), None)
+                        continue
+                    result = _run_campaign_item(plan.item)
+                    account_result(result, plan.workload_index)
+                    yield from emit_plan(plan, result.records, result.optimum)
             completed = True
             return
 
@@ -873,14 +959,19 @@ def stream_campaign(
                         pinned_optimum=known_optimum[plan.workload_index],
                     )
                     submit(plan)
+                # Admissions are planned in rounds: the whole round's store
+                # lookups collapse into one IN query (see _plan_items).
                 while len(pending) + len(ready) < inflight_cap and not release_queue:
                     if exhausted:
                         return
-                    item = next(items, None)
-                    if item is None:
+                    budget = inflight_cap - len(pending) - len(ready)
+                    batch = list(itertools.islice(items, budget))
+                    if len(batch) < budget:
                         exhausted = True
+                    if not batch:
                         return
-                    admit(_plan_item(item, store, resume, digester, workload_keys))
+                    for plan in _plan_items(batch, store, resume, digester, workload_keys):
+                        admit(plan)
 
             fill()
             while pending or ready or release_queue or not exhausted:

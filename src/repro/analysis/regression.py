@@ -25,9 +25,12 @@ from scipy import stats
 from ..exceptions import WorkloadError
 
 __all__ = [
+    "CellDelta",
+    "CellDiff",
     "CrossRunDiff",
     "LinearFit",
     "MetricDelta",
+    "cross_run_cell_diff",
     "cross_run_diff",
     "linear_regression",
 ]
@@ -210,6 +213,123 @@ class CrossRunDiff:
         """True when every delta is ``ok`` (no regressions, improvements or
         coverage changes — byte-level reproducibility)."""
         return all(delta.flag(tolerance) == "ok" for delta in self.deltas)
+
+
+# --------------------------------------------------------------------------- #
+# Per-cell diffs                                                                #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CellDelta:
+    """One per-cell comparison: a (workload, policy) measurement in two runs.
+
+    Where :class:`MetricDelta` compares per-policy *aggregates*, a cell delta
+    localises a change to one scenario: cells are joined on
+    ``(workload_key, policy)`` — the same identity the store digests — so
+    label changes between sweeps do not break the join.  The compared metric
+    is lower-is-better (``max_weighted_flow`` by default).
+    """
+
+    workload: str
+    workload_key: str
+    policy: str
+    baseline: Optional[float]
+    current: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        """``current - baseline`` (``None`` when either side is missing)."""
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    @property
+    def relative_delta(self) -> Optional[float]:
+        """``(current - baseline) / |baseline|``; ``None`` when undefined."""
+        if self.baseline is None or self.current is None or self.baseline == 0:
+            return None
+        return (self.current - self.baseline) / abs(self.baseline)
+
+    def flag(self, tolerance: float = 1e-6) -> str:
+        """Classify: ``ok``/``regressed``/``improved``/``added``/``removed``."""
+        if self.baseline is None:
+            return "added"
+        if self.current is None:
+            return "removed"
+        scale = max(abs(self.baseline), abs(self.current), 1e-300)
+        if abs(self.current - self.baseline) <= tolerance * scale:
+            return "ok"
+        return "regressed" if self.current > self.baseline else "improved"
+
+
+@dataclass
+class CellDiff:
+    """Per-cell deltas between two runs, ordered by (policy, workload key)."""
+
+    baseline_label: str
+    current_label: str
+    metric: str
+    deltas: List[CellDelta]
+
+    def regressions(self, tolerance: float = 1e-6) -> List[CellDelta]:
+        """Cells flagged ``regressed`` under ``tolerance``."""
+        return [delta for delta in self.deltas if delta.flag(tolerance) == "regressed"]
+
+    def non_ok(self, tolerance: float = 1e-6) -> List[CellDelta]:
+        """Cells whose flag is anything but ``ok``."""
+        return [delta for delta in self.deltas if delta.flag(tolerance) != "ok"]
+
+    def is_clean(self, tolerance: float = 1e-6) -> bool:
+        """True when every joined cell is within tolerance and none is missing."""
+        return not self.non_ok(tolerance)
+
+
+def cross_run_cell_diff(
+    baseline_cells: Sequence,
+    current_cells: Sequence,
+    *,
+    metric: str = "max_weighted_flow",
+    baseline_label: str = "baseline",
+    current_label: str = "current",
+) -> CellDiff:
+    """Join two runs' cells on (workload key, policy) and diff one metric.
+
+    ``baseline_cells``/``current_cells`` are record-like objects exposing
+    ``workload_key``, ``policy``, ``workload`` and the ``metric`` attribute —
+    :class:`repro.store.StoredRecord` rows in practice
+    (:func:`repro.store.diff_run_cells` is the store-level entry point).
+    Cells present on only one side yield ``added``/``removed`` deltas, which
+    is how a coverage change (new scenario, new policy variant) shows up.
+    """
+
+    def index(cells) -> Dict[Tuple[str, str], object]:
+        table: Dict[Tuple[str, str], object] = {}
+        for cell in cells:
+            table[(cell.policy, cell.workload_key)] = cell
+        return table
+
+    base_table = index(baseline_cells)
+    curr_table = index(current_cells)
+    deltas: List[CellDelta] = []
+    for key in sorted(set(base_table) | set(curr_table)):
+        policy, workload_key = key
+        base = base_table.get(key)
+        curr = curr_table.get(key)
+        label_source = curr if curr is not None else base
+        deltas.append(
+            CellDelta(
+                workload=getattr(label_source, "workload", workload_key),
+                workload_key=workload_key,
+                policy=policy,
+                baseline=None if base is None else float(getattr(base, metric)),
+                current=None if curr is None else float(getattr(curr, metric)),
+            )
+        )
+    return CellDiff(
+        baseline_label=baseline_label,
+        current_label=current_label,
+        metric=metric,
+        deltas=deltas,
+    )
 
 
 def cross_run_diff(

@@ -11,10 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from .regression import CrossRunDiff
+from .regression import CellDiff, CrossRunDiff
 from .tables import format_table
 
-__all__ = ["ComparisonRecord", "ExperimentReport", "render_cross_run_diff"]
+__all__ = [
+    "ComparisonRecord",
+    "ExperimentReport",
+    "render_cell_diff",
+    "render_cross_run_diff",
+]
 
 
 @dataclass(frozen=True)
@@ -132,4 +137,49 @@ def render_cross_run_diff(diff: CrossRunDiff, *, tolerance: float = 1e-6) -> str
         verdict = "clean: every metric within tolerance"
     else:
         verdict = "no regressions (improvements or coverage changes present)"
+    return f"{table}\n{verdict}"
+
+
+def render_cell_diff(diff: CellDiff, *, tolerance: float = 1e-6) -> str:
+    """Render a :class:`~repro.analysis.regression.CellDiff` as a table.
+
+    Localises cross-run changes to individual scenarios: one row per cell
+    whose flag is not ``ok`` (regressed / improved / added / removed), with a
+    one-line summary of how many joined cells were clean.  This is the output
+    of ``repro-sched store diff --cells``.
+    """
+    interesting = diff.non_ok(tolerance)
+    total = len(diff.deltas)
+    ok = total - len(interesting)
+    header = (
+        f"Per-cell diff ({diff.metric}): {diff.baseline_label} -> "
+        f"{diff.current_label} (tolerance {tolerance:g})"
+    )
+    if not interesting:
+        return f"{header}\nclean: all {total} joined cells within tolerance"
+    rows = []
+    for delta in interesting:
+        rel = delta.relative_delta
+        rows.append(
+            (
+                delta.policy,
+                delta.workload,
+                delta.workload_key,
+                "-" if delta.baseline is None else f"{delta.baseline:.6g}",
+                "-" if delta.current is None else f"{delta.current:.6g}",
+                "-" if rel is None else f"{rel:+.3%}",
+                delta.flag(tolerance),
+            )
+        )
+    table = format_table(
+        ["policy", "workload", "workload key", diff.baseline_label,
+         diff.current_label, "rel", "flag"],
+        rows,
+        title=header,
+    )
+    regressions = len(diff.regressions(tolerance))
+    verdict = (
+        f"{len(interesting)} cell(s) changed ({regressions} regressed), "
+        f"{ok} of {total} clean"
+    )
     return f"{table}\n{verdict}"

@@ -15,11 +15,16 @@ The CLI exposes the library's main workflows without writing any Python:
     Scenario × seed × policy sweep through the streaming campaign
     dispatcher (``--max-workers``, ``--chunk-size``); ``--store PATH``
     persists every record into a content-addressed experiment store and
-    ``--resume`` computes only the cells missing from it.
-``repro-sched store ls|show|diff PATH ...``
+    ``--resume`` computes only the cells missing from it.  Policies accept
+    parameterised variant tokens — ``--policies
+    online-offline:period=2,mct`` sweeps a named variant whose parameters
+    flow into the stored cell digests.
+``repro-sched store ls|show|diff|gc PATH ...``
     Query an experiment store: list runs, dump one run's records and
-    headline metrics, or diff two runs policy by policy with tolerance
-    flags.
+    headline metrics, diff two runs policy by policy (``--cells`` joins
+    them on workload key and localises changes to individual scenarios),
+    or prune epoch-orphaned records and incomplete runs (``gc``, dry-run
+    by default).
 ``repro-sched divisibility --dimension sequences|motifs``
     Regenerate the Figure 1 series and its regression.
 
@@ -51,7 +56,13 @@ from .core import (
 )
 from .exceptions import ReproError
 from .gripps import motif_divisibility_experiment, sequence_divisibility_experiment
-from .heuristics import available_policies, available_schedulers, make_scheduler, policy_spec
+from .heuristics import (
+    available_policies,
+    available_schedulers,
+    make_scheduler,
+    policy_spec,
+    resolve_policy_variant,
+)
 from .simulation import simulate
 from .workload import (
     available_scenarios,
@@ -130,7 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--policies",
         default="mct,greedy-weighted-flow,online-offline",
-        help="comma-separated policy names, or 'all' for every on-line policy",
+        help="comma-separated policy names, or 'all' for every on-line policy; "
+        "parameterised variants use name:key=value[,key=value...] syntax, "
+        "e.g. online-offline:period=2 (see 'repro-sched info' for each "
+        "policy's sweepable parameters)",
     )
     campaign.add_argument(
         "--seeds", default=None, help="comma-separated integer seeds (one instance per seed)"
@@ -217,6 +231,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit with status 1 when any metric regressed beyond the tolerance",
     )
+    store_diff.add_argument(
+        "--cells",
+        action="store_true",
+        help="also join the two runs on workload key and report per-cell "
+        "deltas, localising changes to individual scenarios",
+    )
+    store_gc = store_sub.add_parser(
+        "gc",
+        help="prune records orphaned by a CODE_EPOCH bump and vacuum "
+        "incomplete runs (dry-run unless --apply)",
+    )
+    store_gc.add_argument("path", help="experiment store file")
+    store_gc.add_argument(
+        "--epoch",
+        default=None,
+        help="prune exactly this code epoch (default: every epoch that is "
+        "not the current one)",
+    )
+    store_gc.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="only touch records/runs whose provenance run is older than "
+        "DAYS days",
+    )
+    store_gc.add_argument(
+        "--apply",
+        action="store_true",
+        help="actually delete and VACUUM (default: dry-run report only)",
+    )
 
     # divisibility ---------------------------------------------------------------
     divisibility = subparsers.add_parser(
@@ -239,6 +284,20 @@ def _cmd_info() -> int:
     print("on-line policies:  " + ", ".join(available_schedulers()))
     print("off-line policies: " + ", ".join(available_policies(kind="offline")))
     print("scenarios:         " + ", ".join(available_scenarios()))
+    parameterised = [
+        (name, policy_spec(name).params)
+        for name in available_policies()
+        if policy_spec(name).params
+    ]
+    if parameterised:
+        print()
+        print("sweepable parameters (variant syntax: name:key=value[,key=value...]):")
+        for name, params in parameterised:
+            listing = ", ".join(
+                f"{param.name}={param.default!r} ({param.type.__name__})"
+                for param in params
+            )
+            print(f"  {name}: {listing}")
     return 0
 
 
@@ -303,11 +362,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     policy_names = available_schedulers() if args.all_policies else [args.policy]
     rows = []
     for name in policy_names:
-        result = simulate(instance, make_scheduler(name))
+        scheduler = make_scheduler(name)
+        result = simulate(instance, scheduler)
         metrics = result.metrics()
         rows.append(
             (
-                name,
+                scheduler.name,  # the canonical variant label, not the raw token
                 metrics.max_weighted_flow,
                 metrics.max_weighted_flow / offline,
                 metrics.makespan,
@@ -325,14 +385,37 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_policy_tokens(text: str) -> list:
+    """Split a --policies list, keeping multi-parameter variants together.
+
+    A comma normally separates policies, but inside a variant token it
+    separates parameters: a ``key=value`` segment without a ``:`` of its own
+    continues the previous token (policy names never contain ``=``), so
+    ``"online-offline:period=2,relative_precision=1e-2,mct"`` yields the
+    variant and ``mct``.
+    """
+    tokens: list = []
+    for piece in text.split(","):
+        if tokens and "=" in piece and ":" not in piece:
+            tokens[-1] += "," + piece
+        elif piece:
+            tokens.append(piece)
+    return tokens
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     scenarios = args.scenarios.split(",") if args.scenarios else None
     if args.policies == "all":
         policies = available_schedulers()
     else:
-        policies = [name for name in args.policies.split(",") if name]
+        policies = _split_policy_tokens(args.policies)
     for name in policies:
-        policy_spec(name)  # fail fast on unknown names, before any dispatch
+        # Fail fast on unknown names/parameters, before any dispatch.
+        try:
+            resolve_policy_variant(name)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     seeds = None
     if args.seeds:
         try:
@@ -396,9 +479,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
-    from .store import ExperimentStore, diff_runs
+    from .analysis import render_cell_diff
+    from .store import ExperimentStore, diff_run_cells, diff_runs
 
     with ExperimentStore(args.path, create=False) as store:
+        if args.store_command == "gc":
+            report = store.gc(
+                epoch=args.epoch,
+                older_than_days=args.older_than,
+                dry_run=not args.apply,
+            )
+            mode = "dry-run (pass --apply to delete)" if report.dry_run else "applied"
+            print(f"store gc on {args.path}: {mode}")
+            if report.empty:
+                print("nothing to prune: every record is current-epoch and "
+                      "every run completed")
+                return 0
+            for epoch, count in sorted(report.stale_by_epoch.items()):
+                print(f"  stale epoch {epoch!r}: {count} record(s)")
+            if report.incomplete_runs:
+                runs = ", ".join(f"#{run_id}" for run_id in report.incomplete_runs)
+                print(f"  incomplete run(s): {runs}")
+            print(f"  membership rows affected: {report.membership_rows}")
+            if not report.dry_run:
+                print("  pruned and vacuumed")
+            return 0
+
         if args.store_command == "ls":
             rows = [
                 (
@@ -467,7 +573,13 @@ def _cmd_store(args: argparse.Namespace) -> int:
         # diff
         diff = diff_runs(store, args.baseline, args.current)
         print(render_cross_run_diff(diff, tolerance=args.tolerance))
-        if args.fail_on_regression and diff.regressions(args.tolerance):
+        regressed = bool(diff.regressions(args.tolerance))
+        if args.cells:
+            cells = diff_run_cells(store, args.baseline, args.current)
+            print()
+            print(render_cell_diff(cells, tolerance=args.tolerance))
+            regressed = regressed or bool(cells.regressions(args.tolerance))
+        if args.fail_on_regression and regressed:
             return 1
         return 0
 

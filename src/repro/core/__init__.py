@@ -42,6 +42,7 @@ from .preemptive import (
     minimize_max_stretch_preemptive,
     minimize_max_weighted_flow_preemptive,
 )
+from .replanning import ReplanProbe, remaining_subinstance
 from .schedule import Schedule, ScheduleMetrics, SchedulePiece
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "MakespanResult",
     "MaxWeightedFlowResult",
     "Platform",
+    "ReplanProbe",
     "Schedule",
     "ScheduleMetrics",
     "SchedulePiece",
@@ -77,6 +79,7 @@ __all__ = [
     "minimize_max_weighted_flow",
     "minimize_max_weighted_flow_bisection",
     "minimize_max_weighted_flow_preemptive",
+    "remaining_subinstance",
     "render_gantt",
     "sort_by_release_date",
 ]

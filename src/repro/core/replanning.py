@@ -1,0 +1,419 @@
+"""Parametric deadline-feasibility probes for on-line replanning.
+
+The on-line adaptation of the off-line algorithm re-optimises the remaining
+work at every replanning event: a bounded-precision bisection on the objective
+``F``, each step of which is one deadline-feasibility test
+(:func:`repro.core.deadline.check_deadline_feasibility`) over the
+sub-instance of remaining work.  Before this module existed, every one of
+those tests rebuilt its allocation LP from scratch — the symbolic model and
+its matrix lowering dominated the cost of a replanning event, and a
+simulation with ``E`` events performed ``E × bisection-steps`` builds.
+
+:class:`ReplanProbe` amortises that work.  The observation is the same one
+behind the milestone machinery of :mod:`repro.core.maxflow`: the *structure*
+of System (2) — how many intervals the epochal times cut, and which
+``alpha[i, j, t]`` variables are allowed — is determined entirely by the
+allowed/forbidden pattern, while the remaining-work bounds only change
+*numbers* (constraint coefficients ``c_{i,j} · remaining_j`` and interval
+lengths on the inequality right-hand side).  The probe therefore
+
+* computes the structure signature of every feasibility question it is asked
+  (interval count plus the allowed-variable bitmap — a cheap scan, no LP
+  objects);
+* keeps one **lowered matrix template** per distinct signature in an LRU
+  cache; a cache hit answers the probe by writing the current coefficients
+  and interval lengths into copies of the template's arrays and re-solving —
+  no symbolic model, no lowering;
+* on a miss, builds the model through the exact same
+  :func:`~repro.core.formulations.build_allocation_model` →
+  ``to_matrix_form`` pipeline the from-scratch path uses, and records the
+  value positions for later refreshes.
+
+Because a refreshed template reproduces the from-scratch LP **bit for bit**
+(same variable order, same constraint order, same coefficient values, same
+right-hand sides), the backend returns the identical solution and the witness
+schedule is byte-identical to the one ``check_deadline_feasibility`` would
+have produced.  The property suite asserts this across the scenario grid.
+
+Replanning events with the same number of active jobs and the same relative
+deadline order share a signature, so a simulation builds O(distinct active
+job-set structures) models instead of O(events × bisection steps) — the
+economy asserted by ``benchmarks/bench_replanning.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import InvalidInstanceError
+from ..lp import MatrixForm, to_matrix_form
+from ..lp.scipy_backend import solve_matrix_form as _scipy_solve_form
+from ..lp.simplex import solve_matrix_form as _simplex_solve_form
+from .deadline import _BACKEND_LABELS, DeadlineFeasibility
+from .formulations import (
+    AllocationModel,
+    build_allocation_model,
+    divisible_schedule_from_solution,
+    preemptive_schedule_from_solution,
+)
+from .instance import Instance
+from .intervals import build_constant_intervals
+from .job import Job
+from .tolerances import ABS_TOL, lt
+
+__all__ = ["ReplanProbe", "remaining_subinstance"]
+
+
+def remaining_subinstance(
+    instance: Instance,
+    time: float,
+    active: Sequence[int],
+    remaining: Sequence[float],
+) -> Tuple[Instance, List[int]]:
+    """Build the instance of remaining work for the currently active jobs.
+
+    Every active job is re-released at ``time`` with its size and costs scaled
+    by its remaining fraction (floored at ``1e-9`` so fully-degenerate jobs
+    still carry a well-posed LP column).  ``remaining`` aligns with ``active``
+    as given; sub-instance jobs are ordered by ascending original index.
+    Returns the sub-instance and the list mapping sub-instance job positions
+    back to original job indices.
+    """
+    paired = sorted(zip(active, remaining))
+    jobs = []
+    columns = []
+    for job_index, fraction in paired:
+        original = instance.jobs[job_index]
+        fraction = max(float(fraction), 1e-9)
+        jobs.append(
+            Job(
+                name=original.name,
+                release_date=time,
+                weight=original.weight,
+                size=(original.size * fraction) if original.size is not None else None,
+                databanks=original.databanks,
+            )
+        )
+        columns.append(
+            [instance.cost(i, job_index) * fraction for i in range(instance.num_machines)]
+        )
+    costs = [
+        [columns[j][i] for j in range(len(paired))] for i in range(instance.num_machines)
+    ]
+    sub_instance = Instance.from_costs(jobs, costs, machines=list(instance.machines))
+    # ``from_costs`` re-sorts by release date; all release dates are equal to
+    # ``time`` so the original order (ascending job index) is preserved
+    # because Python's sort is stable.
+    return sub_instance, [job_index for job_index, _ in paired]
+
+
+@dataclass
+class _ModelTemplate:
+    """One cached System (2) skeleton: symbolic model plus refresh positions."""
+
+    alloc: AllocationModel
+    form: MatrixForm
+    #: Machine/job source of every inequality coefficient, in CSR data order.
+    coef_machines: np.ndarray
+    coef_jobs: np.ndarray
+    #: Interval index feeding each inequality row's right-hand side.
+    row_intervals: np.ndarray
+    #: Dense refresh targets (simplex backend): (row, col) per coefficient.
+    coef_rows: Optional[np.ndarray] = None
+    coef_cols: Optional[np.ndarray] = None
+
+
+class ReplanProbe:
+    """Structure-cached deadline-feasibility oracle for replanning loops.
+
+    ``check(instance, deadlines)`` answers exactly like
+    :func:`repro.core.deadline.check_deadline_feasibility` — including the
+    witness schedule, byte for byte — but builds the allocation LP only when
+    it meets a structure it has never seen.  One probe serves any number of
+    sub-instances (and any number of simulations); it is keyed purely by
+    structure, so campaign-style reuse across runs is free.
+
+    Attributes
+    ----------
+    probes:
+        Feasibility questions answered.
+    lp_solves:
+        Questions that reached a solver (all of them except the trivially
+        infeasible deadline-before-release rejections).
+    model_constructions:
+        Symbolic-model builds (structure-cache misses).
+    cache_hits:
+        Questions answered by refreshing a cached template.
+    """
+
+    def __init__(
+        self,
+        *,
+        preemptive: bool = False,
+        backend: str = "scipy",
+        max_cached_models: int = 64,
+    ) -> None:
+        if max_cached_models < 1:
+            raise ValueError("max_cached_models must be at least 1")
+        if backend not in _BACKEND_LABELS:
+            raise ValueError(f"unknown LP backend {backend!r}")
+        self.preemptive = preemptive
+        self.backend = backend
+        self._sparse = _BACKEND_LABELS[backend] == "scipy-highs"
+        self._max_cached_models = max_cached_models
+        self._templates: "OrderedDict[Tuple, _ModelTemplate]" = OrderedDict()
+        self.probes = 0
+        self.lp_solves = 0
+        self.model_constructions = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def cached_model_count(self) -> int:
+        """Number of LP skeletons currently held in the LRU cache."""
+        return len(self._templates)
+
+    def check(
+        self,
+        instance: Instance,
+        deadlines: Sequence[float],
+        *,
+        build_schedule: bool = True,
+    ) -> DeadlineFeasibility:
+        """Decide whether every job fits in ``[r_j, d_j]`` (see module docs).
+
+        Drop-in for :func:`~repro.core.deadline.check_deadline_feasibility`
+        with the probe's ``preemptive``/``backend`` configuration; the result
+        (and the witness schedule) is identical to the from-scratch path.
+        """
+        self.probes += 1
+        if len(deadlines) != instance.num_jobs:
+            raise InvalidInstanceError(
+                f"expected {instance.num_jobs} deadlines, got {len(deadlines)}"
+            )
+        deadlines = [float(d) for d in deadlines]
+        for job, deadline in zip(instance.jobs, deadlines):
+            if lt(deadline, job.release_date, tol=ABS_TOL):
+                # Trivially infeasible, exactly as in the from-scratch path.
+                return DeadlineFeasibility(
+                    feasible=False,
+                    schedule=None,
+                    num_intervals=0,
+                    lp_variables=0,
+                    lp_constraints=0,
+                    backend=_BACKEND_LABELS[self.backend],
+                )
+
+        epochal_times = list(instance.release_dates) + deadlines
+        intervals = build_constant_intervals(epochal_times)
+        cuts = _cut_values(intervals)
+
+        allowed = self._allowed_pattern(instance, deadlines, cuts)
+        key = (instance.num_machines, instance.num_jobs, len(intervals), allowed.tobytes())
+
+        template = self._templates.get(key)
+        if template is None:
+            template = self._build_template(instance, deadlines, key, intervals, cuts)
+        else:
+            self._templates.move_to_end(key)
+            self.cache_hits += 1
+        form = self._refresh(template, instance, cuts)
+
+        self.lp_solves += 1
+        solution = (
+            _scipy_solve_form(form) if self._sparse else _simplex_solve_form(form)
+        )
+
+        alloc = template.alloc
+        if not solution.is_optimal:
+            return DeadlineFeasibility(
+                feasible=False,
+                schedule=None,
+                num_intervals=len(intervals),
+                lp_variables=alloc.model.num_variables,
+                lp_constraints=alloc.model.num_constraints,
+                backend=solution.backend,
+            )
+
+        schedule = None
+        if build_schedule:
+            # The cached skeleton carries the intervals and costs of the probe
+            # that built it; rebind the current ones for reconstruction (the
+            # variable mapping — indices and iteration order — is shared).
+            bound = AllocationModel(
+                model=alloc.model,
+                instance=instance,
+                intervals=intervals,
+                variables=alloc.variables,
+                objective_variable=None,
+                sample_objective=0.0,
+            )
+            if self.preemptive:
+                schedule = preemptive_schedule_from_solution(bound, solution)
+            else:
+                schedule = divisible_schedule_from_solution(bound, solution)
+
+        return DeadlineFeasibility(
+            feasible=True,
+            schedule=schedule,
+            num_intervals=len(intervals),
+            lp_variables=alloc.model.num_variables,
+            lp_constraints=alloc.model.num_constraints,
+            backend=solution.backend,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _allowed_pattern(
+        self, instance: Instance, deadlines: Sequence[float], cuts: Sequence[float]
+    ) -> np.ndarray:
+        """The allowed-variable bitmap, with the exact from-scratch comparisons."""
+        num_intervals = max(len(cuts) - 1, 0)
+        pattern = np.zeros((num_intervals, instance.num_jobs, instance.num_machines), dtype=bool)
+        costs = instance.costs
+        for t in range(num_intervals):
+            lower = cuts[t]
+            upper = cuts[t + 1]
+            for j, job in enumerate(instance.jobs):
+                if job.release_date > lower + ABS_TOL:
+                    continue
+                if deadlines[j] < upper - ABS_TOL:
+                    continue
+                for i in range(instance.num_machines):
+                    if math.isfinite(costs[i, j]):
+                        pattern[t, j, i] = True
+        return pattern
+
+    def _build_template(
+        self,
+        instance: Instance,
+        deadlines: Sequence[float],
+        key: Tuple,
+        intervals,
+        cuts: Sequence[float],
+    ) -> _ModelTemplate:
+        """Structure miss: run the from-scratch pipeline and record positions."""
+        from .affine import Affine  # deferred: tiny import, keeps header lean
+
+        alloc = build_allocation_model(
+            instance,
+            intervals,
+            deadlines=[Affine.const(d) for d in deadlines],
+            objective_bounds=None,
+            sample_objective=0.0,
+            preemptive=self.preemptive,
+            name="deadline-system2" + ("-preemptive" if self.preemptive else ""),
+        )
+        form = to_matrix_form(alloc.model, sparse=self._sparse)
+        self.model_constructions += 1
+
+        # Inequality rows are, in order: capacity[(t, i)] rows (t-major, only
+        # machines with allowed variables), then — preemptive model only —
+        # job_window[(t, j)] rows.  Within a row the CSR columns are sorted by
+        # variable index, which is creation order (t, j, i)-lexicographic, so
+        # a capacity row's columns run over ascending j and a job-window row's
+        # over ascending i.  Record the (machine, job, interval) source of
+        # every coefficient and right-hand side in that exact order.
+        coef_machines: List[int] = []
+        coef_jobs: List[int] = []
+        row_intervals: List[int] = []
+        for t in range(len(intervals)):
+            for i in range(instance.num_machines):
+                row_jobs = [
+                    j for j in range(instance.num_jobs) if (i, j, t) in alloc.variables
+                ]
+                if not row_jobs:
+                    continue
+                row_intervals.append(t)
+                for j in row_jobs:
+                    coef_machines.append(i)
+                    coef_jobs.append(j)
+        if self.preemptive:
+            for t in range(len(intervals)):
+                for j in range(instance.num_jobs):
+                    row_machines = [
+                        i for i in range(instance.num_machines) if (i, j, t) in alloc.variables
+                    ]
+                    if not row_machines:
+                        continue
+                    row_intervals.append(t)
+                    for i in row_machines:
+                        coef_machines.append(i)
+                        coef_jobs.append(j)
+
+        template = _ModelTemplate(
+            alloc=alloc,
+            form=form,
+            coef_machines=np.asarray(coef_machines, dtype=np.intp),
+            coef_jobs=np.asarray(coef_jobs, dtype=np.intp),
+            row_intervals=np.asarray(row_intervals, dtype=np.intp),
+        )
+        if not self._sparse and form.num_inequalities:
+            rows, cols = np.nonzero(form.a_ub)
+            template.coef_rows = rows
+            template.coef_cols = cols
+
+        # The refresh path must land exactly where the lowering put the
+        # original values; verify once per construction, then trust the map.
+        refreshed = self._refresh(template, instance, cuts)
+        if self._sparse and form.num_inequalities:
+            assert np.array_equal(refreshed.a_ub.data, form.a_ub.data), (
+                "ReplanProbe refresh map does not match the lowered form"
+            )
+        elif form.num_inequalities:
+            assert np.array_equal(refreshed.a_ub, form.a_ub), (
+                "ReplanProbe refresh map does not match the lowered form"
+            )
+        assert np.array_equal(refreshed.b_ub, form.b_ub), (
+            "ReplanProbe interval map does not match the lowered form"
+        )
+
+        self._templates[key] = template
+        while len(self._templates) > self._max_cached_models:
+            self._templates.popitem(last=False)
+        return template
+
+    def _refresh(
+        self, template: _ModelTemplate, instance: Instance, cuts: Sequence[float]
+    ) -> MatrixForm:
+        """Write the current coefficients/lengths into a copy of the template."""
+        form = template.form
+        if not form.num_inequalities:
+            return form
+        lengths = np.array(
+            [cuts[t + 1] - cuts[t] for t in range(len(cuts) - 1)], dtype=float
+        )
+        b_ub = lengths[template.row_intervals]
+        data = np.asarray(instance.costs)[template.coef_machines, template.coef_jobs].astype(
+            float, copy=False
+        )
+        if self._sparse:
+            a_ub = sp.csr_matrix(
+                (data, form.a_ub.indices, form.a_ub.indptr), shape=form.a_ub.shape
+            )
+        else:
+            a_ub = form.a_ub.copy()
+            a_ub[template.coef_rows, template.coef_cols] = data
+        return MatrixForm(
+            c=form.c,
+            objective_constant=form.objective_constant,
+            objective_sign=form.objective_sign,
+            a_ub=a_ub,
+            b_ub=b_ub,
+            a_eq=form.a_eq,
+            b_eq=form.b_eq,
+            bounds=form.bounds,
+        )
+
+
+def _cut_values(intervals) -> List[float]:
+    """Interval boundary values (lower bounds plus the final upper bound)."""
+    cuts = [interval.lower_at(0.0) for interval in intervals]
+    if intervals:
+        cuts.append(intervals[-1].upper_at(0.0))
+    return cuts

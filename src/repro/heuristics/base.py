@@ -40,10 +40,21 @@ class OnlineScheduler(abc.ABC):
         Whether the policy may split a job across machines simultaneously.
         Stored on the resulting :class:`~repro.core.schedule.Schedule` so that
         validation applies the right rules.
+    array_aware:
+        Opt-in capability flag of the parametric replanning runtime.  A
+        policy that sets it ``True`` promises to read per-job dynamic state
+        only through the pooled numpy vectors
+        (:attr:`~repro.simulation.state.SimulationState.remaining_vector` /
+        ``rate_vector``, directly or via the state's scalar accessors, which
+        prefer the vectors).  The array-backed kernel then dispatches to
+        :meth:`decide_arrays` and skips the per-event ``JobProgress`` mirror
+        updates entirely; legacy policies (the default) are untouched and the
+        executed output is byte-for-byte identical either way.
     """
 
     name: str = "scheduler"
     divisible: bool = False
+    array_aware: bool = False
 
     def reset(self, instance: Instance) -> None:
         """Called once before a simulation starts; clear any internal state."""
@@ -51,6 +62,17 @@ class OnlineScheduler(abc.ABC):
     @abc.abstractmethod
     def decide(self, state: SimulationState) -> AllocationDecision:
         """Return the allocation to apply from ``state.time`` until the next event."""
+
+    def decide_arrays(self, state: SimulationState) -> AllocationDecision:
+        """Array-aware variant of :meth:`decide`.
+
+        Invoked by the kernel instead of :meth:`decide` when ``array_aware``
+        is set.  ``state.remaining_vector`` is guaranteed to be bound.  The
+        default delegates to :meth:`decide`, which suffices for policies
+        whose scalar reads already go through the (vector-preferring) state
+        accessors; policies wanting vectorised ranking override this.
+        """
+        return self.decide(state)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{self.__class__.__name__}(name={self.name!r})"

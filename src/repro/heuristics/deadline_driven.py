@@ -15,18 +15,31 @@ The policy is preemptive but never divides a job across machines, so it is a
 fair middle ground between the classical heuristics (MCT, SRPT) and the
 LP-based adaptation: it uses the paper's *structure* (deadlines induced by
 the objective) without its *machinery* (linear programming).
+
+The ``lp_targets`` variant reintroduces exactly one piece of that machinery:
+instead of multiplicative doubling, a stale target is re-located by a short
+bisection backed by the shared :class:`~repro.core.replanning.ReplanProbe`
+(feasibility of the remaining work against the induced deadlines), so the
+deadlines the EDF ranking uses are the tightest achievable ones.  The default
+(``lp_targets=False``) keeps the policy LP-free and byte-identical to its
+pre-refactor behaviour.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.instance import Instance
+from ..core.replanning import ReplanProbe, remaining_subinstance
 from ..simulation.state import AllocationDecision, SimulationState
 from .base import OnlineScheduler, exclusive_allocation
 
 __all__ = ["DeadlineDrivenScheduler"]
+
+#: Bisection steps for the LP-backed target search (the target is advisory —
+#: EDF only needs the deadline *order* — so a coarse location suffices).
+_LP_TARGET_STEPS = 12
 
 
 class DeadlineDrivenScheduler(OnlineScheduler):
@@ -40,20 +53,43 @@ class DeadlineDrivenScheduler(OnlineScheduler):
     growth_factor:
         Multiplicative increase applied to the target whenever some active
         job can no longer meet its induced deadline.
+    lp_targets:
+        When ``True``, a violated target is re-located with feasibility
+        probes through a shared :class:`~repro.core.replanning.ReplanProbe`
+        instead of multiplicative doubling (see the module docstring).
+    backend:
+        LP backend for the ``lp_targets`` probes (unused otherwise).
     """
 
     name = "deadline-driven"
     divisible = False
+    array_aware = True
 
-    def __init__(self, initial_target: float | None = None, growth_factor: float = 1.5) -> None:
+    def __init__(
+        self,
+        initial_target: float | None = None,
+        growth_factor: float = 1.5,
+        lp_targets: bool = False,
+        backend: str = "scipy",
+    ) -> None:
         if growth_factor <= 1.0:
             raise ValueError("growth_factor must be greater than 1")
         self.initial_target = initial_target
         self.growth_factor = growth_factor
+        self.lp_targets = lp_targets
+        self.backend = backend
         self._target = initial_target or 0.0
+        self._probe: Optional[ReplanProbe] = (
+            ReplanProbe(backend=backend) if lp_targets else None
+        )
 
     def reset(self, instance: Instance) -> None:
         self._target = self.initial_target or 0.0
+
+    @property
+    def replan_probe(self) -> Optional[ReplanProbe]:
+        """The shared parametric probe (``None`` unless ``lp_targets``)."""
+        return self._probe
 
     # ------------------------------------------------------------------ #
     def _fluid_flow_bound(self, state: SimulationState, job_index: int) -> float:
@@ -67,9 +103,58 @@ class DeadlineDrivenScheduler(OnlineScheduler):
         needed = max((self._fluid_flow_bound(state, j) for j in active), default=0.0)
         if self._target <= 0.0:
             self._target = max(needed, 1e-9)
+            if self.lp_targets and active:
+                self._target = self._probed_target(state, active, self._target)
             return
-        while self._target < needed:
-            self._target *= self.growth_factor
+        if self._target < needed:
+            if self.lp_targets:
+                self._target = self._probed_target(state, active, max(needed, 1e-9))
+            else:
+                while self._target < needed:
+                    self._target *= self.growth_factor
+
+    def _probed_target(
+        self, state: SimulationState, active: List[int], lower: float
+    ) -> float:
+        """Smallest (coarsely located) feasible target at or above ``lower``.
+
+        Feasibility of a candidate ``F`` means the remaining work fits within
+        the induced deadlines ``d_j(F) = r_j + F / w_j``; the probe shares one
+        cached LP skeleton per active-set structure across events.
+        """
+        instance = state.instance
+        remaining = [state.remaining_fraction(j) for j in active]
+        sub_instance, ordered = remaining_subinstance(
+            instance, state.time, active, remaining
+        )
+
+        def feasible(objective: float) -> bool:
+            deadlines = [
+                instance.jobs[j].release_date + objective / instance.jobs[j].weight
+                for j in ordered
+            ]
+            if any(deadline < state.time for deadline in deadlines):
+                return False
+            return self._probe.check(
+                sub_instance, deadlines, build_schedule=False
+            ).feasible
+
+        # Grow an upper bracket from the fluid bound, then bisect coarsely.
+        upper = max(lower, 1e-9)
+        growth = 0
+        while not feasible(upper) and growth < 40:
+            upper *= 2.0
+            growth += 1
+        low, high = lower, upper
+        for _ in range(_LP_TARGET_STEPS):
+            if high - low <= 1e-3 * max(1.0, high):
+                break
+            mid = 0.5 * (low + high)
+            if feasible(mid):
+                high = mid
+            else:
+                low = mid
+        return high
 
     def _deadline(self, state: SimulationState, job_index: int) -> float:
         job = state.instance.jobs[job_index]

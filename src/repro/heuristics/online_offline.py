@@ -16,12 +16,22 @@ This module implements that adaptation:
 * between events the policy simply follows the plan, asking the engine to
   wake it up at the plan's next assignment boundary.
 
-Feasibility of an objective value is decided with the paper's Lemma 1
-(:func:`repro.core.deadline.check_deadline_feasibility`) applied to the
-sub-instance of remaining work.  The objective value itself is located with a
-bounded-precision bisection: unlike the off-line solver we do not need the
-exact optimum here — the plan is re-built at the next event anyway — and the
-paper describes the adaptation as deliberately simple.
+Feasibility of an objective value is decided with the paper's Lemma 1 applied
+to the sub-instance of remaining work.  The objective value itself is located
+with a bounded-precision bisection: unlike the off-line solver we do not need
+the exact optimum here — the plan is re-built at the next event anyway — and
+the paper describes the adaptation as deliberately simple.
+
+Parametric replanning
+---------------------
+Feasibility probes are answered by a shared
+:class:`~repro.core.replanning.ReplanProbe` (the default, ``parametric=True``)
+which caches one lowered LP skeleton per active-set structure and re-solves
+with refreshed remaining-work coefficients and interval lengths only; the
+answers — and the witness schedules, hence the executed output — are byte
+for byte identical to the from-scratch rebuild (``parametric=False``), which
+is kept as the reference path for the identity property tests.  The
+``replanning_model_builds`` counter exposes the economy either way.
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.deadline import check_deadline_feasibility
 from ..core.instance import Instance
-from ..core.job import Job
+from ..core.replanning import ReplanProbe, remaining_subinstance
 from ..core.schedule import Schedule
 from ..simulation.state import AllocationDecision, SimulationState
 from .base import OnlineScheduler
@@ -44,7 +54,8 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
     Parameters
     ----------
     relative_precision:
-        Relative precision of the bisection on the objective value.
+        Relative precision of the bisection on the objective value (the
+        probe tolerance of the replanning runtime).
     max_bisection_steps:
         Hard cap on bisection iterations per re-planning.
     preemptive:
@@ -53,9 +64,29 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
         paper's framework.
     backend:
         LP backend used for the feasibility probes.
+    period:
+        Optional replanning period.  ``None`` (default) replans only when the
+        active set changes, as the paper describes; a positive value
+        additionally forces a re-optimisation whenever the current plan is
+        older than ``period`` time units (the policy asks the engine for a
+        wake-up accordingly), which lets stale plans react to progress drift.
+        Scenario timescales span orders of magnitude, so the *effective*
+        period is floored at ``horizon / (8 n)`` (``horizon`` = the
+        sequential-makespan upper bound computed at :meth:`reset`): a period
+        far below the instance's timescale would force O(makespan / period)
+        wake events and trip the engine's cycling budget instead of ever
+        finishing.
+    parametric:
+        ``True`` (default) answers feasibility probes through a shared
+        :class:`~repro.core.replanning.ReplanProbe`; ``False`` rebuilds every
+        feasibility LP from scratch (the pre-refactor reference path).  Both
+        paths produce byte-identical schedules.
     """
 
     divisible = True
+    #: The policy only reads the pooled simulation state through its vector-
+    #: backed accessors, so the kernel may skip the per-event object mirrors.
+    array_aware = True
 
     def __init__(
         self,
@@ -63,57 +94,74 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
         max_bisection_steps: int = 40,
         preemptive: bool = False,
         backend: str = "scipy",
+        period: Optional[float] = None,
+        parametric: bool = True,
     ) -> None:
+        if period is not None and period <= 0:
+            raise ValueError("period must be positive (or None for event-driven replanning)")
         self.relative_precision = relative_precision
         self.max_bisection_steps = max_bisection_steps
         self.preemptive = preemptive
         self.backend = backend
+        self.period = period
+        self.parametric = parametric
         self.name = "online-offline" + ("-preemptive" if preemptive else "")
         self.divisible = not preemptive
+        self._probe: Optional[ReplanProbe] = (
+            ReplanProbe(preemptive=preemptive, backend=backend) if parametric else None
+        )
         self._plan: Optional[List[Tuple[int, int, float, float]]] = None
         self._plan_active: Optional[frozenset] = None
+        self._plan_time: float = 0.0
+        self._effective_period: Optional[float] = None
         self.replanning_count = 0
+        self._scratch_builds = 0
 
     # ------------------------------------------------------------------ #
     def reset(self, instance: Instance) -> None:
         self._plan = None
         self._plan_active = None
+        self._plan_time = 0.0
         self.replanning_count = 0
+        if self.period is not None:
+            # Floor the period at the instance's timescale: at most ~8n
+            # period-forced wake events over the sequential-makespan horizon,
+            # comfortably inside the engine's 50n + 1000 event budget.
+            horizon = max(
+                (job.release_date for job in instance.jobs), default=0.0
+            ) + sum(instance.min_cost(j) for j in range(instance.num_jobs))
+            floor = horizon / max(8 * instance.num_jobs, 1)
+            self._effective_period = max(self.period, floor)
+        else:
+            self._effective_period = None
+
+    @property
+    def replan_probe(self) -> Optional[ReplanProbe]:
+        """The shared parametric probe (``None`` on the from-scratch path)."""
+        return self._probe
+
+    @property
+    def replanning_model_builds(self) -> int:
+        """Cumulative feasibility-LP constructions (both probe paths)."""
+        if self._probe is not None:
+            return self._probe.model_constructions
+        return self._scratch_builds
+
+    @property
+    def replanning_feasibility_checks(self) -> int:
+        """Cumulative feasibility probes answered."""
+        if self._probe is not None:
+            return self._probe.probes
+        return self._scratch_builds
 
     # ------------------------------------------------------------------ #
     # Re-planning                                                          #
     # ------------------------------------------------------------------ #
     def _build_sub_instance(self, state: SimulationState) -> Tuple[Instance, List[int]]:
-        """Build the instance of remaining work for the currently active jobs.
-
-        Returns the sub-instance and the list mapping sub-instance job
-        positions back to original job indices.
-        """
-        instance = state.instance
+        """Build the instance of remaining work for the currently active jobs."""
         active = sorted(state.active_jobs())
-        jobs = []
-        columns = []
-        for job_index in active:
-            original = instance.jobs[job_index]
-            remaining = max(state.remaining_fraction(job_index), 1e-9)
-            jobs.append(
-                Job(
-                    name=original.name,
-                    release_date=state.time,
-                    weight=original.weight,
-                    size=(original.size * remaining) if original.size is not None else None,
-                    databanks=original.databanks,
-                )
-            )
-            columns.append([instance.cost(i, job_index) * remaining
-                            for i in range(instance.num_machines)])
-        costs = [[columns[j][i] for j in range(len(active))]
-                 for i in range(instance.num_machines)]
-        sub_instance = Instance.from_costs(jobs, costs, machines=list(instance.machines))
-        # ``from_costs`` re-sorts by release date; all release dates are equal
-        # to ``state.time`` so the original order (by ``active``) is preserved
-        # because Python's sort is stable.
-        return sub_instance, active
+        remaining = [state.remaining_fraction(job_index) for job_index in active]
+        return remaining_subinstance(state.instance, state.time, active, remaining)
 
     def _feasible(
         self, sub_instance: Instance, active: List[int], state: SimulationState, objective: float
@@ -126,6 +174,9 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
             deadlines.append(original.release_date + objective / original.weight)
         if any(deadline < state.time for deadline in deadlines):
             return None
+        if self._probe is not None:
+            return self._probe.check(sub_instance, deadlines, build_schedule=True)
+        self._scratch_builds += 1
         return check_deadline_feasibility(
             sub_instance,
             deadlines,
@@ -181,6 +232,7 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
             plan = self._plan_from_schedule(best.schedule, active)
         self._plan = plan
         self._plan_active = frozenset(active)
+        self._plan_time = state.time
 
     @staticmethod
     def _plan_from_schedule(
@@ -199,7 +251,12 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
     # ------------------------------------------------------------------ #
     def decide(self, state: SimulationState) -> AllocationDecision:
         active = frozenset(state.active_jobs())
-        if self._plan is None or self._plan_active != active:
+        stale = (
+            self._effective_period is not None
+            and self._plan is not None
+            and state.time - self._plan_time >= self._effective_period - 1e-12
+        )
+        if self._plan is None or self._plan_active != active or stale:
             self._replan(state)
 
         if not self._plan:
@@ -238,5 +295,7 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
                 # Future piece: make sure we are woken up when it starts.
                 wake_candidates.append(start)
 
+        if self._effective_period is not None:
+            wake_candidates.append(self._plan_time + self._effective_period)
         wake_up_at = min((t for t in wake_candidates if t > now + epsilon), default=None)
         return AllocationDecision(shares=shares, wake_up_at=wake_up_at)

@@ -9,12 +9,21 @@ Section 4.4).
   flow-time heuristic: the jobs closest to completion get the machines.
 * **Greedy weighted flow** targets the paper's objective directly: the job
   whose weighted flow would degrade the fastest gets the best machine.
+
+Both are *array-aware*: inside the array-backed kernel their rankings are
+computed on the pooled remaining-fraction vector with vectorised numpy
+expressions (same IEEE-754 operations in the same order as the scalar path,
+followed by a stable argsort — the ordering, and hence the executed
+schedule, is byte-for-byte identical to the scalar path the seed engine
+drives).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from ..core.instance import Instance
 from ..simulation.state import AllocationDecision, SimulationState
@@ -27,18 +36,37 @@ class _PriorityPreemptiveScheduler(OnlineScheduler):
     """Shared machinery: rank active jobs, give each its fastest free machine."""
 
     divisible = False
+    array_aware = True
 
-    def reset(self, instance: Instance) -> None:  # nothing to keep between runs
-        return None
+    def __init__(self) -> None:
+        self._min_costs: Optional[np.ndarray] = None
+        self._weights: Optional[np.ndarray] = None
+        self._releases: Optional[np.ndarray] = None
+
+    def reset(self, instance: Instance) -> None:
+        # Static per-instance vectors consumed by the array ranking path.
+        n = instance.num_jobs
+        self._min_costs = np.fromiter(
+            (instance.min_cost(j) for j in range(n)), dtype=float, count=n
+        )
+        self._weights = np.fromiter(
+            (job.weight for job in instance.jobs), dtype=float, count=n
+        )
+        self._releases = np.fromiter(
+            (job.release_date for job in instance.jobs), dtype=float, count=n
+        )
 
     def _ranked_jobs(self, state: SimulationState) -> List[int]:
         raise NotImplementedError
 
-    def decide(self, state: SimulationState) -> AllocationDecision:
+    def _ranking_keys(self, state: SimulationState, active: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _assign(self, state: SimulationState, ranked) -> AllocationDecision:
         instance = state.instance
         free_machines = set(range(instance.num_machines))
         assignments: Dict[int, int] = {}
-        for job_index in self._ranked_jobs(state):
+        for job_index in ranked:
             if not free_machines:
                 break
             best_machine = None
@@ -54,6 +82,25 @@ class _PriorityPreemptiveScheduler(OnlineScheduler):
             free_machines.discard(best_machine)
         return exclusive_allocation(assignments)
 
+    def decide(self, state: SimulationState) -> AllocationDecision:
+        return self._assign(state, self._ranked_jobs(state))
+
+    def decide_arrays(self, state: SimulationState) -> AllocationDecision:
+        """Vectorised ranking over the kernel's pooled remaining vector.
+
+        ``np.argsort(kind="stable")`` on identical keys reproduces the scalar
+        path's stable ``sorted`` ordering exactly (active indices ascend), so
+        the decisions — and the executed schedule — are byte-identical.
+        """
+        if self._min_costs is None or state.remaining_vector is None:
+            return self.decide(state)
+        active = np.asarray(state.active_jobs(), dtype=np.intp)
+        if active.size == 0:
+            return AllocationDecision()
+        keys = self._ranking_keys(state, active)
+        ranked = active[np.argsort(keys, kind="stable")]
+        return self._assign(state, (int(j) for j in ranked))
+
 
 class SRPTScheduler(_PriorityPreemptiveScheduler):
     """Shortest remaining processing time first (preemptive)."""
@@ -62,6 +109,9 @@ class SRPTScheduler(_PriorityPreemptiveScheduler):
 
     def _ranked_jobs(self, state: SimulationState) -> List[int]:
         return sorted(state.active_jobs(), key=state.fastest_remaining_work)
+
+    def _ranking_keys(self, state: SimulationState, active: np.ndarray) -> np.ndarray:
+        return state.remaining_vector[active] * self._min_costs[active]
 
 
 class GreedyWeightedFlowScheduler(_PriorityPreemptiveScheduler):
@@ -85,3 +135,9 @@ class GreedyWeightedFlowScheduler(_PriorityPreemptiveScheduler):
             return -job.weight * projected_flow
 
         return sorted(state.active_jobs(), key=priority)
+
+    def _ranking_keys(self, state: SimulationState, active: np.ndarray) -> np.ndarray:
+        projected = (state.time - self._releases[active]) + (
+            state.remaining_vector[active] * self._min_costs[active]
+        )
+        return (-self._weights[active]) * projected

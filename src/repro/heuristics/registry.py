@@ -25,8 +25,8 @@ time, so ``available_policies()`` always includes them.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..core.instance import Instance
 from ..core.maxflow import FeasibilityProbe, minimize_max_weighted_flow
@@ -39,7 +39,9 @@ __all__ = [
     "OfflineOptimalPolicy",
     "OnlinePolicy",
     "PolicyOutcome",
+    "PolicyParam",
     "PolicySpec",
+    "PolicyVariant",
     "SchedulingPolicy",
     "available_policies",
     "make_policy",
@@ -47,6 +49,7 @@ __all__ = [
     "policy_spec",
     "register_online_scheduler",
     "register_policy",
+    "resolve_policy_variant",
     "unregister_policy",
 ]
 
@@ -204,6 +207,150 @@ class OfflineOptimalPolicy(SchedulingPolicy):
 
 
 # --------------------------------------------------------------------------- #
+# Typed policy parameters and variants                                          #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PolicyParam:
+    """One typed, sweepable parameter of a registered policy.
+
+    The parameter name must match a keyword argument of the policy's factory
+    (and its ``default`` must equal the factory's default for that argument:
+    :func:`make_policy` drops explicitly-passed defaults so that
+    ``"name:param=default"`` and plain ``"name"`` resolve — and digest — to
+    the same cell).
+    """
+
+    name: str
+    type: type = float
+    default: Any = None
+    help: str = ""
+
+    def coerce(self, raw: Any) -> Any:
+        """Parse/validate a raw value (possibly a CLI string) to the typed value."""
+        if raw is None:
+            if self.default is None:
+                return None  # "unset" is legal when unset is the default
+            raise ValueError(
+                f"parameter {self.name!r} expects {self.type.__name__}, got None"
+            )
+        if isinstance(raw, str):
+            text = raw.strip()
+            if self.type is bool:
+                lowered = text.lower()
+                if lowered in ("true", "1", "yes", "on"):
+                    return True
+                if lowered in ("false", "0", "no", "off"):
+                    return False
+                raise ValueError(f"parameter {self.name!r} expects a boolean, got {raw!r}")
+            try:
+                return self.type(text)
+            except ValueError:
+                raise ValueError(
+                    f"parameter {self.name!r} expects {self.type.__name__}, got {raw!r}"
+                ) from None
+        if self.type is bool:
+            if isinstance(raw, bool):
+                return raw
+            raise ValueError(f"parameter {self.name!r} expects a boolean, got {raw!r}")
+        if self.type is float and isinstance(raw, (int, float)) and not isinstance(raw, bool):
+            return float(raw)
+        if self.type is int:
+            if isinstance(raw, bool) or not isinstance(raw, int):
+                raise ValueError(f"parameter {self.name!r} expects an integer, got {raw!r}")
+            return raw
+        if not isinstance(raw, self.type):
+            raise ValueError(
+                f"parameter {self.name!r} expects {self.type.__name__}, got {raw!r}"
+            )
+        return raw
+
+
+def _format_param_value(value: Any) -> str:
+    """Canonical textual form of a parameter value (for variant labels)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class PolicyVariant:
+    """A resolved policy token: base name plus canonical non-default params.
+
+    ``label`` is the canonical display name (``"base"`` when no parameter
+    deviates from its default, ``"base:key=value,..."`` with sorted keys
+    otherwise) — it is what outcomes, campaign records and store cells carry;
+    ``params`` is the JSON-serialisable mapping that
+    :func:`repro.store.record_digest` folds into the cell digest.
+    """
+
+    base: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    @property
+    def is_variant(self) -> bool:
+        """Whether any parameter deviates from the registered defaults."""
+        return bool(self.params)
+
+
+def _split_policy_token(token: str) -> Tuple[str, Dict[str, str]]:
+    """Split ``"name:key=value,key=value"`` into the name and raw params."""
+    if ":" not in token:
+        return token, {}
+    base, _, tail = token.partition(":")
+    raw: Dict[str, str] = {}
+    for part in tail.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"malformed policy parameter {part!r} in {token!r} (expected key=value)"
+            )
+        key, _, value = part.partition("=")
+        raw[key.strip()] = value.strip()
+    return base, raw
+
+
+def resolve_policy_variant(
+    token: str, params: Optional[Mapping[str, Any]] = None
+) -> PolicyVariant:
+    """Resolve a policy token (and/or explicit params) to a canonical variant.
+
+    Parameters given both inline (``"name:key=value"``) and via ``params``
+    are merged (``params`` wins).  Values are coerced against the policy's
+    :class:`PolicyParam` schema; unknown parameters raise ``KeyError`` with
+    the schema's parameter list.  Values equal to the registered default are
+    dropped, so equivalent specs share one label and one cell digest.
+    """
+    base, raw = _split_policy_token(token)
+    spec = policy_spec(base)
+    merged: Dict[str, Any] = dict(raw)
+    if params:
+        merged.update(params)
+    schema = {param.name: param for param in spec.params}
+    canonical: Dict[str, Any] = {}
+    for key, value in merged.items():
+        param = schema.get(key)
+        if param is None:
+            raise KeyError(
+                f"policy {base!r} has no parameter {key!r}; "
+                f"sweepable: {', '.join(sorted(schema)) or '(none)'}"
+            )
+        coerced = param.coerce(value)
+        if coerced != param.default:
+            canonical[key] = coerced
+    label = base
+    if canonical:
+        label += ":" + ",".join(
+            f"{key}={_format_param_value(canonical[key])}" for key in sorted(canonical)
+        )
+    return PolicyVariant(base=base, params=canonical, label=label)
+
+
+# --------------------------------------------------------------------------- #
 # Registry                                                                     #
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -225,6 +372,10 @@ class PolicySpec:
         For on-line policies, the factory of the raw
         :class:`~repro.heuristics.base.OnlineScheduler` (what
         :func:`make_scheduler` returns); ``None`` for off-line policies.
+    params:
+        Typed schema of the policy's sweepable parameters: campaigns resolve
+        ``"name:key=value"`` variant tokens against it and the values flow
+        into the store's cell digests (see :func:`resolve_policy_variant`).
     """
 
     name: str
@@ -232,6 +383,7 @@ class PolicySpec:
     factory: Callable[..., SchedulingPolicy]
     description: str = ""
     scheduler_factory: Optional[Callable[..., OnlineScheduler]] = None
+    params: Tuple[PolicyParam, ...] = ()
 
 
 _POLICIES: Dict[str, PolicySpec] = {}
@@ -253,6 +405,7 @@ def register_online_scheduler(
     *,
     description: str = "",
     replace: bool = False,
+    params: Tuple[PolicyParam, ...] = (),
 ) -> PolicySpec:
     """Register an on-line scheduler class/factory as a named policy."""
 
@@ -266,6 +419,7 @@ def register_online_scheduler(
             factory=factory,
             description=description,
             scheduler_factory=scheduler_factory,
+            params=params,
         ),
         replace=replace,
     )
@@ -293,17 +447,48 @@ def available_policies(kind: Optional[str] = None) -> List[str]:
     )
 
 
-def make_policy(name: str, **kwargs) -> SchedulingPolicy:
-    """Resolve any registered policy name to a ready-to-run policy object."""
+def make_policy(
+    name: str, *, params: Optional[Mapping[str, Any]] = None, **kwargs
+) -> SchedulingPolicy:
+    """Resolve a policy name — or a parameterised variant — to a policy object.
+
+    ``name`` may be a plain registry name or a variant token
+    (``"online-offline:period=2"``); ``params`` supplies the same parameters
+    programmatically.  Parameterised variants carry their canonical variant
+    label as ``policy.name``, so campaign records and store cells distinguish
+    them.  Extra keyword arguments are forwarded to the factory unchecked
+    (they are construction details, not swept parameters).
+    """
+    if params or ":" in name:
+        variant = resolve_policy_variant(name, params)
+        policy = policy_spec(variant.base).factory(**dict(variant.params), **kwargs)
+        if variant.is_variant:
+            _rename_policy(policy, variant.label)
+        return policy
     return policy_spec(name).factory(**kwargs)
+
+
+def _rename_policy(policy: SchedulingPolicy, label: str) -> None:
+    """Stamp a variant label on a policy (and its wrapped scheduler, if any)."""
+    policy.name = label
+    scheduler = getattr(policy, "scheduler", None)
+    if scheduler is not None:
+        scheduler.name = label
 
 
 def make_scheduler(name: str, **kwargs) -> OnlineScheduler:
     """Instantiate the raw on-line scheduler registered under ``name``.
 
-    Off-line policies have no scheduler object; resolving one raises a
-    ``KeyError`` pointing at :func:`make_policy`.
+    ``name`` accepts the same ``"name:key=value"`` variant tokens as
+    :func:`make_policy`.  Off-line policies have no scheduler object;
+    resolving one raises a ``KeyError`` pointing at :func:`make_policy`.
     """
+    token = name
+    variant: Optional[PolicyVariant] = None
+    if ":" in name:
+        variant = resolve_policy_variant(name)
+        name = variant.base
+        kwargs = {**dict(variant.params), **kwargs}
     try:
         spec = _POLICIES[name]
     except KeyError:
@@ -313,7 +498,10 @@ def make_scheduler(name: str, **kwargs) -> OnlineScheduler:
         ) from None
     if spec.scheduler_factory is None:
         raise KeyError(
-            f"policy {name!r} is off-line and has no on-line scheduler; "
+            f"policy {token!r} is off-line and has no on-line scheduler; "
             "resolve it with make_policy() instead"
         )
-    return spec.scheduler_factory(**kwargs)
+    scheduler = spec.scheduler_factory(**kwargs)
+    if variant is not None and variant.is_variant:
+        scheduler.name = variant.label
+    return scheduler

@@ -195,7 +195,9 @@ class SimulationKernel:
             scheduler.reset(instance)
 
         # Pooled snapshot: instance/jobs/active are fixed for the whole run,
-        # only time and next_arrival change per event.
+        # only time and next_arrival change per event.  The kernel's numpy
+        # vectors are bound so that array-aware policies (and the state's own
+        # scalar accessors) read them directly.
         state = self._state
         if state is None:
             state = self._state = SimulationState(
@@ -205,6 +207,15 @@ class SimulationKernel:
             state.instance = instance
             state.jobs = jobs
             state.active = active
+        state.remaining_vector = remaining
+        state.rate_vector = rate
+
+        # Capability dispatch: array-aware policies read the pooled vectors
+        # through decide_arrays and never touch the JobProgress mirrors, so
+        # the per-window mirror writes are skipped for them (the vectors stay
+        # authoritative either way — every float written is the same).
+        array_mode = bool(getattr(scheduler, "array_aware", False))
+        decide_fn = scheduler.decide_arrays if array_mode else scheduler.decide
 
         event_count = 0
         while True:
@@ -233,7 +244,7 @@ class SimulationKernel:
 
             state.time = time
             state.next_arrival = next_arrival
-            decision: AllocationDecision = scheduler.decide(state)
+            decision: AllocationDecision = decide_fn(state)
             num_calls += 1
             if validate_decisions:
                 decision.validate(state)
@@ -280,7 +291,7 @@ class SimulationKernel:
             }
             for machine_index, job_index in pieces.open_items():
                 if (machine_index, job_index) not in assigned_now:
-                    still_unfinished = jobs[job_index].remaining_fraction > _COMPLETION_DUST
+                    still_unfinished = remaining[job_index] > _COMPLETION_DUST
                     pieces.flush_machine(machine_index)
                     if still_unfinished:
                         num_preemptions += 1
@@ -294,9 +305,10 @@ class SimulationKernel:
                         job_index, _share = share_list[0]
                         progressed = window / instance.cost(machine_index, job_index)
                         pieces.extend(machine_index, job_index, time, progressed)
-                        value = max(0.0, jobs[job_index].remaining_fraction - progressed)
-                        jobs[job_index].remaining_fraction = value
+                        value = max(0.0, remaining[job_index] - progressed)
                         remaining[job_index] = value
+                        if not array_mode:
+                            jobs[job_index].remaining_fraction = value
                     else:
                         # Time-shared window: realise the shares sequentially.
                         pieces.flush_machine(machine_index)
@@ -310,9 +322,10 @@ class SimulationKernel:
                                 job_index, machine_index, cursor, cursor + duration, progressed
                             )
                             cursor += duration
-                            value = max(0.0, jobs[job_index].remaining_fraction - progressed)
-                            jobs[job_index].remaining_fraction = value
+                            value = max(0.0, remaining[job_index] - progressed)
                             remaining[job_index] = value
+                            if not array_mode:
+                                jobs[job_index].remaining_fraction = value
 
             if window > 0:
                 # Snap exactly to the event time (advancing by `time + window`

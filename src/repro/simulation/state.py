@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..core.instance import Instance
 from ..exceptions import SimulationError
 
@@ -81,6 +83,16 @@ class SimulationState:
         maintains this incrementally and passes it in so that
         :meth:`active_jobs` does not rescan every job at every event; states
         built by hand may leave it ``None``.
+    remaining_vector, rate_vector:
+        The array-backed kernel's pooled numpy vectors, bound once per run:
+        per-job remaining fractions (authoritative — identical to the
+        ``jobs`` mirrors whenever those are maintained) and the progress
+        rates applied during the *previous* window.  Array-aware policies
+        (``array_aware = True`` on the scheduler) read these directly; for
+        such policies the kernel skips the per-event ``jobs`` mirror updates
+        entirely, so the mirrors must not be read — the scalar accessors
+        below already prefer the vector when it is bound.  States built by
+        hand leave both ``None`` and fall back to the mirrors.
     """
 
     instance: Instance
@@ -88,6 +100,8 @@ class SimulationState:
     jobs: List[JobProgress]
     next_arrival: Optional[float]
     active: Optional[List[int]] = None
+    remaining_vector: Optional[np.ndarray] = None
+    rate_vector: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     def active_jobs(self) -> List[int]:
@@ -102,17 +116,19 @@ class SimulationState:
 
     def remaining_fraction(self, job_index: int) -> float:
         """Remaining fraction of job ``job_index``."""
+        if self.remaining_vector is not None:
+            return float(self.remaining_vector[job_index])
         return self.jobs[job_index].remaining_fraction
 
     def remaining_work(self, job_index: int, machine_index: int) -> float:
         """Remaining processing time of job ``job_index`` if run only on ``machine_index``."""
-        return self.jobs[job_index].remaining_fraction * self.instance.cost(
+        return self.remaining_fraction(job_index) * self.instance.cost(
             machine_index, job_index
         )
 
     def fastest_remaining_work(self, job_index: int) -> float:
         """Remaining processing time of the job on its fastest machine."""
-        return self.jobs[job_index].remaining_fraction * self.instance.min_cost(job_index)
+        return self.remaining_fraction(job_index) * self.instance.min_cost(job_index)
 
     def current_weighted_flow(self, job_index: int) -> float:
         """Weighted flow the job would have if it completed right now."""

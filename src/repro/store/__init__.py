@@ -14,15 +14,25 @@ The campaign dispatcher streams into a store via
 """
 
 from .digest import CODE_EPOCH, canonical_digest, instance_digest, record_digest
-from .store import BulkWriter, ExperimentStore, RunInfo, StoredRecord, diff_runs
+from .store import (
+    BulkWriter,
+    ExperimentStore,
+    GcReport,
+    RunInfo,
+    StoredRecord,
+    diff_run_cells,
+    diff_runs,
+)
 
 __all__ = [
     "BulkWriter",
     "CODE_EPOCH",
     "ExperimentStore",
+    "GcReport",
     "RunInfo",
     "StoredRecord",
     "canonical_digest",
+    "diff_run_cells",
     "diff_runs",
     "instance_digest",
     "record_digest",

@@ -41,15 +41,17 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.campaign import CampaignRecord
-from ..analysis.regression import CrossRunDiff, cross_run_diff
+from ..analysis.regression import CellDiff, CrossRunDiff, cross_run_cell_diff, cross_run_diff
 from ..exceptions import StoreError
 from .digest import CODE_EPOCH
 
 __all__ = [
     "BulkWriter",
     "ExperimentStore",
+    "GcReport",
     "RunInfo",
     "StoredRecord",
+    "diff_run_cells",
     "diff_runs",
 ]
 
@@ -130,6 +132,40 @@ class StoredRecord:
             normalised=self.normalised,
             preemptions=self.preemptions,
         )
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What a :meth:`ExperimentStore.gc` pass found (and, unless dry, removed).
+
+    Attributes
+    ----------
+    stale_records:
+        Records whose ``code_epoch`` no longer matches (orphaned by an epoch
+        bump) — by epoch, plus the total.
+    incomplete_runs:
+        Ids of killed/unfinished runs selected for vacuuming.
+    membership_rows:
+        ``run_records`` rows removed alongside (stale digests plus the
+        vacuumed runs' membership).
+    dry_run:
+        ``True`` when nothing was deleted (the default mode).
+    """
+
+    stale_by_epoch: Dict[str, int]
+    incomplete_runs: List[int]
+    membership_rows: int
+    dry_run: bool
+
+    @property
+    def stale_records(self) -> int:
+        """Total stale-epoch records selected."""
+        return sum(self.stale_by_epoch.values())
+
+    @property
+    def empty(self) -> bool:
+        """True when the pass found nothing to prune."""
+        return not self.stale_by_epoch and not self.incomplete_runs
 
 
 @dataclass(frozen=True)
@@ -379,6 +415,138 @@ class ExperimentStore:
         """A batching writer appending cells to ``run_id``."""
         return BulkWriter(self, run_id, batch_size=batch_size)
 
+    # ------------------------------------------------------------------ #
+    # Garbage collection                                                  #
+    # ------------------------------------------------------------------ #
+    def gc(
+        self,
+        *,
+        epoch: Optional[str] = None,
+        older_than_days: Optional[float] = None,
+        dry_run: bool = True,
+    ) -> GcReport:
+        """Prune epoch-orphaned records and vacuum incomplete runs.
+
+        A ``CODE_EPOCH`` bump orphans every stored cell of older epochs: their
+        digests can never match again, so they only cost space.  Killed runs
+        (``completed = 0``) similarly accumulate half-finished membership.
+        This pass selects both and — unless ``dry_run`` (the default) —
+        deletes them and ``VACUUM``\\ s the database file.
+
+        Parameters
+        ----------
+        epoch:
+            Prune exactly the records of this code epoch.  Default: every
+            record whose epoch differs from the current :data:`CODE_EPOCH`.
+            Passing the current epoch is rejected — it would delete live
+            cells.
+        older_than_days:
+            Only touch records/runs whose provenance run was created more
+            than this many days ago (safety margin for concurrent sweeps).
+        dry_run:
+            ``True`` (default) reports without deleting.
+
+        Notes
+        -----
+        Vacuuming an incomplete run removes the run row, its membership and
+        its metrics; record rows it *computed* are kept when their epoch is
+        current (they are the resumable cells a re-run tops up from) — their
+        provenance ``run_id`` then refers to a vacuumed run, which nothing
+        in the store joins against.
+        """
+        if epoch is not None and epoch == CODE_EPOCH:
+            raise StoreError(
+                f"refusing to gc the current code epoch {CODE_EPOCH!r}; "
+                "pass an older epoch (or no --epoch for all stale ones)"
+            )
+        conn = self.connection
+        cutoff: Optional[str] = None
+        if older_than_days is not None:
+            from datetime import timedelta
+
+            cutoff = (
+                datetime.now(timezone.utc) - timedelta(days=older_than_days)
+            ).isoformat(timespec="seconds")
+
+        # Stale-epoch records (joined to their provenance run for the age filter).
+        epoch_clause = "r.code_epoch = ?" if epoch is not None else "r.code_epoch != ?"
+        epoch_value = epoch if epoch is not None else CODE_EPOCH
+        age_clause = ""
+        age_params: Tuple = ()
+        if cutoff is not None:
+            # COALESCE to '' (which sorts before every ISO timestamp): a
+            # record whose provenance run was vacuumed earlier has no
+            # created_at left and must count as old, not as untouchable.
+            age_clause = (
+                " AND COALESCE((SELECT created_at FROM runs "
+                "WHERE run_id = r.run_id), '') <= ?"
+            )
+            age_params = (cutoff,)
+        stale_by_epoch: Dict[str, int] = {}
+        for row in conn.execute(
+            f"SELECT r.code_epoch AS epoch, COUNT(*) AS n FROM records r "
+            f"WHERE {epoch_clause}{age_clause} GROUP BY r.code_epoch",
+            (epoch_value, *age_params),
+        ):
+            stale_by_epoch[row["epoch"]] = int(row["n"])
+
+        # Incomplete runs (killed sweeps) under the same age filter.
+        run_clause = "completed = 0"
+        run_params: Tuple = ()
+        if cutoff is not None:
+            run_clause += " AND created_at <= ?"
+            run_params = (cutoff,)
+        incomplete_runs = [
+            int(row["run_id"])
+            for row in conn.execute(
+                f"SELECT run_id FROM runs WHERE {run_clause} ORDER BY run_id",
+                run_params,
+            )
+        ]
+
+        # Membership rows that would go: those of vacuumed runs plus those
+        # pointing at stale digests from surviving runs.
+        membership_rows = int(
+            conn.execute(
+                f"SELECT COUNT(*) FROM run_records m WHERE m.run_id IN "
+                f"(SELECT run_id FROM runs WHERE {run_clause}) "
+                f"OR m.digest IN (SELECT r.digest FROM records r "
+                f"WHERE {epoch_clause}{age_clause})",
+                (*run_params, epoch_value, *age_params),
+            ).fetchone()[0]
+        )
+
+        report = GcReport(
+            stale_by_epoch=stale_by_epoch,
+            incomplete_runs=incomplete_runs,
+            membership_rows=membership_rows,
+            dry_run=dry_run,
+        )
+        if dry_run or report.empty:
+            return report
+
+        conn.execute(
+            f"DELETE FROM run_records WHERE run_id IN "
+            f"(SELECT run_id FROM runs WHERE {run_clause}) "
+            f"OR digest IN (SELECT r.digest FROM records r "
+            f"WHERE {epoch_clause}{age_clause})",
+            (*run_params, epoch_value, *age_params),
+        )
+        conn.execute(
+            f"DELETE FROM records WHERE digest IN (SELECT r.digest FROM records r "
+            f"WHERE {epoch_clause}{age_clause})",
+            (epoch_value, *age_params),
+        )
+        conn.execute(
+            f"DELETE FROM metrics WHERE run_id IN "
+            f"(SELECT run_id FROM runs WHERE {run_clause})",
+            run_params,
+        )
+        conn.execute(f"DELETE FROM runs WHERE {run_clause}", run_params)
+        conn.commit()
+        conn.execute("VACUUM")
+        return report
+
 
 class BulkWriter:
     """Batched inserts of campaign cells into one run.
@@ -506,6 +674,31 @@ def diff_runs(
     return cross_run_diff(
         baseline_metrics,
         current_metrics,
+        baseline_label=f"run #{baseline_id}",
+        current_label=f"run #{current_id}",
+    )
+
+
+def diff_run_cells(
+    store: ExperimentStore,
+    baseline: Union[int, str],
+    current: Union[int, str],
+    *,
+    metric: str = "max_weighted_flow",
+) -> CellDiff:
+    """Per-cell regression diff: join two runs on (workload key, policy).
+
+    Where :func:`diff_runs` compares per-policy headline aggregates, this
+    joins the two runs' full record sets on the content identity the store
+    digests and localises every change to an individual scenario cell —
+    the computation behind ``repro-sched store diff --cells``.
+    """
+    baseline_id = store.resolve_run(baseline)
+    current_id = store.resolve_run(current)
+    return cross_run_cell_diff(
+        store.run_records(baseline_id),
+        store.run_records(current_id),
+        metric=metric,
         baseline_label=f"run #{baseline_id}",
         current_label=f"run #{current_id}",
     )

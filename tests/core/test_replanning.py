@@ -1,0 +1,152 @@
+"""Unit tests for the parametric replanning probe (PR 4 tentpole core)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Instance, Job, ReplanProbe, check_deadline_feasibility
+from repro.core.replanning import remaining_subinstance
+from repro.exceptions import InvalidInstanceError
+from repro.workload import random_restricted_instance, random_unrelated_instance
+
+
+def _sub_and_deadlines(instance, time, active, remaining, objective):
+    sub, ordered = remaining_subinstance(instance, time, active, remaining)
+    deadlines = [
+        instance.jobs[j].release_date + objective / instance.jobs[j].weight
+        for j in ordered
+    ]
+    return sub, deadlines
+
+
+class TestIdentityWithFromScratch:
+    """The probe's results — including witnesses — equal the from-scratch path."""
+
+    @pytest.mark.parametrize("preemptive", [False, True])
+    def test_answers_and_witnesses_match_check_deadline_feasibility(self, preemptive):
+        probe = ReplanProbe(preemptive=preemptive)
+        rng = random.Random(1)
+        for seed in range(3):
+            instance = random_unrelated_instance(6, 3, seed=seed)
+            for time in (0.0, 2.0):
+                active = list(range(4))
+                remaining = [rng.uniform(0.1, 1.0) for _ in active]
+                for objective in (4.0, 15.0, 60.0):
+                    sub, deadlines = _sub_and_deadlines(
+                        instance, time, active, remaining, objective
+                    )
+                    if any(d < time for d in deadlines):
+                        continue
+                    scratch = check_deadline_feasibility(
+                        sub, deadlines, preemptive=preemptive, build_schedule=True
+                    )
+                    answer = probe.check(sub, deadlines, build_schedule=True)
+                    assert answer.feasible == scratch.feasible
+                    assert answer.num_intervals == scratch.num_intervals
+                    assert answer.lp_variables == scratch.lp_variables
+                    assert answer.lp_constraints == scratch.lp_constraints
+                    if scratch.feasible:
+                        assert answer.schedule.pieces == scratch.schedule.pieces
+
+    def test_simplex_backend_matches_its_from_scratch_path(self):
+        probe = ReplanProbe(backend="simplex")
+        instance = random_unrelated_instance(4, 2, seed=3)
+        sub, deadlines = _sub_and_deadlines(instance, 0.0, [0, 1, 2], [1.0, 0.5, 0.8], 25.0)
+        scratch = check_deadline_feasibility(sub, deadlines, backend="simplex")
+        answer = probe.check(sub, deadlines)
+        assert answer.feasible == scratch.feasible
+        assert answer.backend == scratch.backend == "simplex"
+
+    def test_restricted_platforms_with_forbidden_pairs(self):
+        probe = ReplanProbe()
+        instance = random_restricted_instance(8, 3, seed=11, num_databanks=3, replication=0.5)
+        for objective in (10.0, 40.0, 200.0):
+            sub, deadlines = _sub_and_deadlines(
+                instance, 1.0, list(range(5)), [0.9, 0.4, 1.0, 0.6, 0.2], objective
+            )
+            if any(d < 1.0 for d in deadlines):
+                continue
+            scratch = check_deadline_feasibility(sub, deadlines)
+            answer = probe.check(sub, deadlines)
+            assert answer.feasible == scratch.feasible
+            if scratch.feasible:
+                assert answer.schedule.pieces == scratch.schedule.pieces
+
+
+class TestStructureCache:
+    def test_repeated_structures_build_once(self):
+        probe = ReplanProbe()
+        instance = random_unrelated_instance(5, 2, seed=0)
+        active = [0, 1, 2]
+        # Same structure at different times / remaining fractions: the
+        # coefficients change, the skeleton does not.
+        for time, remaining in ((0.0, [1.0, 1.0, 1.0]), (1.0, [0.7, 0.9, 0.5]),
+                                (2.5, [0.4, 0.6, 0.2])):
+            sub, deadlines = _sub_and_deadlines(instance, time, active, remaining, 50.0)
+            probe.check(sub, deadlines, build_schedule=False)
+        assert probe.probes == 3
+        assert probe.model_constructions == 1
+        assert probe.cache_hits == 2
+
+    def test_lru_cap_bounds_cached_models(self):
+        probe = ReplanProbe(max_cached_models=2)
+        instance = random_unrelated_instance(6, 2, seed=1)
+        # Different objectives cross milestone ranges => different structures.
+        for objective in (5.0, 20.0, 60.0, 150.0, 400.0):
+            sub, deadlines = _sub_and_deadlines(
+                instance, 0.0, [0, 1, 2, 3], [1.0, 0.8, 0.6, 0.4], objective
+            )
+            probe.check(sub, deadlines, build_schedule=False)
+        assert probe.cached_model_count <= 2
+
+    def test_counters_account_every_probe(self):
+        probe = ReplanProbe()
+        instance = random_unrelated_instance(4, 2, seed=2)
+        sub, deadlines = _sub_and_deadlines(instance, 0.0, [0, 1], [1.0, 1.0], 30.0)
+        probe.check(sub, deadlines)
+        probe.check(sub, deadlines)
+        assert probe.probes == 2
+        assert probe.lp_solves == 2  # no memoisation across identical probes
+        assert probe.model_constructions == 1
+
+
+class TestEdgeCases:
+    def test_deadline_before_release_is_trivially_infeasible_without_lp(self):
+        probe = ReplanProbe()
+        jobs = [Job("A", 5.0, weight=1.0)]
+        instance = Instance.from_costs(jobs, [[2.0]])
+        answer = probe.check(instance, [1.0])
+        assert not answer.feasible
+        assert probe.lp_solves == 0
+
+    def test_mismatched_deadline_count_rejected(self):
+        probe = ReplanProbe()
+        instance = random_unrelated_instance(3, 2, seed=0)
+        with pytest.raises(InvalidInstanceError):
+            probe.check(instance, [1.0])
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ReplanProbe(max_cached_models=0)
+        with pytest.raises(ValueError):
+            ReplanProbe(backend="no-such-backend")
+
+
+class TestRemainingSubinstance:
+    def test_positions_map_back_to_original_indices(self):
+        instance = random_unrelated_instance(5, 2, seed=4)
+        sub, ordered = remaining_subinstance(instance, 3.0, [4, 1, 2], [0.5, 1.0, 0.25])
+        assert ordered == [1, 2, 4]
+        assert sub.num_jobs == 3
+        for position, job_index in enumerate(ordered):
+            assert sub.jobs[position].name == instance.jobs[job_index].name
+            assert sub.jobs[position].release_date == 3.0
+
+    def test_costs_scale_with_remaining_fraction(self):
+        jobs = [Job("A", 0.0, weight=1.0)]
+        instance = Instance.from_costs(jobs, [[8.0], [4.0]])
+        sub, _ = remaining_subinstance(instance, 0.0, [0], [0.5])
+        assert sub.cost(0, 0) == pytest.approx(4.0)
+        assert sub.cost(1, 0) == pytest.approx(2.0)

@@ -9,6 +9,7 @@ from repro.heuristics import (
     OFFLINE_OPTIMAL,
     OnlinePolicy,
     OnlineScheduler,
+    PolicyParam,
     PolicySpec,
     SchedulingPolicy,
     available_policies,
@@ -18,6 +19,7 @@ from repro.heuristics import (
     policy_spec,
     register_online_scheduler,
     register_policy,
+    resolve_policy_variant,
     unregister_policy,
 )
 from repro.simulation import AllocationDecision
@@ -151,3 +153,76 @@ class TestCustomRegistration:
         outcome = policy.run(tiny)
         assert outcome.policy == "eager-test"
         outcome.schedule.validate()
+
+
+class TestPolicyVariants:
+    def test_bare_names_resolve_with_empty_params(self):
+        variant = resolve_policy_variant("mct")
+        assert variant.base == "mct"
+        assert variant.params == {}
+        assert variant.label == "mct"
+        assert not variant.is_variant
+
+    def test_variant_tokens_coerce_and_canonicalise(self):
+        variant = resolve_policy_variant("online-offline:period=2,max_bisection_steps=12")
+        assert variant.base == "online-offline"
+        assert variant.params == {"period": 2.0, "max_bisection_steps": 12}
+        assert variant.label == "online-offline:max_bisection_steps=12,period=2.0"
+
+    def test_explicit_defaults_collapse_to_the_bare_name(self):
+        variant = resolve_policy_variant("online-offline:relative_precision=1e-3")
+        assert variant.params == {}
+        assert variant.label == "online-offline"
+
+    def test_params_argument_overrides_inline_token(self):
+        variant = resolve_policy_variant("online-offline:period=2", {"period": 5.0})
+        assert variant.params == {"period": 5.0}
+
+    def test_unknown_parameter_is_rejected_with_the_schema_list(self):
+        with pytest.raises(KeyError, match="sweepable"):
+            resolve_policy_variant("online-offline:warp=9")
+
+    def test_bad_value_is_rejected(self):
+        with pytest.raises(ValueError, match="expects float"):
+            resolve_policy_variant("online-offline:period=fast")
+        with pytest.raises(ValueError, match="boolean"):
+            resolve_policy_variant("online-offline:preemptive=maybe")
+
+    def test_make_policy_builds_a_labelled_variant(self, tiny):
+        policy = make_policy("online-offline:period=2.0")
+        assert policy.name == "online-offline:period=2.0"
+        assert policy.scheduler.period == 2.0
+        outcome = policy.run(tiny)
+        assert outcome.policy == "online-offline:period=2.0"
+        outcome.schedule.validate()
+
+    def test_make_scheduler_accepts_variant_tokens(self):
+        scheduler = make_scheduler("deadline-driven:growth_factor=2.0,lp_targets=true")
+        assert scheduler.name == "deadline-driven:growth_factor=2.0,lp_targets=true"
+        assert scheduler.growth_factor == 2.0
+        assert scheduler.lp_targets is True
+
+    def test_offline_variant_resolves_through_make_policy(self, tiny):
+        policy = make_policy("offline-optimal:preemptive=true")
+        assert policy.name == "offline-optimal:preemptive=true"
+        assert policy.preemptive is True
+        outcome = policy.run(tiny)
+        outcome.schedule.validate()
+
+    def test_param_coercion_rules(self):
+        param = PolicyParam("p", bool, False)
+        assert param.coerce("true") is True
+        assert param.coerce("0") is False
+        count = PolicyParam("n", int, 1)
+        assert count.coerce("7") == 7
+        with pytest.raises(ValueError):
+            count.coerce(2.5)
+
+    def test_none_is_only_legal_when_the_default_is_none(self):
+        optional = PolicyParam("period", float, None)
+        assert optional.coerce(None) is None
+        required = PolicyParam("relative_precision", float, 1e-3)
+        with pytest.raises(ValueError, match="got None"):
+            required.coerce(None)
+        with pytest.raises(ValueError, match="got None"):
+            resolve_policy_variant("online-offline", {"relative_precision": None})

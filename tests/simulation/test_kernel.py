@@ -145,3 +145,68 @@ class TestPooledState:
         times = [time for time, _ in observations]
         assert times == sorted(times)  # in-place updates advance monotonically
         assert observations[-1][1] is None  # all arrivals eventually consumed
+
+
+class TestArrayAwareDispatch:
+    """PR 4: capability-flag dispatch to decide_arrays over the pooled vectors."""
+
+    def test_vectors_are_bound_and_authoritative(self):
+        from repro.heuristics.base import OnlineScheduler, exclusive_allocation
+
+        observed = []
+
+        class VectorReader(OnlineScheduler):
+            name = "vector-reader"
+            array_aware = True
+
+            def decide(self, state):  # pragma: no cover - array path used
+                raise AssertionError("array-aware policies dispatch to decide_arrays")
+
+            def decide_arrays(self, state):
+                active = state.active_jobs()
+                observed.append(
+                    (
+                        state.remaining_vector is not None,
+                        state.rate_vector is not None,
+                        float(state.remaining_vector[active[0]]),
+                    )
+                )
+                return exclusive_allocation({0: active[0]})
+
+        instance = random_unrelated_instance(5, 2, seed=4)
+        result = SimulationKernel().run(instance, VectorReader())
+        assert observed and all(has_rem and has_rate for has_rem, has_rate, _ in observed)
+        remaining_seen = [value for _, _, value in observed]
+        assert max(remaining_seen) <= 1.0 and min(remaining_seen) >= 0.0
+        result.schedule.validate()
+
+    def test_array_aware_policies_match_their_scalar_path(self):
+        from repro.heuristics import make_scheduler
+
+        for name in ("srpt", "greedy-weighted-flow", "online-offline", "deadline-driven"):
+            instance = random_unrelated_instance(12, 3, seed=9)
+            array_result = SimulationKernel().run(instance, make_scheduler(name))
+
+            scalar = make_scheduler(name)
+            assert scalar.array_aware  # all four opted in
+            scalar.array_aware = False  # force the legacy mirror path
+            scalar_result = SimulationKernel().run(instance, scalar)
+
+            assert array_result.schedule.pieces == scalar_result.schedule.pieces, name
+            assert array_result.events == scalar_result.events, name
+            assert array_result.completion_times == scalar_result.completion_times, name
+
+    def test_scalar_accessors_prefer_the_bound_vector(self):
+        import numpy as np
+
+        from repro.simulation.state import JobProgress, SimulationState
+
+        instance = random_unrelated_instance(3, 2, seed=0)
+        jobs = [JobProgress(job_index=j, remaining_fraction=0.5) for j in range(3)]
+        state = SimulationState(
+            instance=instance, time=0.0, jobs=jobs, next_arrival=None
+        )
+        assert state.remaining_fraction(1) == 0.5  # mirror fallback
+        state.remaining_vector = np.array([0.25, 0.75, 1.0])
+        assert state.remaining_fraction(1) == 0.75  # vector wins when bound
+        assert state.fastest_remaining_work(1) == 0.75 * instance.min_cost(1)

@@ -204,6 +204,124 @@ class TestLargeRoundTrip:
             assert diff_runs(store, "cold", "warm").is_clean()
 
 
+class TestBatchedResumePlanning:
+    """ROADMAP PR 3 follow-up: one IN query per planning round, not per item."""
+
+    def _count_lookups(self, monkeypatch):
+        calls = []
+        original = ExperimentStore.lookup
+
+        def counting(self, digests):
+            wanted = list(digests)
+            calls.append(len(wanted))
+            return original(self, wanted)
+
+        monkeypatch.setattr(ExperimentStore, "lookup", counting)
+        return calls
+
+    def test_sequential_resume_issues_one_query_per_round(
+        self, tmp_path, monkeypatch, reference_records
+    ):
+        path = tmp_path / "batched.sqlite"
+        specs = _specs()
+        list(stream_campaign(specs, POLICIES, store=path, run_label="seed"))
+
+        calls = self._count_lookups(monkeypatch)
+        resumed = list(
+            stream_campaign(specs, POLICIES, store=path, resume=True, run_label="again")
+        )
+        assert resumed == reference_records
+        # 4 workloads x 2 chunks = 8 items, all planned in a single round:
+        # exactly one lookup, covering every cell digest of the sweep.
+        assert len(calls) == 1
+        assert calls[0] >= len(reference_records)
+
+    def test_parallel_resume_issues_fewer_queries_than_items(
+        self, tmp_path, monkeypatch, reference_records
+    ):
+        path = tmp_path / "batched-parallel.sqlite"
+        specs = _specs()
+        list(stream_campaign(specs, POLICIES, store=path, run_label="seed"))
+
+        calls = self._count_lookups(monkeypatch)
+        stats = CampaignStats()
+        resumed = list(
+            stream_campaign(
+                specs,
+                POLICIES,
+                store=path,
+                resume=True,
+                max_workers=2,
+                stats=stats,
+                run_label="again",
+            )
+        )
+        assert resumed == reference_records
+        # 8 items; planning rounds are bounded by the admission loop, never
+        # one query per item.
+        assert 1 <= len(calls) < stats.items + len(reference_records)
+        assert len(calls) <= 8
+
+
+class TestParameterisedVariantResume:
+    """PR 4 acceptance: variant cells digest distinctly and resume fully."""
+
+    VARIANTS = ("deadline-driven", "deadline-driven:growth_factor=2.0")
+
+    def test_variant_sweep_stores_distinct_cells_and_resumes_fully(self, tmp_path):
+        path = tmp_path / "variants.sqlite"
+        cold_stats = CampaignStats()
+        cold = list(
+            stream_campaign(
+                _specs(), self.VARIANTS, store=path, stats=cold_stats, run_label="cold"
+            )
+        )
+        assert {record.policy for record in cold} == {
+            "offline-optimal",
+            "deadline-driven",
+            "deadline-driven:growth_factor=2.0",
+        }
+        with ExperimentStore(path) as store:
+            digests = [record.digest for record in store.run_records("cold")]
+            assert len(digests) == len(set(digests)) == len(cold)
+
+        warm_stats = CampaignStats()
+        warm = list(
+            stream_campaign(
+                _specs(),
+                self.VARIANTS,
+                store=path,
+                resume=True,
+                stats=warm_stats,
+                run_label="warm",
+            )
+        )
+        assert warm == cold
+        assert warm_stats.resume_skip_rate == 1.0
+        assert warm_stats.computed_records == 0
+        assert warm_stats.offline_solves == 0
+
+    def test_explicit_default_params_share_the_bare_name_cell(self, tmp_path):
+        path = tmp_path / "defaults.sqlite"
+        list(stream_campaign(_specs(1), ("deadline-driven",), store=path, run_label="bare"))
+        stats = CampaignStats()
+        resumed = list(
+            stream_campaign(
+                _specs(1),
+                ("deadline-driven:growth_factor=1.5",),  # == the default
+                store=path,
+                resume=True,
+                stats=stats,
+                run_label="explicit",
+            )
+        )
+        assert stats.resume_skip_rate == 1.0
+        assert {record.policy for record in resumed} == {
+            "offline-optimal",
+            "deadline-driven",
+        }
+
+
 class TestResumeRelabelling:
     def test_resumed_records_adopt_the_current_sweep_labels(self, tmp_path):
         from repro.analysis import run_policy_campaign

@@ -203,6 +203,85 @@ class TestStoreCommands:
         assert main(["store", "ls", str(tmp_path / "absent.sqlite")]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_store_diff_cells_joins_runs_on_workload_key(self, store_path, capsys):
+        assert main(["store", "diff", str(store_path), "first", "second",
+                     "--cells", "--fail-on-regression"]) == 0
+        output = capsys.readouterr().out
+        assert "Per-cell diff" in output
+        assert "joined cells within tolerance" in output
+
+    def test_store_gc_dry_run_and_apply(self, store_path, capsys):
+        from repro.store import ExperimentStore
+
+        # Orphan one record under an old epoch and kill one run.
+        with ExperimentStore(store_path) as store:
+            store.connection.execute(
+                "UPDATE records SET code_epoch = '1999.1', "
+                "digest = 'f' || substr(digest, 2) WHERE rowid = 1"
+            )
+            store.connection.execute(
+                "UPDATE runs SET completed = 0 WHERE label = 'second'"
+            )
+            store.connection.commit()
+
+        assert main(["store", "gc", str(store_path)]) == 0
+        output = capsys.readouterr().out
+        assert "dry-run" in output
+        assert "stale epoch '1999.1': 1 record(s)" in output
+        assert "incomplete run(s)" in output
+
+        assert main(["store", "gc", str(store_path), "--apply"]) == 0
+        assert "pruned and vacuumed" in capsys.readouterr().out
+        with ExperimentStore(store_path) as store:
+            assert not [run for run in store.runs() if not run.completed]
+
+        assert main(["store", "gc", str(store_path)]) == 0
+        assert "nothing to prune" in capsys.readouterr().out
+
+    def test_store_gc_refuses_the_current_epoch(self, store_path, capsys):
+        from repro.store import CODE_EPOCH
+
+        assert main(["store", "gc", str(store_path), "--epoch", CODE_EPOCH]) == 1
+        assert "current code epoch" in capsys.readouterr().err
+
+
+class TestPolicyVariantsCLI:
+    def test_campaign_accepts_variant_tokens_with_params(self, tmp_path, capsys):
+        path = tmp_path / "variants.sqlite"
+        argv = ["campaign", "--scenarios", "unrelated-stress", "--seeds", "1",
+                "--policies",
+                "mct,deadline-driven:growth_factor=2,online-offline:period=2,relative_precision=1e-2",
+                "--store", str(path)]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "deadline-driven:growth_factor=2.0" in output
+        assert "online-offline:period=2.0,relative_precision=0.01" in output
+        # The same sweep resumes fully: variant digests are stable.
+        assert main(argv + ["--resume"]) == 0
+        assert "skip rate 100%" in capsys.readouterr().out
+
+    def test_campaign_unknown_variant_param_is_a_clean_error(self, capsys):
+        assert main(["campaign", "--scenarios", "unrelated-stress",
+                     "--policies", "mct:warp=9"]) == 1
+        assert "sweepable" in capsys.readouterr().err
+
+    def test_campaign_bad_variant_value_is_a_clean_error(self, capsys):
+        assert main(["campaign", "--scenarios", "unrelated-stress",
+                     "--policies", "online-offline:period=fast"]) == 1
+        assert "expects float" in capsys.readouterr().err
+
+    def test_simulate_accepts_a_variant_token(self, capsys):
+        assert main(["simulate", "unrelated-stress", "--seed", "1",
+                     "--policy", "deadline-driven:growth_factor=2"]) == 0
+        assert "deadline-driven:growth_factor=2.0" in capsys.readouterr().out
+
+    def test_info_lists_sweepable_parameters(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "sweepable parameters" in output
+        assert "online-offline: " in output
+        assert "period=None (float)" in output
+
 
 class TestDivisibility:
     def test_sequence_dimension(self, capsys):
