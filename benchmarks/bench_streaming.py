@@ -1,0 +1,138 @@
+"""Acceptance bench for the streaming arrival-stream runtime (PR 5 tentpole).
+
+Protects the subsystem's three headline guarantees:
+
+1. **O(active) memory** — a 100k-arrival Poisson stream simulates with a
+   window bounded by the queue's natural occupancy (twice the peak live
+   count plus the compaction hysteresis), never by the arrival count.
+2. **Determinism** — two runs of the same :class:`StreamSpec` are
+   byte-identical (completion series, counters, fingerprint).
+3. **Resumable sweeps** — a ρ-sweep re-run against its experiment store
+   reaches a 100 % skip rate and reconstructs bit-identical reports.
+
+Plus the saturation contract: a super-critical stream is flagged and cut
+short instead of looping (or allocating) forever.
+
+Marked ``bench`` (hence tier-2): run with ``-m bench``/``-m tier2`` or by
+dropping the tier-1 filter.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import analyse_stream, run_stream_sweep
+from repro.heuristics import make_scheduler
+from repro.simulation import StreamingSimulator
+from repro.workload import StreamSpec, open_stream
+
+
+@pytest.mark.bench
+def test_100k_arrival_stream_is_o_active_and_byte_identical():
+    arrivals = 100_000  # the acceptance size at every bench scale
+    spec = StreamSpec(
+        label="accept", scenario="small-cluster", seed=2005
+    ).with_utilisation(0.7)
+    simulator = StreamingSimulator()
+
+    start = time.perf_counter()
+    first = simulator.run(open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals)
+    elapsed = time.perf_counter() - start
+
+    assert first.completions == arrivals
+    assert not first.saturated
+    # O(active): the window tracks the queue's natural occupancy.  At 70%
+    # load the M/G/m-ish queue idles around a dozen jobs; the bound below is
+    # structural (compaction rule), the second is the "not O(total)" claim.
+    assert first.peak_window <= 2 * first.peak_active + 16
+    assert first.peak_window < arrivals // 100
+
+    second = simulator.run(open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals)
+    assert second.fingerprint() == first.fingerprint()
+
+    report = analyse_stream(first)
+    assert not report.saturated
+    assert report.mean_stretch.half_width < report.mean_stretch.mean
+
+    print(
+        f"[stream] {arrivals} arrivals in {elapsed:.2f}s "
+        f"({first.arrivals_per_second:.0f} arrivals/s), peak active "
+        f"{first.peak_active}, peak window {first.peak_window}, "
+        f"{first.compactions} compactions, mean stretch "
+        f"{report.mean_stretch.mean:.3f} ± {report.mean_stretch.half_width:.3f}"
+    )
+
+
+@pytest.mark.bench
+def test_flat_memory_profile_as_the_stream_grows():
+    """Peak window must not grow with the arrival count (steady state)."""
+    spec = StreamSpec(label="flat", scenario="small-cluster", seed=7).with_utilisation(0.6)
+    simulator = StreamingSimulator()
+    windows = []
+    for arrivals in (2_000, 8_000, 32_000):
+        result = simulator.run(
+            open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals
+        )
+        windows.append(result.peak_window)
+        print(f"[stream] {arrivals} arrivals -> peak window {result.peak_window}")
+    # 16x more arrivals may not cost more than ~2x the window (the queue's
+    # occupancy distribution has a tail; the window must not trend with N).
+    assert windows[-1] <= 2 * windows[0] + 16
+
+
+@pytest.mark.bench
+def test_rho_sweep_resumes_at_full_skip_rate(tmp_path, bench_scale):
+    arrivals = 5_000 if bench_scale == "full" else 1_500
+    spec = StreamSpec(label="sweep", scenario="small-cluster", seed=2005)
+    policies = ("srpt", "greedy-weighted-flow", "mct")
+    rhos = (0.3, 0.5, 0.7, 0.9)
+    path = tmp_path / "sweep.sqlite"
+
+    start = time.perf_counter()
+    cold = run_stream_sweep(
+        spec, policies, rhos=rhos, max_arrivals=arrivals, store=path, run_label="cold"
+    )
+    cold_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    warm = run_stream_sweep(
+        spec,
+        policies,
+        rhos=rhos,
+        max_arrivals=arrivals,
+        store=path,
+        resume=True,
+        run_label="warm",
+    )
+    warm_seconds = time.perf_counter() - start
+
+    assert warm.stats.resume_skip_rate == 1.0
+    assert warm.stats.arrivals == 0
+    assert [r.report.as_dict() for r in warm.records] == [
+        r.report.as_dict() for r in cold.records
+    ]
+    print(
+        f"[stream] {len(cold.records)}-cell rho sweep: cold {cold_seconds:.2f}s "
+        f"({cold.stats.arrivals_per_second:.0f} arrivals/s), resumed "
+        f"{warm_seconds:.2f}s at 100% skip rate "
+        f"({cold_seconds / max(warm_seconds, 1e-9):.0f}x)"
+    )
+
+
+@pytest.mark.bench
+def test_supercritical_load_saturates_quickly():
+    spec = StreamSpec(label="hot", scenario="small-cluster", seed=3).with_utilisation(1.4)
+    simulator = StreamingSimulator(max_active=500)
+    start = time.perf_counter()
+    result = simulator.run(
+        open_stream(spec), make_scheduler("srpt"), max_arrivals=10_000_000
+    )
+    elapsed = time.perf_counter() - start
+    assert result.saturated
+    assert result.arrivals < 100_000  # cut short, nowhere near the budget
+    assert elapsed < 60.0
+    print(
+        f"[stream] rho=1.4 saturated after {result.arrivals} arrivals "
+        f"({elapsed:.2f}s, queue {result.peak_active})"
+    )

@@ -12,6 +12,11 @@ compare against::
                                          [--campaign-output BENCH_campaign.json]
                                          [--store BENCH_store.sqlite]
 
+The record also carries a **streaming row** (arrivals/sec of the
+rolling-horizon simulator, peak active jobs, saturation flag), diffed
+against the previous invocation's row the way the campaign rows are
+diffed through the store.
+
 The campaign rows are also written into a persistent experiment store
 (``BENCH_store.sqlite``, one run per invocation): the record includes the
 store's bulk-insert rate, the resume skip-rate of an immediate warm re-run,
@@ -167,6 +172,47 @@ def bench_replanning(num_jobs: int = 16, num_machines: int = 3) -> dict:
         "parametric_seconds": timings["parametric"],
         "replanning_speedup": timings["from_scratch"] / max(timings["parametric"], 1e-12),
         "schedules_identical": True,
+    }
+
+
+def bench_stream(arrivals: int = 3000) -> dict:
+    """Streaming-runtime throughput row: arrivals/sec, peak window, saturation.
+
+    One rolling-horizon simulation of a Poisson stream at 70% offered load;
+    the asserts protect the subsystem's core guarantees (O(active) window,
+    determinism, no spurious saturation) and the record feeds the
+    PR-over-PR trajectory in ``BENCH_campaign.json``.
+    """
+    from repro.analysis import analyse_stream  # noqa: E402  (late: path set in main)
+    from repro.simulation import StreamingSimulator  # noqa: E402
+    from repro.workload import StreamSpec, open_stream  # noqa: E402
+
+    spec = StreamSpec(
+        label="quick-bench", scenario="small-cluster", seed=2005
+    ).with_utilisation(0.7)
+    simulator = StreamingSimulator()
+    result = simulator.run(open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals)
+    report = analyse_stream(result)
+    assert result.completions == arrivals
+    assert not report.saturated
+    # O(active) memory: the window is bounded by the live occupancy, never
+    # by the arrival count.
+    assert result.peak_window <= 2 * result.peak_active + 16
+    twin = simulator.run(open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals)
+    assert twin.fingerprint() == result.fingerprint()
+    return {
+        "arrivals": result.arrivals,
+        "policy": "srpt",
+        "rho": 0.7,
+        "arrivals_per_second": result.arrivals_per_second,
+        "peak_active": result.peak_active,
+        "peak_window": result.peak_window,
+        "compactions": result.compactions,
+        "saturated": report.saturated,
+        "mean_stretch": report.mean_stretch.mean,
+        "mean_stretch_half_width": report.mean_stretch.half_width,
+        "utilisation": report.utilisation,
+        "elapsed_seconds": result.elapsed_seconds,
     }
 
 
@@ -351,6 +397,17 @@ def main(argv=None) -> int:
     }
     record["total_seconds"] = time.perf_counter() - start
 
+    # The streaming row is diffed against the previous invocation's, like the
+    # campaign rows are diffed through the store: read before overwriting.
+    campaign_output = os.path.abspath(args.campaign_output)
+    previous_stream = None
+    if os.path.exists(campaign_output):
+        try:
+            with open(campaign_output) as handle:
+                previous_stream = json.load(handle).get("stream")
+        except (json.JSONDecodeError, OSError):
+            previous_stream = None
+
     campaign_start = time.perf_counter()
     campaign_record = {
         "python": platform.python_version(),
@@ -359,12 +416,22 @@ def main(argv=None) -> int:
         "engine": bench_engine(),
         "replanning": bench_replanning(),
         "campaign": bench_campaign(),
+        "stream": bench_stream(),
         "pr1_comparison": bench_pr1_comparison(),
         "store": bench_store(os.path.abspath(args.store)),
     }
     campaign_record["total_seconds"] = time.perf_counter() - campaign_start
 
-    campaign_output = os.path.abspath(args.campaign_output)
+    stream_row = campaign_record["stream"]
+    if previous_stream and previous_stream.get("arrivals_per_second"):
+        stream_row["diff_vs_previous"] = {
+            "arrivals_per_second": previous_stream["arrivals_per_second"],
+            "speed_ratio": stream_row["arrivals_per_second"]
+            / previous_stream["arrivals_per_second"],
+            "mean_stretch_delta": stream_row["mean_stretch"]
+            - previous_stream.get("mean_stretch", stream_row["mean_stretch"]),
+        }
+
     with open(campaign_output, "w") as handle:
         json.dump(campaign_record, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -408,6 +475,19 @@ def main(argv=None) -> int:
             f"(naive {campaign['naive_probe_constructions']}), "
             f"{run['offline_solves']} offline solves, "
             f"peak in-flight {run['peak_in_flight']}"
+        )
+    print(
+        f"stream: {stream_row['arrivals_per_second']:.0f} arrivals/s over "
+        f"{stream_row['arrivals']} arrivals (peak active {stream_row['peak_active']}, "
+        f"window {stream_row['peak_window']}, "
+        f"{'SATURATED' if stream_row['saturated'] else 'steady'}, "
+        f"mean stretch {stream_row['mean_stretch']:.3f})"
+    )
+    if "diff_vs_previous" in stream_row:
+        diff = stream_row["diff_vs_previous"]
+        print(
+            f"  vs previous invocation: {diff['speed_ratio']:.2f}x throughput, "
+            f"stretch delta {diff['mean_stretch_delta']:+.4f}"
         )
     pr1 = campaign_record["pr1_comparison"]
     if pr1["skipped"]:

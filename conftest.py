@@ -13,6 +13,10 @@ throughput, resume skip-rate sweeps); run them explicitly with
 test marked ``bench`` is automatically also marked ``tier2`` (so bench
 modules only need the one marker and tier-1 stays fast), and the benches
 can be selected as a family with ``-m bench``.
+
+``bench_smoke`` marks the tiny-scale smoke twins of the bench assertion
+paths (``tests/benchmarks/``): they run in tier-1, so a broken bench
+assertion surfaces at the fast gate instead of at the ``-m bench`` run.
 """
 
 import pytest
@@ -26,6 +30,10 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "bench: heavyweight acceptance benches; implies tier2 (tier-1 deselects them)",
+    )
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: tiny-scale bench assertion smoke tests; run in tier-1",
     )
 
 

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Steady-state load sweep over an open-ended GriPPS request stream.
+
+The paper's premise is an *on-line* portal: requests arrive continuously and
+the scheduler never sees the full workload.  This example drives the PR 5
+streaming runtime end to end:
+
+1. describe a Poisson request stream over the ``small-cluster`` platform
+   with a :class:`~repro.workload.streams.StreamSpec`;
+2. sweep the offered load ρ (arrival rate over the platform's fluid
+   capacity) against a set of on-line policies through
+   :func:`~repro.analysis.stream_sweep.run_stream_sweep` — each cell is a
+   rolling-horizon simulation whose memory stays O(active jobs);
+3. print the steady-state stretch table (batch-means confidence intervals,
+   post-warmup maxima, achieved utilisation, saturation flags).
+
+Note how the policies separate as ρ approaches 1 — exactly the portal-load
+axis the paper varies — and how a super-critical cell (ρ = 1.1) is flagged
+``SATURATED`` instead of pretending to have converged.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/stream_load_sweep.py
+"""
+
+from repro.analysis import run_stream_sweep
+from repro.workload import StreamSpec
+
+
+def main() -> None:
+    spec = StreamSpec(
+        label="portal",
+        scenario="small-cluster",
+        seed=2005,
+        arrivals="poisson",
+        sizes="uniform",
+    )
+    print(f"stream platform: scenario {spec.scenario!r}, seed {spec.seed}")
+    print(f"content key:     {spec.content_key()}")
+    print()
+
+    result = run_stream_sweep(
+        spec,
+        policies=("mct", "srpt", "greedy-weighted-flow"),
+        rhos=(0.3, 0.6, 0.9, 1.1),
+        max_arrivals=1200,
+        warmup_fraction=0.25,
+        num_batches=12,
+        max_active=2000,
+    )
+    print(result.as_table())
+    stats = result.stats
+    print()
+    print(
+        f"{stats.cells} cells, {stats.arrivals} simulated arrivals in "
+        f"{stats.elapsed_seconds:.1f}s ({stats.arrivals_per_second:.0f} arrivals/s); "
+        f"{stats.saturated_cells} saturated cell(s)"
+    )
+    print()
+    print("Tip: pass store=/resume= (or use `repro-sched stream --store ... --resume`)")
+    print("to make the sweep content-addressed and resumable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,12 +34,34 @@ from .stats import (
     ratio_table,
     summarize,
 )
+from .steady_state import (
+    SteadyStateEstimate,
+    SteadyStateReport,
+    analyse_stream,
+    batch_means,
+    detect_saturation,
+)
+from .stream_sweep import (
+    StreamCellRecord,
+    StreamSweepResult,
+    StreamSweepStats,
+    run_stream_sweep,
+)
 from .tables import format_key_values, format_table
 
 __all__ = [
     "CampaignRecord",
     "CampaignResult",
     "CampaignStats",
+    "SteadyStateEstimate",
+    "SteadyStateReport",
+    "StreamCellRecord",
+    "StreamSweepResult",
+    "StreamSweepStats",
+    "analyse_stream",
+    "batch_means",
+    "detect_saturation",
+    "run_stream_sweep",
     "ComparisonRecord",
     "ExperimentReport",
     "FairnessReport",

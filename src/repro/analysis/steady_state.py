@@ -1,0 +1,330 @@
+"""Steady-state metric estimation over streaming simulations.
+
+A rolling-horizon run (:class:`~repro.simulation.stream.StreamResult`)
+produces per-completion metric *series* rather than a single schedule, and
+the quantity of interest is the **steady-state** behaviour — what the paper's
+portal sees under sustained load — not the transient of the first arrivals.
+This module supplies the standard simulation-output machinery:
+
+* **Warmup truncation** — the first ``warmup_fraction`` of completions is
+  discarded (the initial transient: an empty system filling up biases every
+  mean downward).
+* **Batch-means confidence intervals** — the truncated series is cut into
+  ``num_batches`` equal batches; batch means of a (weakly dependent)
+  stationary series are approximately i.i.d., so a Student-t interval over
+  them gives an honest half-width despite the autocorrelation of the raw
+  per-job values.
+* **Saturation detection** — a super-critical stream has no steady state:
+  its queue grows without bound and every estimate is meaningless.  The
+  simulator flags hard saturation (queue cap exceeded); here the recorded
+  queue-length trajectory is additionally tested for sustained growth, so
+  near-critical runs that merely *trend* upward are flagged instead of
+  reported as converged.
+
+:func:`analyse_stream` bundles the three into a :class:`SteadyStateReport`
+(the payload the streaming load-sweep campaigns persist into the experiment
+store).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from ..exceptions import WorkloadError
+from ..simulation.stream import StreamResult
+
+__all__ = [
+    "SteadyStateEstimate",
+    "SteadyStateReport",
+    "analyse_stream",
+    "batch_means",
+    "detect_saturation",
+]
+
+
+def _as_float_array(series: Sequence[float]) -> np.ndarray:
+    """Float view of ``series`` without round-tripping ndarrays through a list."""
+    if isinstance(series, np.ndarray):
+        return series.astype(float, copy=False)
+    return np.asarray(list(series), dtype=float)
+
+
+@dataclass(frozen=True)
+class SteadyStateEstimate:
+    """A batch-means point estimate with its confidence half-width.
+
+    Attributes
+    ----------
+    metric:
+        Name of the estimated quantity (``"mean_stretch"``, ...).
+    mean:
+        Point estimate: the grand mean of the post-warmup batch means.
+    half_width:
+        Student-t half-width of the ``confidence`` interval over the batch
+        means (``inf`` when fewer than two batches were available).
+    confidence:
+        Confidence level of the interval.
+    num_batches, batch_size:
+        Batch-means layout actually used.
+    samples:
+        Post-warmup samples the estimate is built from.
+    warmup_dropped:
+        Samples discarded as warmup.
+    """
+
+    metric: str
+    mean: float
+    half_width: float
+    confidence: float
+    num_batches: int
+    batch_size: int
+    samples: int
+    warmup_dropped: int
+
+    @property
+    def lower(self) -> float:
+        """Lower confidence bound."""
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        """Upper confidence bound."""
+        return self.mean + self.half_width
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly view (round-trips through :meth:`from_dict`)."""
+        return {
+            "metric": self.metric,
+            "mean": self.mean,
+            "half_width": self.half_width,
+            "confidence": self.confidence,
+            "num_batches": self.num_batches,
+            "batch_size": self.batch_size,
+            "samples": self.samples,
+            "warmup_dropped": self.warmup_dropped,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "SteadyStateEstimate":
+        """Rebuild an estimate from :meth:`as_dict` output."""
+        return SteadyStateEstimate(
+            metric=str(data["metric"]),
+            mean=float(data["mean"]),
+            half_width=float(data["half_width"]),
+            confidence=float(data["confidence"]),
+            num_batches=int(data["num_batches"]),
+            batch_size=int(data["batch_size"]),
+            samples=int(data["samples"]),
+            warmup_dropped=int(data["warmup_dropped"]),
+        )
+
+
+def batch_means(
+    series: Sequence[float],
+    *,
+    metric: str = "value",
+    warmup_fraction: float = 0.25,
+    num_batches: int = 16,
+    confidence: float = 0.95,
+) -> SteadyStateEstimate:
+    """Batch-means estimate of the steady-state mean of ``series``.
+
+    The first ``warmup_fraction`` of the series is discarded; the remainder
+    is cut into ``num_batches`` equal batches (a trailing remainder shorter
+    than a batch is dropped) and a Student-t confidence interval is computed
+    over the batch means.  Degenerate inputs degrade gracefully: with fewer
+    than two non-empty batches the half-width is infinite rather than an
+    error, so saturated or tiny runs still produce a report.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise WorkloadError("warmup_fraction must be in [0, 1)")
+    if num_batches < 2:
+        raise WorkloadError("batch means need at least two batches")
+    if not 0.0 < confidence < 1.0:
+        raise WorkloadError(f"confidence must be in (0, 1), got {confidence}")
+    values = _as_float_array(series)
+    dropped = int(values.size * warmup_fraction)
+    kept = values[dropped:]
+    if kept.size == 0:
+        return SteadyStateEstimate(
+            metric=metric,
+            mean=math.nan,
+            half_width=math.inf,
+            confidence=confidence,
+            num_batches=0,
+            batch_size=0,
+            samples=0,
+            warmup_dropped=dropped,
+        )
+    batch_size = kept.size // num_batches
+    if batch_size == 0:
+        # Too few samples for the requested layout: one sample per batch.
+        batch_size = 1
+        num_batches = kept.size
+    used = kept[: num_batches * batch_size]
+    means = used.reshape(num_batches, batch_size).mean(axis=1)
+    grand_mean = float(means.mean())
+    if num_batches < 2:
+        half_width = math.inf
+    else:
+        sem = float(means.std(ddof=1) / math.sqrt(num_batches))
+        quantile = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, num_batches - 1))
+        half_width = quantile * sem
+    return SteadyStateEstimate(
+        metric=metric,
+        mean=grand_mean,
+        half_width=half_width,
+        confidence=confidence,
+        num_batches=num_batches,
+        batch_size=batch_size,
+        samples=int(kept.size),
+        warmup_dropped=dropped,
+    )
+
+
+def detect_saturation(
+    queue_lengths: Sequence[float],
+    *,
+    warmup_fraction: float = 0.25,
+    growth_factor: float = 2.0,
+    min_samples: int = 24,
+) -> bool:
+    """Heuristic unbounded-growth test on a queue-length trajectory.
+
+    Compares the mean occupancy of the last third of the post-warmup
+    trajectory against the first third: sustained growth beyond
+    ``growth_factor`` (plus one job of slack, so empty-ish systems never
+    trigger) flags the stream as saturated.  Deliberately conservative —
+    the hard ``max_active`` cap in the simulator catches runaway queues;
+    this catches the near-critical runs that merely trend upward.
+    """
+    values = _as_float_array(queue_lengths)
+    if values.size < min_samples:
+        return False
+    kept = values[int(values.size * warmup_fraction) :]
+    third = kept.size // 3
+    if third == 0:
+        return False
+    head = float(kept[:third].mean())
+    tail = float(kept[-third:].mean())
+    return tail > growth_factor * head + 1.0
+
+
+@dataclass(frozen=True)
+class SteadyStateReport:
+    """Steady-state summary of one streamed (stream, policy) measurement.
+
+    Attributes
+    ----------
+    policy, label:
+        Policy and stream identity.
+    mean_stretch, mean_weighted_flow:
+        Batch-means estimates of the per-job stretch and weighted flow.
+    max_stretch, max_weighted_flow:
+        Post-warmup maxima (the paper's worst-case objectives).
+    utilisation:
+        Achieved machine utilisation over the simulated span.
+    saturated:
+        Hard cap exceeded, or sustained queue growth detected.
+    arrivals, completions, peak_active:
+        Volume counters from the simulation.
+    arrivals_per_second:
+        Simulation throughput (wall-clock; bench trajectory food).
+    """
+
+    policy: str
+    label: str
+    mean_stretch: SteadyStateEstimate
+    mean_weighted_flow: SteadyStateEstimate
+    max_stretch: float
+    max_weighted_flow: float
+    utilisation: float
+    saturated: bool
+    arrivals: int
+    completions: int
+    peak_active: int
+    arrivals_per_second: float
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly view (round-trips through :meth:`from_dict`)."""
+        return {
+            "policy": self.policy,
+            "label": self.label,
+            "mean_stretch": self.mean_stretch.as_dict(),
+            "mean_weighted_flow": self.mean_weighted_flow.as_dict(),
+            "max_stretch": self.max_stretch,
+            "max_weighted_flow": self.max_weighted_flow,
+            "utilisation": self.utilisation,
+            "saturated": self.saturated,
+            "arrivals": self.arrivals,
+            "completions": self.completions,
+            "peak_active": self.peak_active,
+            "arrivals_per_second": self.arrivals_per_second,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "SteadyStateReport":
+        """Rebuild a report from :meth:`as_dict` output."""
+        return SteadyStateReport(
+            policy=str(data["policy"]),
+            label=str(data["label"]),
+            mean_stretch=SteadyStateEstimate.from_dict(data["mean_stretch"]),
+            mean_weighted_flow=SteadyStateEstimate.from_dict(data["mean_weighted_flow"]),
+            max_stretch=float(data["max_stretch"]),
+            max_weighted_flow=float(data["max_weighted_flow"]),
+            utilisation=float(data["utilisation"]),
+            saturated=bool(data["saturated"]),
+            arrivals=int(data["arrivals"]),
+            completions=int(data["completions"]),
+            peak_active=int(data["peak_active"]),
+            arrivals_per_second=float(data["arrivals_per_second"]),
+        )
+
+
+def analyse_stream(
+    result: StreamResult,
+    *,
+    warmup_fraction: float = 0.25,
+    num_batches: int = 16,
+    confidence: float = 0.95,
+) -> SteadyStateReport:
+    """Windowed steady-state estimation over one streaming simulation."""
+    stretch = batch_means(
+        result.stretches,
+        metric="mean_stretch",
+        warmup_fraction=warmup_fraction,
+        num_batches=num_batches,
+        confidence=confidence,
+    )
+    wflow = batch_means(
+        result.weighted_flows,
+        metric="mean_weighted_flow",
+        warmup_fraction=warmup_fraction,
+        num_batches=num_batches,
+        confidence=confidence,
+    )
+    dropped = stretch.warmup_dropped
+    tail_stretch = result.stretches[dropped:]
+    tail_wflow = result.weighted_flows[dropped:]
+    saturated = result.saturated or detect_saturation(
+        result.queue_lengths, warmup_fraction=warmup_fraction
+    )
+    return SteadyStateReport(
+        policy=result.policy,
+        label=result.label,
+        mean_stretch=stretch,
+        mean_weighted_flow=wflow,
+        max_stretch=float(tail_stretch.max()) if tail_stretch.size else 0.0,
+        max_weighted_flow=float(tail_wflow.max()) if tail_wflow.size else 0.0,
+        utilisation=result.utilisation,
+        saturated=saturated,
+        arrivals=result.arrivals,
+        completions=result.completions,
+        peak_active=result.peak_active,
+        arrivals_per_second=result.arrivals_per_second,
+    )

@@ -1,0 +1,406 @@
+"""Steady-state load sweeps: utilisation ρ × policy over workload streams.
+
+This is the streaming counterpart of the batch campaign dispatcher: the
+sweep axis is the **offered load** ρ (arrival rate over the platform's
+fluid capacity — see :meth:`repro.workload.streams.StreamSpec.offered_load`)
+rather than a seed grid, and each cell is a *steady-state report*
+(:class:`~repro.analysis.steady_state.SteadyStateReport`) rather than a
+single-schedule measurement.
+
+Cells are content-addressed exactly like batch campaign cells: the workload
+key is ``StreamSpec.content_key()`` extended with the measurement protocol
+(arrival budget, warmup fraction, batch count), the policy slot carries the
+canonical variant identity, and the digest flows through
+:func:`repro.store.digest.record_digest`.  With ``store=``/``resume=True``
+a killed or re-parameterised ρ-sweep therefore tops up incrementally — a
+fully stored sweep replays at a 100 % skip rate without simulating a single
+arrival (the rich report round-trips through the store's ``extra`` JSON
+column).
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+from ..exceptions import WorkloadError
+from ..heuristics import make_scheduler
+from ..heuristics.registry import resolve_policy_variant
+from ..simulation import SimulationKernel
+from ..simulation.stream import StreamingSimulator
+from ..workload.streams import StreamSpec, open_stream
+from .campaign import CampaignRecord
+from .steady_state import SteadyStateReport, analyse_stream
+from .tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (runtime import would cycle)
+    from ..store import ExperimentStore
+
+__all__ = [
+    "StreamCellRecord",
+    "StreamSweepResult",
+    "StreamSweepStats",
+    "run_stream_sweep",
+]
+
+
+def _finite(value: float, default: float) -> float:
+    """``value`` when finite, ``default`` otherwise (NaN-safe projection)."""
+    return float(value) if math.isfinite(value) else default
+
+
+@dataclass(frozen=True)
+class StreamCellRecord:
+    """One (stream load, policy) steady-state measurement.
+
+    Attributes
+    ----------
+    workload:
+        Cell label, ``"<stream label>@rho=<value>"``.
+    policy:
+        Canonical policy (variant) label.
+    rho:
+        Offered load of the cell's stream.
+    report:
+        The full steady-state report (estimates, saturation, throughput).
+    """
+
+    workload: str
+    policy: str
+    rho: float
+    report: SteadyStateReport
+
+    def to_campaign_record(self) -> CampaignRecord:
+        """Project the cell onto the store's fixed record columns.
+
+        The mapping is documented rather than clever: ``max_weighted_flow``
+        and ``max_stretch`` carry the post-warmup maxima, ``makespan`` the
+        achieved utilisation, ``normalised`` the steady-state mean stretch
+        (strictly positive, so the store's geometric-mean headline metrics
+        stay well-defined).  The full report rides in the record's ``extra``
+        JSON and is what :meth:`from_stored` rebuilds.
+
+        Saturated cells that completed *nothing* post-warmup have NaN
+        estimates; those are clamped to the columns' safe floors here —
+        SQLite would bind NaN as NULL and the store's ``INSERT OR IGNORE``
+        would silently drop the whole row, leaving the run's membership
+        dangling and the cell permanently un-resumable.
+        """
+        return CampaignRecord(
+            workload=self.workload,
+            policy=self.policy,
+            max_weighted_flow=_finite(self.report.max_weighted_flow, 0.0),
+            max_stretch=_finite(self.report.max_stretch, 0.0),
+            makespan=_finite(self.report.utilisation, 0.0),
+            normalised=max(_finite(self.report.mean_stretch.mean, 1e-9), 1e-9),
+            preemptions=self.report.peak_active,
+        )
+
+    def extra_payload(self) -> Dict:
+        """The JSON side-channel persisted with the cell."""
+        return {"kind": "stream-cell", "rho": self.rho, "report": self.report.as_dict()}
+
+    @staticmethod
+    def from_stored(stored) -> Optional["StreamCellRecord"]:
+        """Rebuild a cell from a :class:`~repro.store.StoredRecord`.
+
+        Returns ``None`` when the stored row carries no stream payload
+        (pre-v2 cells, or a digest collision with a batch cell — impossible
+        by construction, but treated as a miss rather than an error).
+        """
+        extra = stored.extra
+        if not extra or extra.get("kind") != "stream-cell":
+            return None
+        return StreamCellRecord(
+            workload=stored.workload,
+            policy=stored.policy,
+            rho=float(extra["rho"]),
+            report=SteadyStateReport.from_dict(extra["report"]),
+        )
+
+
+@dataclass
+class StreamSweepStats:
+    """Throughput and resume trajectory of one ρ-sweep.
+
+    Attributes
+    ----------
+    cells, computed_cells, resumed_cells:
+        Total cells and their computed/loaded-from-store split.
+    arrivals:
+        Arrivals actually simulated (0 for a fully resumed sweep).
+    saturated_cells:
+        Cells flagged saturated.
+    elapsed_seconds:
+        Wall-clock time of the sweep.
+    store_run_id:
+        Run id registered in the store (``None`` without a store).
+    """
+
+    cells: int = 0
+    computed_cells: int = 0
+    resumed_cells: int = 0
+    arrivals: int = 0
+    saturated_cells: int = 0
+    elapsed_seconds: float = 0.0
+    store_run_id: Optional[int] = None
+
+    @property
+    def resume_skip_rate(self) -> float:
+        """Fraction of cells served from the store instead of simulated."""
+        return self.resumed_cells / self.cells if self.cells > 0 else 0.0
+
+    @property
+    def arrivals_per_second(self) -> float:
+        """Simulated arrivals per wall-clock second of the whole sweep."""
+        return self.arrivals / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly view (bench trajectory files)."""
+        return {
+            "cells": self.cells,
+            "computed_cells": self.computed_cells,
+            "resumed_cells": self.resumed_cells,
+            "resume_skip_rate": self.resume_skip_rate,
+            "arrivals": self.arrivals,
+            "arrivals_per_second": self.arrivals_per_second,
+            "saturated_cells": self.saturated_cells,
+            "elapsed_seconds": self.elapsed_seconds,
+            "store_run_id": self.store_run_id,
+        }
+
+
+@dataclass
+class StreamSweepResult:
+    """All cells of a ρ-sweep plus rendering helpers."""
+
+    records: List[StreamCellRecord] = field(default_factory=list)
+    stats: Optional[StreamSweepStats] = None
+
+    def as_table(self) -> str:
+        """ρ × policy steady-state stretch table."""
+        rows = []
+        for record in self.records:
+            report = record.report
+            estimate = report.mean_stretch
+            rows.append(
+                (
+                    f"{record.rho:.2f}",
+                    record.policy,
+                    estimate.mean,
+                    estimate.half_width,
+                    report.max_stretch,
+                    f"{report.utilisation:.2f}",
+                    "SATURATED" if report.saturated else "ok",
+                )
+            )
+        return format_table(
+            ["rho", "policy", "mean stretch", "+/-", "max stretch", "util", "state"],
+            rows,
+            title="Steady-state load sweep (batch-means stretch, post-warmup)",
+            float_format=".3f",
+        )
+
+
+def _cell_workload_key(
+    spec: StreamSpec,
+    *,
+    max_arrivals: int,
+    warmup_fraction: float,
+    num_batches: int,
+    confidence: float,
+    max_active: int,
+) -> str:
+    """Workload key of one stream cell: spec identity plus the full protocol.
+
+    Every parameter that can change a cell's value belongs here — including
+    the saturation cap (it truncates super-critical runs) and the confidence
+    level (it scales the stored half-widths) — otherwise a resumed sweep
+    under different settings would silently serve stale cells.
+    """
+    return (
+        f"{spec.content_key()};arrivals={max_arrivals}"
+        f";warmup={warmup_fraction!r};batches={num_batches}"
+        f";confidence={confidence!r};max-active={max_active}"
+    )
+
+
+def run_stream_sweep(
+    spec: StreamSpec,
+    policies: Sequence[str],
+    *,
+    rhos: Sequence[float],
+    max_arrivals: int = 2000,
+    warmup_fraction: float = 0.25,
+    num_batches: int = 16,
+    confidence: float = 0.95,
+    max_active: int = 10_000,
+    stats: Optional[StreamSweepStats] = None,
+    store: Optional[Union[str, Path, "ExperimentStore"]] = None,
+    resume: bool = False,
+    run_label: Optional[str] = None,
+) -> StreamSweepResult:
+    """Sweep offered load ρ × policy over one stream family.
+
+    Parameters
+    ----------
+    spec:
+        Base stream description; each ρ derives a rate-adjusted copy via
+        :meth:`StreamSpec.with_utilisation` (so ``spec`` must not be a trace).
+    policies:
+        On-line policy names (variant tokens accepted), resolved through the
+        registry per cell.
+    rhos:
+        Utilisation values to sweep (``rho >= 1`` cells are expected to
+        saturate — they are measured and flagged, not skipped).
+    max_arrivals:
+        Arrival budget per cell.
+    warmup_fraction, num_batches, confidence:
+        Steady-state estimation protocol (folded into the cell digests: a
+        different protocol is a different cell).
+    max_active:
+        Saturation cap forwarded to the simulator.
+    stats:
+        Optional :class:`StreamSweepStats` filled in while sweeping.
+    store, resume, run_label:
+        Experiment-store sink and resume mode, exactly as in
+        :func:`~repro.analysis.campaign.stream_campaign`.
+    """
+    if not policies:
+        raise WorkloadError("a stream sweep needs at least one policy")
+    if not rhos:
+        raise WorkloadError("a stream sweep needs at least one utilisation value")
+    if max_arrivals < 1:
+        raise WorkloadError("max_arrivals must be at least 1")
+    if resume and store is None:
+        raise WorkloadError("resume=True needs a store to resume from")
+
+    own_stats = stats if stats is not None else StreamSweepStats()
+    started = _time.perf_counter()
+
+    # Deferred imports: repro.store depends on repro.analysis.campaign.
+    from ..store import ExperimentStore
+    from ..store.digest import record_digest
+
+    own_store: Optional[ExperimentStore] = None
+    if store is not None and not isinstance(store, ExperimentStore):
+        store = own_store = ExperimentStore(store)
+
+    # Resolve every policy token up front (fail fast, canonical identities).
+    variants = [resolve_policy_variant(token) for token in policies]
+
+    machines = spec.platform_instance().machines  # one platform build per sweep
+    cells = [
+        (rho, spec.with_utilisation(rho, machines=machines)) for rho in rhos
+    ]
+    digests: Dict[tuple, str] = {}
+    if store is not None:
+        for index, (rho, cell_spec) in enumerate(cells):
+            key = _cell_workload_key(
+                cell_spec,
+                max_arrivals=max_arrivals,
+                warmup_fraction=warmup_fraction,
+                num_batches=num_batches,
+                confidence=confidence,
+                max_active=max_active,
+            )
+            for variant in variants:
+                digests[(index, variant.label)] = record_digest(
+                    key, variant.base, params=variant.params
+                )
+
+    found: Dict[str, object] = {}
+    if resume and store is not None and digests:
+        found = store.lookup(digests.values())
+
+    run_id: Optional[int] = None
+    writer = None
+    if store is not None:
+        run_id = store.begin_run(
+            run_label or "stream-sweep",
+            meta={
+                "stream": spec.payload(),
+                "policies": [variant.label for variant in variants],
+                "rhos": [float(rho) for rho in rhos],
+                "max_arrivals": max_arrivals,
+                "warmup_fraction": warmup_fraction,
+                "num_batches": num_batches,
+                "resume": resume,
+            },
+        )
+        own_stats.store_run_id = run_id
+        writer = store.writer(run_id)
+
+    kernel = SimulationKernel()
+    simulator = StreamingSimulator(kernel, max_active=max_active)
+    result = StreamSweepResult(stats=own_stats)
+    completed = False
+    try:
+        for index, (rho, cell_spec) in enumerate(cells):
+            label = f"{spec.label}@rho={rho:.2f}"
+            key = _cell_workload_key(
+                cell_spec,
+                max_arrivals=max_arrivals,
+                warmup_fraction=warmup_fraction,
+                num_batches=num_batches,
+                confidence=confidence,
+                max_active=max_active,
+            )
+            stream = None
+            for variant in variants:
+                digest = digests.get((index, variant.label), "")
+                cell: Optional[StreamCellRecord] = None
+                stored = found.get(digest)
+                resumed = False
+                if stored is not None:
+                    cell = StreamCellRecord.from_stored(stored)
+                    if cell is not None:
+                        # The digest ignores labels; re-label for this sweep.
+                        cell = StreamCellRecord(
+                            workload=label,
+                            policy=cell.policy,
+                            rho=cell.rho,
+                            report=cell.report,
+                        )
+                        own_stats.resumed_cells += 1
+                        resumed = True
+                if cell is None:
+                    if stream is None:
+                        stream = open_stream(cell_spec)
+                    scheduler = make_scheduler(variant.label)
+                    sim = simulator.run(stream, scheduler, max_arrivals=max_arrivals)
+                    report = analyse_stream(
+                        sim,
+                        warmup_fraction=warmup_fraction,
+                        num_batches=num_batches,
+                        confidence=confidence,
+                    )
+                    cell = StreamCellRecord(
+                        workload=label, policy=scheduler.name, rho=float(rho), report=report
+                    )
+                    own_stats.computed_cells += 1
+                    own_stats.arrivals += sim.arrivals
+                own_stats.cells += 1
+                if cell.report.saturated:
+                    own_stats.saturated_cells += 1
+                if writer is not None:
+                    writer.add(
+                        digest,
+                        cell.to_campaign_record(),
+                        workload_key=key,
+                        computed=not resumed,
+                        extra=cell.extra_payload(),
+                    )
+                result.records.append(cell)
+        completed = True
+    finally:
+        own_stats.elapsed_seconds = _time.perf_counter() - started
+        if writer is not None:
+            writer.close()
+            store.finish_run(run_id, completed=completed, stats=own_stats.as_dict())
+        if own_store is not None:
+            own_store.close()
+    return result

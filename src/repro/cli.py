@@ -19,6 +19,11 @@ The CLI exposes the library's main workflows without writing any Python:
     parameterised variant tokens — ``--policies
     online-offline:period=2,mct`` sweeps a named variant whose parameters
     flow into the stored cell digests.
+``repro-sched stream --scenario ... --rho 0.3:0.9:7 --arrivals N``
+    Steady-state load sweep over an open-ended arrival stream: utilisation
+    ρ (offered load over the platform's fluid capacity) × policy, with
+    batch-means confidence intervals, saturation flags and — via
+    ``--store``/``--resume`` — content-addressed, resumable cells.
 ``repro-sched store ls|show|diff|gc PATH ...``
     Query an experiment store: list runs, dump one run's records and
     headline metrics, diff two runs policy by policy (``--cells`` joins
@@ -196,6 +201,81 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="label of the run registered in --store (default: 'campaign')",
     )
+
+    # stream ---------------------------------------------------------------------
+    stream = subparsers.add_parser(
+        "stream",
+        help="steady-state load sweep over an open-ended arrival stream",
+    )
+    stream.add_argument(
+        "--scenario",
+        default="small-cluster",
+        help="named scenario supplying the stream's platform (default: small-cluster)",
+    )
+    stream.add_argument(
+        "--policies",
+        default="mct,srpt,greedy-weighted-flow",
+        help="comma-separated on-line policy names (variant tokens accepted)",
+    )
+    stream.add_argument(
+        "--rho",
+        default="0.3:0.9:4",
+        help="utilisation sweep, 'start:stop:count' (linear) or comma-separated "
+        "values; rho is offered load over the platform's fluid capacity",
+    )
+    stream.add_argument(
+        "--arrivals",
+        type=int,
+        default=1500,
+        help="arrival budget per cell (default 1500); the horizon of each stream",
+    )
+    stream.add_argument(
+        "--arrival-process",
+        choices=("poisson", "mmpp"),
+        default="poisson",
+        help="arrival process of the stream (default: poisson)",
+    )
+    stream.add_argument(
+        "--sizes",
+        choices=("uniform", "pareto"),
+        default="uniform",
+        help="job-size distribution (default: uniform)",
+    )
+    stream.add_argument("--seed", type=int, default=0, help="stream base seed")
+    stream.add_argument(
+        "--warmup",
+        type=float,
+        default=0.25,
+        help="fraction of completions discarded as warmup (default 0.25)",
+    )
+    stream.add_argument(
+        "--batches",
+        type=int,
+        default=16,
+        help="batch-means batches for the confidence intervals (default 16)",
+    )
+    stream.add_argument(
+        "--max-active",
+        type=int,
+        default=10_000,
+        help="saturation cap on simultaneously live jobs (default 10000)",
+    )
+    stream.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persist stream cells into this experiment store (SQLite)",
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already present in --store; compute only the missing ones",
+    )
+    stream.add_argument(
+        "--run-label",
+        default=None,
+        help="label of the run registered in --store (default: 'stream-sweep')",
+    )
+    stream.add_argument("--output", help="write cells and sweep stats to this JSON file")
 
     # store ----------------------------------------------------------------------
     store = subparsers.add_parser(
@@ -478,6 +558,94 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_rho_sweep(text: str) -> list:
+    """Parse a --rho argument: 'start:stop:count' (inclusive) or comma values."""
+    if ":" in text:
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise ValueError(f"--rho expects start:stop:count, got {text!r}")
+        start, stop, count = float(parts[0]), float(parts[1]), int(parts[2])
+        if count < 1:
+            raise ValueError("--rho count must be at least 1")
+        if count == 1:
+            return [start]
+        step = (stop - start) / (count - 1)
+        return [start + index * step for index in range(count)]
+    return [float(part) for part in text.split(",") if part]
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .analysis import run_stream_sweep
+    from .workload import StreamSpec
+
+    policies = _split_policy_tokens(args.policies)
+    for name in policies:
+        try:
+            resolve_policy_variant(name)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    try:
+        rhos = _parse_rho_sweep(args.rho)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.resume and not args.store:
+        print("error: --resume needs --store PATH to resume from", file=sys.stderr)
+        return 1
+
+    spec = StreamSpec(
+        label=args.scenario,
+        scenario=args.scenario,
+        seed=args.seed,
+        arrivals=args.arrival_process,
+        sizes=args.sizes,
+    )
+    result = run_stream_sweep(
+        spec,
+        policies,
+        rhos=rhos,
+        max_arrivals=args.arrivals,
+        warmup_fraction=args.warmup,
+        num_batches=args.batches,
+        max_active=args.max_active,
+        store=args.store,
+        resume=args.resume,
+        run_label=args.run_label,
+    )
+    print(result.as_table())
+    stats = result.stats
+    if stats is not None:
+        print()
+        print(
+            f"{stats.cells} cells ({stats.computed_cells} computed, "
+            f"{stats.resumed_cells} resumed, skip rate {stats.resume_skip_rate:.0%}), "
+            f"{stats.arrivals} arrivals in {stats.elapsed_seconds:.2f}s "
+            f"({stats.arrivals_per_second:.0f} arrivals/s), "
+            f"{stats.saturated_cells} saturated cell(s)"
+        )
+        if args.store:
+            print(f"store {args.store}: run #{stats.store_run_id}")
+    if args.output:
+        payload = {
+            "cells": [
+                {
+                    "workload": record.workload,
+                    "policy": record.policy,
+                    "rho": record.rho,
+                    "report": record.report.as_dict(),
+                }
+                for record in result.records
+            ],
+            "stats": stats.as_dict() if stats is not None else None,
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"sweep written to {args.output}")
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from .analysis import render_cell_diff
     from .store import ExperimentStore, diff_run_cells, diff_runs
@@ -624,6 +792,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_simulate(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "stream":
+            return _cmd_stream(args)
         if args.command == "store":
             return _cmd_store(args)
         if args.command == "divisibility":

@@ -139,6 +139,23 @@ class ReplanProbe:
     sub-instances (and any number of simulations); it is keyed purely by
     structure, so campaign-style reuse across runs is free.
 
+    Two amortisations sit on top of the structure cache:
+
+    * **Event-scoped refresh** (always on): within one replanning event the
+      coefficient values are constant — repeated checks on the same
+      (sub-)instance object reuse the refreshed constraint matrix and only
+      rewrite the right-hand sides.
+    * **Rank-pattern canonicalisation** (``rank_keyed=True``): for
+      equal-release sub-instances asked without a witness schedule
+      (``build_schedule=False``), jobs are relabelled in deadline order
+      before the structure key is computed.  The LP structure of such an
+      instance depends only on the deadline *rank pattern* plus the
+      relabelled eligibility bitmap, so probes from different events — and
+      different runs — collapse onto one skeleton per pattern.  The
+      relabelled LP is a row/column permutation of the original (same
+      constraint set), so the feasibility answer is unchanged; witness
+      callers keep the exact unpermuted path.
+
     Attributes
     ----------
     probes:
@@ -150,6 +167,11 @@ class ReplanProbe:
         Symbolic-model builds (structure-cache misses).
     cache_hits:
         Questions answered by refreshing a cached template.
+    rank_canonicalisations:
+        Probes answered through a deadline-rank relabelling.
+    coefficient_refreshes, event_refresh_reuses:
+        Constraint-matrix rewrites performed vs skipped through the
+        event-scoped cache.
     """
 
     def __init__(
@@ -158,6 +180,7 @@ class ReplanProbe:
         preemptive: bool = False,
         backend: str = "scipy",
         max_cached_models: int = 64,
+        rank_keyed: bool = False,
     ) -> None:
         if max_cached_models < 1:
             raise ValueError("max_cached_models must be at least 1")
@@ -167,11 +190,22 @@ class ReplanProbe:
         self.backend = backend
         self._sparse = _BACKEND_LABELS[backend] == "scipy-highs"
         self._max_cached_models = max_cached_models
+        self._rank_keyed = rank_keyed
         self._templates: "OrderedDict[Tuple, _ModelTemplate]" = OrderedDict()
+        # Event-scoped refresh cache: coefficients are constant while the
+        # same (sub-)instance object is probed repeatedly (one replanning
+        # event), so the refreshed constraint matrix can be reused across a
+        # whole bisection.  Keyed by (template key, job permutation); the
+        # strong reference to the instance keeps identity checks sound.
+        self._event_instance: Optional[Instance] = None
+        self._event_forms: Dict[Tuple, object] = {}
         self.probes = 0
         self.lp_solves = 0
         self.model_constructions = 0
         self.cache_hits = 0
+        self.rank_canonicalisations = 0
+        self.coefficient_refreshes = 0
+        self.event_refresh_reuses = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -210,6 +244,33 @@ class ReplanProbe:
                     backend=_BACKEND_LABELS[self.backend],
                 )
 
+        # Event scope: consecutive checks on the same instance object (one
+        # replanning event's bisection) share refreshed coefficient arrays.
+        if instance is not self._event_instance:
+            self._event_instance = instance
+            self._event_forms.clear()
+
+        order: Optional[List[int]] = None
+        if self._rank_keyed and not build_schedule and instance.num_jobs > 1:
+            order = self._rank_order(instance, deadlines)
+        if order is not None:
+            # Rank-pattern canonicalisation: relabel the jobs in deadline
+            # order.  For the equal-release sub-instances of the replanning
+            # loops the LP *structure* depends only on the deadline rank
+            # pattern and the (relabelled) eligibility bitmap, so probes from
+            # different events — different deadline values, even different
+            # jobs — collapse onto one cached skeleton.  The relabelled LP is
+            # a row/column permutation of the original: same constraints,
+            # same feasibility answer.  Gated to ``build_schedule=False``
+            # callers (the witness schedule would come back permuted).
+            self.rank_canonicalisations += 1
+            instance = Instance(
+                jobs=tuple(instance.jobs[k] for k in order),
+                machines=instance.machines,
+                costs=instance.costs[:, order],
+            )
+            deadlines = [deadlines[k] for k in order]
+
         epochal_times = list(instance.release_dates) + deadlines
         intervals = build_constant_intervals(epochal_times)
         cuts = _cut_values(intervals)
@@ -223,7 +284,8 @@ class ReplanProbe:
         else:
             self._templates.move_to_end(key)
             self.cache_hits += 1
-        form = self._refresh(template, instance, cuts)
+        event_key = (key, tuple(order) if order is not None else None)
+        form = self._refresh(template, instance, cuts, event_key=event_key)
 
         self.lp_solves += 1
         solution = (
@@ -269,6 +331,25 @@ class ReplanProbe:
         )
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _rank_order(instance: Instance, deadlines: Sequence[float]) -> Optional[List[int]]:
+        """Deadline-rank permutation when the instance is rank-canonicalisable.
+
+        Returns the stable deadline-ascending job order for equal-release
+        instances (the shape of every replanning sub-instance), or ``None``
+        when the jobs already are in that order or the release dates differ
+        (heterogeneous releases make the structure depend on the release /
+        deadline interleaving, which relabelling does not normalise).
+        """
+        releases = instance.release_dates
+        first = releases[0]
+        if any(release != first for release in releases):
+            return None
+        order = sorted(range(instance.num_jobs), key=lambda j: (deadlines[j], j))
+        if order == list(range(instance.num_jobs)):
+            return None
+        return order
+
     def _allowed_pattern(
         self, instance: Instance, deadlines: Sequence[float], cuts: Sequence[float]
     ) -> np.ndarray:
@@ -360,7 +441,8 @@ class ReplanProbe:
 
         # The refresh path must land exactly where the lowering put the
         # original values; verify once per construction, then trust the map.
-        refreshed = self._refresh(template, instance, cuts)
+        refreshed = self._refresh(template, instance, cuts, event_key=None)
+        self.coefficient_refreshes -= 1  # verification refresh, not a probe answer
         if self._sparse and form.num_inequalities:
             assert np.array_equal(refreshed.a_ub.data, form.a_ub.data), (
                 "ReplanProbe refresh map does not match the lowered form"
@@ -379,9 +461,22 @@ class ReplanProbe:
         return template
 
     def _refresh(
-        self, template: _ModelTemplate, instance: Instance, cuts: Sequence[float]
+        self,
+        template: _ModelTemplate,
+        instance: Instance,
+        cuts: Sequence[float],
+        *,
+        event_key: Optional[Tuple] = None,
     ) -> MatrixForm:
-        """Write the current coefficients/lengths into a copy of the template."""
+        """Write the current coefficients/lengths into a copy of the template.
+
+        Within one replanning event the coefficient values are constant —
+        only the interval lengths (right-hand sides) move with the probed
+        deadlines — so when ``event_key`` names a (template, permutation)
+        pair already refreshed for the current event instance, the whole
+        constraint-matrix rewrite is skipped and the cached matrix is reused
+        (both backends treat it as read-only).
+        """
         form = template.form
         if not form.num_inequalities:
             return form
@@ -389,16 +484,25 @@ class ReplanProbe:
             [cuts[t + 1] - cuts[t] for t in range(len(cuts) - 1)], dtype=float
         )
         b_ub = lengths[template.row_intervals]
-        data = np.asarray(instance.costs)[template.coef_machines, template.coef_jobs].astype(
-            float, copy=False
-        )
-        if self._sparse:
-            a_ub = sp.csr_matrix(
-                (data, form.a_ub.indices, form.a_ub.indptr), shape=form.a_ub.shape
-            )
+        a_ub = self._event_forms.get(event_key) if event_key is not None else None
+        if a_ub is None:
+            data = np.asarray(instance.costs)[
+                template.coef_machines, template.coef_jobs
+            ].astype(float, copy=False)
+            if self._sparse:
+                a_ub = sp.csr_matrix(
+                    (data, form.a_ub.indices, form.a_ub.indptr), shape=form.a_ub.shape
+                )
+            else:
+                a_ub = form.a_ub.copy()
+                a_ub[template.coef_rows, template.coef_cols] = data
+            self.coefficient_refreshes += 1
+            if event_key is not None:
+                if len(self._event_forms) >= 16:  # one event touches few templates
+                    self._event_forms.clear()
+                self._event_forms[event_key] = a_ub
         else:
-            a_ub = form.a_ub.copy()
-            a_ub[template.coef_rows, template.coef_cols] = data
+            self.event_refresh_reuses += 1
         return MatrixForm(
             c=form.c,
             objective_constant=form.objective_constant,

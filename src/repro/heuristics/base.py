@@ -59,6 +59,30 @@ class OnlineScheduler(abc.ABC):
     def reset(self, instance: Instance) -> None:
         """Called once before a simulation starts; clear any internal state."""
 
+    def rebind(self, instance: Instance) -> None:
+        """Called by the streaming simulator when the window instance grows.
+
+        Under the rolling-horizon :class:`~repro.simulation.stream.StreamingSimulator`
+        the instance handed to :meth:`decide` is the *active window*: arrivals
+        append new jobs (existing indices are stable).  Policies that
+        precompute per-instance arrays at :meth:`reset` refresh them here;
+        the default is a no-op, which is correct for policies that read the
+        instance afresh at every decision.
+        """
+
+    def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
+        """Called by the streaming simulator after completed jobs are compacted out.
+
+        ``mapping`` maps every *surviving* old window index to its new index
+        (completed jobs are absent).  Policies holding index-keyed state
+        remap it and keep going; the safe default resets the policy, which
+        forgets cross-event state (plans, commitments) but never misbehaves.
+        Overriding with an exact remap makes the policy's streamed behaviour
+        independent of *when* compaction happens — the property the
+        streaming tests assert.
+        """
+        self.reset(instance)
+
     @abc.abstractmethod
     def decide(self, state: SimulationState) -> AllocationDecision:
         """Return the allocation to apply from ``state.time`` until the next event."""

@@ -71,6 +71,7 @@ class DeadlineDrivenScheduler(OnlineScheduler):
         growth_factor: float = 1.5,
         lp_targets: bool = False,
         backend: str = "scipy",
+        rank_keyed_probe: bool = True,
     ) -> None:
         if growth_factor <= 1.0:
             raise ValueError("growth_factor must be greater than 1")
@@ -79,12 +80,25 @@ class DeadlineDrivenScheduler(OnlineScheduler):
         self.lp_targets = lp_targets
         self.backend = backend
         self._target = initial_target or 0.0
+        # The target search only asks yes/no questions (build_schedule=False),
+        # so the probe may canonicalise each sub-instance by deadline rank:
+        # probes from different events share one LP skeleton per rank
+        # pattern, which is what lifts the cache hit rate to the
+        # ``online-offline`` level (bench_replanning.py asserts it).
+        # ``rank_keyed_probe=False`` keeps the raw-structure reference path.
         self._probe: Optional[ReplanProbe] = (
-            ReplanProbe(backend=backend) if lp_targets else None
+            ReplanProbe(backend=backend, rank_keyed=rank_keyed_probe)
+            if lp_targets
+            else None
         )
 
     def reset(self, instance: Instance) -> None:
         self._target = self.initial_target or 0.0
+
+    def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
+        # The running target is index-free and the probe is keyed purely by
+        # LP structure: both survive window compaction untouched.
+        return None
 
     @property
     def replan_probe(self) -> Optional[ReplanProbe]:

@@ -33,6 +33,14 @@ class _ListScheduler(OnlineScheduler):
     def reset(self, instance: Instance) -> None:
         self._commitment = {}
 
+    def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
+        # Sticky commitments survive window compaction under the new indices.
+        self._commitment = {
+            mapping[job]: machine
+            for job, machine in self._commitment.items()
+            if job in mapping
+        }
+
     # -- to be provided by subclasses -------------------------------------
     def _priority(self, state: SimulationState, job_index: int, machine_index: int) -> float:
         raise NotImplementedError

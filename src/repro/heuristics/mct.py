@@ -34,6 +34,15 @@ class MCTScheduler(OnlineScheduler):
         self._queues = {i: [] for i in range(instance.num_machines)}
         self._assigned = set()
 
+    def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
+        # Assignments are irrevocable: remap the queues so compaction never
+        # re-routes a job (completed jobs simply drop out of their queue).
+        self._queues = {
+            machine: [mapping[job] for job in queue if job in mapping]
+            for machine, queue in self._queues.items()
+        }
+        self._assigned = {mapping[job] for job in self._assigned if job in mapping}
+
     # ------------------------------------------------------------------ #
     def _machine_backlog(self, state: SimulationState, machine_index: int) -> float:
         """Remaining work (seconds) queued on a machine, including the running job."""

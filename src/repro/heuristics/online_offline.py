@@ -135,6 +135,26 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
         else:
             self._effective_period = None
 
+    def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
+        # The current plan references window job indices; remap it so a
+        # compaction between events never forces an extra replanning (the
+        # plan's content — machines, times — is index-free).
+        if self._plan:
+            self._plan = [
+                (machine, mapping[job], start, end)
+                for machine, job, start, end in self._plan
+                if job in mapping
+            ]
+        if self._plan_active is not None:
+            if all(job in mapping for job in self._plan_active):
+                self._plan_active = frozenset(mapping[job] for job in self._plan_active)
+            else:
+                # A planned job completed since the last replanning: the next
+                # decide() must replan, exactly as it would have without the
+                # compaction (a remap that silently dropped the member would
+                # suppress it).
+                self._plan_active = None
+
     @property
     def replan_probe(self) -> Optional[ReplanProbe]:
         """The shared parametric probe (``None`` on the from-scratch path)."""

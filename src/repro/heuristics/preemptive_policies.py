@@ -44,7 +44,11 @@ class _PriorityPreemptiveScheduler(OnlineScheduler):
         self._releases: Optional[np.ndarray] = None
 
     def reset(self, instance: Instance) -> None:
-        # Static per-instance vectors consumed by the array ranking path.
+        self.rebind(instance)
+
+    def rebind(self, instance: Instance) -> None:
+        # Static per-instance vectors consumed by the array ranking path;
+        # refreshed whenever the streaming window grows or compacts.
         n = instance.num_jobs
         self._min_costs = np.fromiter(
             (instance.min_cost(j) for j in range(n)), dtype=float, count=n
@@ -55,6 +59,10 @@ class _PriorityPreemptiveScheduler(OnlineScheduler):
         self._releases = np.fromiter(
             (job.release_date for job in instance.jobs), dtype=float, count=n
         )
+
+    def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
+        # No index-keyed state beyond the per-instance vectors: re-derive them.
+        self.rebind(instance)
 
     def _ranked_jobs(self, state: SimulationState) -> List[int]:
         raise NotImplementedError

@@ -39,6 +39,15 @@ __all__ = ["solve_with_simplex", "solve_matrix_form", "SimplexResult"]
 
 _EPS = 1e-9
 
+#: Constraint coefficients below this magnitude are dropped before the solve,
+#: mirroring the HiGHS presolve "small matrix value" threshold.  A pivot on a
+#: near-zero coefficient divides its whole row by it, amplifying rounding dirt
+#: into bound violations far above the feasibility tolerances — and with
+#: box-bounded variables such a coefficient's contribution is below every
+#: tolerance anyway, so the two backends disagree on which vertex is optimal
+#: unless both drop it.
+_COEFF_DROP = 1e-9
+
 
 @dataclass
 class SimplexResult:
@@ -200,7 +209,11 @@ def _simplex_iterate(
         for i in range(num_rows):
             coeff = tableau[i, entering]
             if coeff > _EPS:
-                ratio = tableau[i, -1] / coeff
+                # A feasible tableau's right-hand sides are non-negative; a
+                # slightly negative value is accumulated rounding dirt, and a
+                # negative ratio would both pick the wrong leaving row and
+                # drive the entering variable out of bounds.
+                ratio = max(tableau[i, -1], 0.0) / coeff
                 if ratio < best_ratio - _EPS or (
                     abs(ratio - best_ratio) <= _EPS
                     and (leaving < 0 or basis[i] < basis[leaving])
@@ -225,6 +238,10 @@ def _solve_nonnegative(
 ) -> SimplexResult:
     """Solve ``min c.x`` s.t. ``a_ub x <= b_ub``, ``a_eq x == b_eq``, ``x >= 0``."""
     n = c.shape[0]
+    if a_ub.size:
+        a_ub = np.where(np.abs(a_ub) < _COEFF_DROP, 0.0, a_ub)
+    if a_eq.size:
+        a_eq = np.where(np.abs(a_eq) < _COEFF_DROP, 0.0, a_eq)
     num_ub = a_ub.shape[0]
     num_eq = a_eq.shape[0]
     m = num_ub + num_eq

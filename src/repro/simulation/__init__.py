@@ -22,6 +22,7 @@ from .engine import simulate
 from .kernel import SimulationKernel, simulate_many
 from .result import EventRecord, SimulationResult
 from .state import AllocationDecision, JobProgress, MachineShare, SimulationState
+from .stream import StreamingSimulator, StreamResult
 
 __all__ = [
     "AllocationDecision",
@@ -31,6 +32,8 @@ __all__ = [
     "SimulationKernel",
     "SimulationResult",
     "SimulationState",
+    "StreamResult",
+    "StreamingSimulator",
     "simulate",
     "simulate_many",
 ]

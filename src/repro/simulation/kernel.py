@@ -161,6 +161,20 @@ class SimulationKernel:
             progress.completion_time = None
         return remaining, rate, jobs
 
+    def bind_buffers(self, num_jobs: int) -> Tuple[np.ndarray, np.ndarray, List[JobProgress]]:
+        """Size and reset the pooled buffers for ``num_jobs`` jobs.
+
+        Public pool access for wrappers that drive their own event loop over
+        the kernel's buffers — the rolling-horizon
+        :class:`~repro.simulation.stream.StreamingSimulator` binds its active
+        window here, so batch runs and streaming runs share one allocation
+        pool.  Returns ``(remaining, rate, job_mirrors)`` views of length
+        ``num_jobs``; the remaining vector is reset to 1.0, rates to 0.0 and
+        the mirrors to their fresh-job state.  The views alias the pooled
+        arrays: a later ``run``/``bind_buffers`` call invalidates them.
+        """
+        return self._bind(num_jobs)
+
     # ------------------------------------------------------------------ #
     def run(
         self,

@@ -9,7 +9,7 @@ cell (one (workload, policy) measurement) is written under its content digest
   digests,
 * two runs — today's and last PR's — can be diffed policy by policy.
 
-Schema (``user_version`` 1)
+Schema (``user_version`` 2)
 ---------------------------
 ``runs``
     One row per campaign dispatch: label, creation time, JSON metadata,
@@ -18,7 +18,9 @@ Schema (``user_version`` 1)
     One row per *computed* cell, keyed by its content digest.  ``run_id``
     records provenance (the run that computed it); off-line rows carry the
     exact LP ``objective`` so resumed runs normalise against bit-identical
-    optima.
+    optima; ``extra`` (added in v2, nullable JSON) carries subsystem
+    payloads such as the streaming steady-state reports — v1 stores are
+    migrated in place with an additive ``ALTER TABLE``.
 ``run_records``
     Membership: which cells (computed *or* reused) belong to which run, in
     emission order — a resumed run therefore shows its full record set.
@@ -55,7 +57,7 @@ __all__ = [
     "diff_runs",
 ]
 
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -80,7 +82,8 @@ CREATE TABLE IF NOT EXISTS records (
     makespan          REAL NOT NULL,
     normalised        REAL NOT NULL,
     preemptions       INTEGER NOT NULL,
-    objective         REAL
+    objective         REAL,
+    extra             TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_records_policy ON records(policy);
 CREATE TABLE IF NOT EXISTS run_records (
@@ -120,6 +123,9 @@ class StoredRecord:
     normalised: float
     preemptions: int
     objective: Optional[float] = None
+    #: Subsystem-specific JSON payload (streaming steady-state reports);
+    #: ``None`` for ordinary campaign cells.
+    extra: Optional[Dict] = None
 
     def to_campaign_record(self) -> CampaignRecord:
         """Rebuild the in-memory :class:`CampaignRecord` this row persists."""
@@ -197,6 +203,7 @@ def _row_to_record(row: sqlite3.Row) -> StoredRecord:
         normalised=row["normalised"],
         preemptions=row["preemptions"],
         objective=row["objective"],
+        extra=json.loads(row["extra"]) if row["extra"] else None,
     )
 
 
@@ -229,6 +236,14 @@ class ExperimentStore:
             ) from error
         if version == 0:
             self._conn.executescript(_SCHEMA)
+            self._conn.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
+            self._conn.commit()
+        elif version == 1:
+            # v1 -> v2: records gained a nullable JSON side-channel (``extra``)
+            # for subsystem-specific payloads (streaming steady-state cells).
+            # Purely additive, so old stores migrate in place and old cells
+            # keep their digests.
+            self._conn.execute("ALTER TABLE records ADD COLUMN extra TEXT")
             self._conn.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
             self._conn.commit()
         elif version != _SCHEMA_VERSION:
@@ -587,6 +602,7 @@ class BulkWriter:
         objective: Optional[float] = None,
         computed: bool = True,
         code_epoch: str = CODE_EPOCH,
+        extra: Optional[Dict] = None,
     ) -> None:
         """Append one cell to the run (insert its content when ``computed``)."""
         if computed:
@@ -606,6 +622,7 @@ class BulkWriter:
                     record.normalised,
                     record.preemptions,
                     objective,
+                    json.dumps(extra, sort_keys=True) if extra is not None else None,
                 )
             )
         else:
@@ -624,8 +641,8 @@ class BulkWriter:
             conn.executemany(
                 "INSERT OR IGNORE INTO records (digest, run_id, workload, workload_key, "
                 "scenario, seed, policy, code_epoch, max_weighted_flow, max_stretch, "
-                "makespan, normalised, preemptions, objective) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                "makespan, normalised, preemptions, objective, extra) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 self._record_batch,
             )
             written = conn.total_changes - before

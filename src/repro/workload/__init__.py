@@ -18,6 +18,14 @@ from .scenarios import (
     scenario_sweep,
     spawn_scenario_seeds,
 )
+from .streams import (
+    ArrivalEvent,
+    StreamSpec,
+    WorkloadStream,
+    open_stream,
+    replay_stream,
+    spawn_stream_seeds,
+)
 from .traces import (
     instance_from_dict,
     instance_to_dict,
@@ -30,9 +38,15 @@ from .traces import (
 )
 
 __all__ = [
+    "ArrivalEvent",
     "ArrivalProcess",
     "Scenario",
     "ScenarioSpec",
+    "StreamSpec",
+    "WorkloadStream",
+    "open_stream",
+    "replay_stream",
+    "spawn_stream_seeds",
     "available_scenarios",
     "instance_from_dict",
     "instance_to_dict",

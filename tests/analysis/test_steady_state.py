@@ -1,0 +1,121 @@
+"""Tests for the steady-state estimators (repro.analysis.steady_state)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyse_stream, batch_means, detect_saturation
+from repro.analysis.steady_state import SteadyStateEstimate, SteadyStateReport
+from repro.exceptions import WorkloadError
+from repro.heuristics import make_scheduler
+from repro.simulation import StreamingSimulator
+from repro.workload import StreamSpec, open_stream
+
+
+class TestBatchMeans:
+    def test_iid_sample_interval_contains_the_mean(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(5.0, 1.0, size=4000)
+        estimate = batch_means(series, warmup_fraction=0.0, num_batches=20)
+        assert estimate.lower <= 5.0 <= estimate.upper
+        assert estimate.mean == pytest.approx(5.0, abs=0.2)
+        assert estimate.half_width < 0.2
+
+    def test_warmup_truncation_removes_the_transient(self):
+        # A biased head followed by a stationary tail: truncation must
+        # recover the tail mean.
+        series = np.concatenate([np.full(500, 100.0), np.full(1500, 2.0)])
+        biased = batch_means(series, warmup_fraction=0.0, num_batches=10)
+        truncated = batch_means(series, warmup_fraction=0.25, num_batches=10)
+        assert biased.mean > 20.0
+        assert truncated.mean == pytest.approx(2.0)
+        assert truncated.warmup_dropped == 500
+        assert truncated.samples == 1500
+
+    def test_batch_layout_accounting(self):
+        estimate = batch_means(np.arange(100.0), warmup_fraction=0.0, num_batches=8)
+        assert estimate.num_batches == 8
+        assert estimate.batch_size == 12  # 100 // 8, remainder dropped
+        assert estimate.samples == 100
+
+    def test_tiny_samples_degrade_to_one_per_batch(self):
+        estimate = batch_means([1.0, 2.0, 3.0], warmup_fraction=0.0, num_batches=16)
+        assert estimate.num_batches == 3
+        assert estimate.batch_size == 1
+        assert math.isfinite(estimate.half_width)
+
+    def test_empty_series_yields_an_infinite_interval_not_an_error(self):
+        estimate = batch_means([], num_batches=8)
+        assert math.isnan(estimate.mean)
+        assert math.isinf(estimate.half_width)
+        assert estimate.samples == 0
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(WorkloadError):
+            batch_means([1.0], warmup_fraction=1.0)
+        with pytest.raises(WorkloadError):
+            batch_means([1.0], num_batches=1)
+        with pytest.raises(WorkloadError):
+            batch_means([1.0], confidence=1.5)
+
+    def test_round_trips_through_dict(self):
+        estimate = batch_means(np.arange(64.0), num_batches=4)
+        assert SteadyStateEstimate.from_dict(estimate.as_dict()) == estimate
+
+
+class TestSaturationDetection:
+    def test_flat_queue_is_not_saturated(self):
+        rng = np.random.default_rng(2)
+        assert not detect_saturation(rng.poisson(5.0, size=500))
+
+    def test_growing_queue_is_saturated(self):
+        assert detect_saturation(np.linspace(0, 400, 500))
+
+    def test_short_series_never_trigger(self):
+        assert not detect_saturation(np.linspace(0, 400, 10))
+
+    def test_empty_system_never_triggers(self):
+        # Means 0 -> 0.4: relative growth is large but absolute occupancy is
+        # trivial; the +1 slack must keep it quiet.
+        lengths = np.concatenate([np.zeros(200), np.full(200, 0.4)])
+        assert not detect_saturation(lengths)
+
+
+class TestAnalyseStream:
+    @pytest.fixture(scope="class")
+    def stream_result(self):
+        spec = StreamSpec(label="a", scenario="small-cluster", seed=6).with_utilisation(0.6)
+        return StreamingSimulator().run(
+            open_stream(spec), make_scheduler("srpt"), max_arrivals=1200
+        )
+
+    def test_report_fields_are_consistent(self, stream_result):
+        report = analyse_stream(stream_result)
+        assert report.policy == "srpt"
+        assert report.completions == 1200
+        assert not report.saturated
+        assert report.mean_stretch.mean >= 1.0
+        assert report.mean_stretch.half_width < report.mean_stretch.mean
+        assert report.max_stretch >= report.mean_stretch.mean
+        assert 0.0 < report.utilisation <= 1.0
+        assert report.arrivals_per_second > 0
+
+    def test_post_warmup_maxima_ignore_the_transient(self, stream_result):
+        report = analyse_stream(stream_result, warmup_fraction=0.5)
+        dropped = report.mean_stretch.warmup_dropped
+        assert report.max_stretch == pytest.approx(
+            float(stream_result.stretches[dropped:].max())
+        )
+
+    def test_report_round_trips_through_dict(self, stream_result):
+        report = analyse_stream(stream_result)
+        assert SteadyStateReport.from_dict(report.as_dict()) == report
+
+    def test_saturated_run_is_flagged_in_the_report(self):
+        spec = StreamSpec(label="a", scenario="small-cluster", seed=6).with_utilisation(1.6)
+        result = StreamingSimulator(max_active=120).run(
+            open_stream(spec), make_scheduler("srpt"), max_arrivals=50_000
+        )
+        report = analyse_stream(result)
+        assert report.saturated

@@ -1,0 +1,151 @@
+"""Tests for the streaming load-sweep runner (repro.analysis.stream_sweep)."""
+
+import pytest
+
+from repro.analysis import run_stream_sweep
+from repro.analysis.stream_sweep import StreamCellRecord
+from repro.exceptions import WorkloadError
+from repro.store import ExperimentStore
+from repro.workload import StreamSpec
+
+SPEC = StreamSpec(label="sweep", scenario="small-cluster", seed=5)
+POLICIES = ("srpt", "greedy-weighted-flow")
+RHOS = (0.3, 0.7)
+
+
+def _sweep(**kwargs):
+    kwargs.setdefault("max_arrivals", 400)
+    return run_stream_sweep(SPEC, POLICIES, rhos=RHOS, **kwargs)
+
+
+class TestSweep:
+    def test_cells_cover_the_rho_by_policy_grid(self):
+        result = _sweep()
+        assert [(r.rho, r.policy) for r in result.records] == [
+            (rho, policy) for rho in RHOS for policy in POLICIES
+        ]
+        assert result.stats.cells == 4
+        assert result.stats.computed_cells == 4
+        assert result.stats.arrivals == 4 * 400
+        assert "mean stretch" in result.as_table()
+
+    def test_load_monotonicity_is_visible(self):
+        # Higher offered load should not make the steady-state stretch of a
+        # policy better; assert the sweep exposes the load axis.
+        result = _sweep()
+        by_cell = {(r.rho, r.policy): r.report.mean_stretch.mean for r in result.records}
+        for policy in POLICIES:
+            assert by_cell[(0.7, policy)] >= by_cell[(0.3, policy)] * 0.9
+
+    def test_variant_tokens_resolve_and_label_cells(self):
+        result = run_stream_sweep(
+            SPEC,
+            ["deadline-driven:growth_factor=2.0"],
+            rhos=[0.4],
+            max_arrivals=150,
+        )
+        assert result.records[0].policy == "deadline-driven:growth_factor=2.0"
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            run_stream_sweep(SPEC, [], rhos=[0.5])
+        with pytest.raises(WorkloadError):
+            run_stream_sweep(SPEC, ["srpt"], rhos=[])
+        with pytest.raises(WorkloadError):
+            run_stream_sweep(SPEC, ["srpt"], rhos=[0.5], max_arrivals=0)
+        with pytest.raises(WorkloadError):
+            run_stream_sweep(SPEC, ["srpt"], rhos=[0.5], resume=True)
+
+
+class TestStoreResume:
+    def test_resumed_sweep_reaches_full_skip_rate(self, tmp_path):
+        path = tmp_path / "sweep.sqlite"
+        cold = _sweep(store=path, run_label="cold")
+        warm = _sweep(store=path, resume=True, run_label="warm")
+        assert cold.stats.resume_skip_rate == 0.0
+        assert warm.stats.resume_skip_rate == 1.0
+        assert warm.stats.computed_cells == 0
+        assert warm.stats.arrivals == 0
+        # The resumed cells reconstruct the full rich reports, bit for bit.
+        assert [r.report.as_dict() for r in warm.records] == [
+            r.report.as_dict() for r in cold.records
+        ]
+
+    def test_partial_resume_tops_up_only_the_missing_cells(self, tmp_path):
+        path = tmp_path / "sweep.sqlite"
+        run_stream_sweep(SPEC, ["srpt"], rhos=RHOS, max_arrivals=400, store=path)
+        topped = _sweep(store=path, resume=True)
+        assert topped.stats.resumed_cells == 2  # the srpt cells
+        assert topped.stats.computed_cells == 2  # the greedy cells
+
+    def test_protocol_changes_are_different_cells(self, tmp_path):
+        path = tmp_path / "sweep.sqlite"
+        _sweep(store=path)
+        different = run_stream_sweep(
+            SPEC, POLICIES, rhos=RHOS, max_arrivals=300, store=path, resume=True
+        )
+        assert different.stats.resumed_cells == 0  # different arrival budget
+
+    def test_stream_cells_round_trip_through_the_store(self, tmp_path):
+        path = tmp_path / "sweep.sqlite"
+        cold = _sweep(store=path, run_label="cells")
+        with ExperimentStore(path) as store:
+            stored = store.run_records("cells")
+            assert len(stored) == 4
+            for row, original in zip(stored, cold.records):
+                rebuilt = StreamCellRecord.from_stored(row)
+                assert rebuilt is not None
+                assert rebuilt.rho == original.rho
+                assert rebuilt.report == original.report
+                # The lossy projection onto the fixed record columns.
+                assert row.max_stretch == original.report.max_stretch
+                assert row.normalised == pytest.approx(
+                    original.report.mean_stretch.mean
+                )
+
+    def test_runs_are_sealed_with_headline_metrics(self, tmp_path):
+        path = tmp_path / "sweep.sqlite"
+        _sweep(store=path, run_label="sealed")
+        with ExperimentStore(path) as store:
+            run = [r for r in store.runs() if r.label == "sealed"][0]
+            assert run.completed
+            metrics = store.headline_metrics(run.run_id)
+            assert set(metrics) == set(POLICIES)
+
+
+class TestDegenerateCells:
+    def test_zero_completion_saturated_cell_persists_and_resumes(self, tmp_path):
+        # A cell so overloaded that nothing completes post-warmup has NaN
+        # estimates; it must still be stored (SQLite would otherwise bind
+        # NaN as NULL and INSERT OR IGNORE would drop the row silently)
+        # and must resume like any other cell.
+        path = tmp_path / "degenerate.sqlite"
+        kwargs = dict(rhos=[6.0], max_arrivals=200, max_active=4, store=path)
+        cold = run_stream_sweep(SPEC, ["srpt"], **kwargs)
+        assert cold.records[0].report.saturated
+        with ExperimentStore(path) as store:
+            rows = store.run_records(1)
+            assert len(rows) == 1  # the row exists despite the NaN estimate
+            assert rows[0].normalised >= 1e-9
+        warm = run_stream_sweep(SPEC, ["srpt"], resume=True, **kwargs)
+        assert warm.stats.resume_skip_rate == 1.0
+        assert warm.records[0].report.saturated
+
+    @pytest.mark.parametrize(
+        "changed",
+        [dict(confidence=0.99), dict(max_active=123)],
+        ids=["confidence", "max_active"],
+    )
+    def test_every_protocol_knob_is_part_of_the_cell_digest(self, tmp_path, changed):
+        path = tmp_path / "protocol.sqlite"
+        _sweep(store=path)
+        different = run_stream_sweep(
+            SPEC,
+            POLICIES,
+            rhos=RHOS,
+            max_arrivals=400,
+            store=path,
+            resume=True,
+            **changed,
+        )
+        assert different.stats.resumed_cells == 0

@@ -1,0 +1,149 @@
+"""Tiny-scale smoke twins of the bench assertion paths (``bench_smoke`` tier).
+
+The acceptance benches under ``benchmarks/`` are tier-2: they only run when
+selected explicitly (``-m bench``), so a refactor that breaks a bench
+*assertion* — not just its numbers — used to surface only at the PR gate.
+Each test here exercises one bench's assertion path on toy sizes, cheap
+enough for tier-1: engine byte-identity, replanning probe economy, streamed
+vs sequential campaign identity, store resume skip rate, and the streaming
+runtime's O(active) window bound.
+
+These are smoke tests, not benches: they assert *correctness conditions*
+(identity, counters, bounds), never wall-clock performance.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+#: The bench modules import each other by bare name from their directory.
+_BENCH_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..", "benchmarks")
+if _BENCH_DIR not in sys.path:
+    sys.path.insert(0, _BENCH_DIR)
+
+pytestmark = pytest.mark.bench_smoke
+
+
+def test_engine_regression_smoke():
+    """bench_engine_regression: kernel output equals the frozen seed engine."""
+    from _seed_engine import simulate as seed_simulate
+
+    from repro.heuristics import make_scheduler
+    from repro.simulation import SimulationKernel
+    from repro.workload import random_unrelated_instance
+
+    instance = random_unrelated_instance(8, 3, seed=1)
+    kernel = SimulationKernel()
+    for policy in ("fifo", "srpt", "round-robin"):
+        seed_result = seed_simulate(instance, make_scheduler(policy))
+        kernel_result = kernel.run(instance, make_scheduler(policy))
+        assert kernel_result.schedule.pieces == seed_result.schedule.pieces, policy
+        assert kernel_result.completion_times == seed_result.completion_times, policy
+
+
+def test_replanning_probe_smoke():
+    """bench_replanning: probe path is byte-identical and builds fewer models."""
+    from repro.heuristics import OnlineOfflineAdaptationScheduler
+    from repro.simulation import simulate
+    from repro.workload import random_unrelated_instance
+
+    instance = random_unrelated_instance(
+        8, 3, cost_range=(2.0, 12.0), forbidden_probability=0.0, seed=7
+    )
+    scratch_sched = OnlineOfflineAdaptationScheduler(parametric=False)
+    probe_sched = OnlineOfflineAdaptationScheduler(parametric=True)
+    scratch = simulate(instance, scratch_sched)
+    probed = simulate(instance, probe_sched)
+    assert probed.schedule.pieces == scratch.schedule.pieces
+    assert probed.events == scratch.events
+    assert probe_sched.replanning_model_builds < scratch_sched.replanning_model_builds
+
+
+def test_campaign_dispatcher_smoke():
+    """bench_campaign_dispatcher: streamed records equal the sequential run."""
+    from repro.analysis import run_scenario_campaign
+
+    sequential = run_scenario_campaign(
+        ("unrelated-stress",), ("srpt", "mct"), base_seed=11, seeds_per_scenario=2
+    )
+    chunked = run_scenario_campaign(
+        ("unrelated-stress",),
+        ("srpt", "mct"),
+        base_seed=11,
+        seeds_per_scenario=2,
+        chunk_size=2,
+        max_inflight=2,
+    )
+    assert chunked.records == sequential.records
+    assert sequential.stats.offline_solves == sequential.stats.workloads
+
+
+def test_store_roundtrip_smoke(tmp_path):
+    """bench_store_roundtrip: a warm re-run resumes at a 100% skip rate."""
+    from repro.analysis import run_scenario_campaign
+
+    path = tmp_path / "smoke.sqlite"
+    cold = run_scenario_campaign(
+        ("unrelated-stress",), ("srpt",), base_seed=3, store=path, run_label="cold"
+    )
+    warm = run_scenario_campaign(
+        ("unrelated-stress",),
+        ("srpt",),
+        base_seed=3,
+        store=path,
+        resume=True,
+        run_label="warm",
+    )
+    assert warm.stats.resume_skip_rate == 1.0
+    assert warm.records == cold.records
+    assert warm.stats.offline_solves == 0
+
+
+def test_streaming_runtime_smoke():
+    """bench_streaming: deterministic O(active) windows on a small stream."""
+    from repro.heuristics import make_scheduler
+    from repro.simulation import StreamingSimulator
+    from repro.workload import StreamSpec, open_stream
+
+    spec = StreamSpec(label="smoke", scenario="small-cluster", seed=1).with_utilisation(0.6)
+    first = StreamingSimulator().run(open_stream(spec), make_scheduler("srpt"), max_arrivals=400)
+    second = StreamingSimulator().run(open_stream(spec), make_scheduler("srpt"), max_arrivals=400)
+    assert first.completions == 400
+    assert first.peak_window <= 2 * first.peak_active + 16
+    assert first.fingerprint() == second.fingerprint()
+
+
+def test_rank_keyed_probe_smoke():
+    """bench_replanning rank-keyed assertion: hit rate rises, schedules equal."""
+    from repro.heuristics import DeadlineDrivenScheduler
+    from repro.simulation import simulate_many
+    from repro.workload import random_unrelated_instance
+
+    instances = [
+        random_unrelated_instance(8, 3, forbidden_probability=0.0, seed=s) for s in range(3)
+    ]
+    plain_sched = DeadlineDrivenScheduler(lp_targets=True, rank_keyed_probe=False)
+    ranked_sched = DeadlineDrivenScheduler(lp_targets=True, rank_keyed_probe=True)
+    plain = simulate_many(instances, plain_sched)
+    ranked = simulate_many(instances, ranked_sched)
+    for a, b in zip(plain, ranked):
+        assert a.schedule.pieces == b.schedule.pieces
+    assert (
+        ranked_sched.replan_probe.model_constructions
+        <= plain_sched.replan_probe.model_constructions
+    )
+
+
+def test_quick_bench_stream_row_smoke():
+    """run_quick_bench.bench_stream: the streaming row's asserts hold at toy size."""
+    import importlib
+
+    module = importlib.import_module("run_quick_bench")
+    record = module.bench_stream(arrivals=300)
+    assert record["arrivals"] == 300
+    assert record["saturated"] is False
+    assert record["peak_window"] <= 2 * record["peak_active"] + 16
+    assert record["arrivals_per_second"] > 0

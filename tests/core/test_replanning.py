@@ -150,3 +150,104 @@ class TestRemainingSubinstance:
         sub, _ = remaining_subinstance(instance, 0.0, [0], [0.5])
         assert sub.cost(0, 0) == pytest.approx(4.0)
         assert sub.cost(1, 0) == pytest.approx(2.0)
+
+
+class TestRankKeyedCanonicalisation:
+    """rank_keyed=True relabels equal-release probes by deadline rank."""
+
+    def _sub(self, seed, num_jobs=6):
+        instance = random_unrelated_instance(num_jobs + 2, 3, seed=seed)
+        active = list(range(num_jobs))
+        remaining = [0.2 + 0.1 * j for j in range(num_jobs)]
+        return remaining_subinstance(instance, 5.0, active, remaining)[0]
+
+    def test_feasibility_answers_match_the_plain_probe(self):
+        plain = ReplanProbe()
+        ranked = ReplanProbe(rank_keyed=True)
+        rng = random.Random(3)
+        for seed in range(6):
+            sub = self._sub(seed)
+            for _ in range(4):
+                deadlines = [5.0 + rng.uniform(0.5, 60.0) for _ in sub.jobs]
+                expected = plain.check(sub, deadlines, build_schedule=False)
+                got = ranked.check(sub, deadlines, build_schedule=False)
+                assert got.feasible == expected.feasible
+                assert got.num_intervals == expected.num_intervals
+                assert got.lp_variables == expected.lp_variables
+                assert got.lp_constraints == expected.lp_constraints
+        assert ranked.rank_canonicalisations > 0
+        # Canonicalisation merges rank-equivalent structures: never more
+        # skeletons than the raw-structure cache, usually far fewer.
+        assert ranked.model_constructions <= plain.model_constructions
+
+    def test_permuted_deadline_orders_share_one_skeleton(self):
+        ranked = ReplanProbe(rank_keyed=True)
+        sub = self._sub(11, num_jobs=5)
+        base = [10.0, 20.0, 30.0, 40.0, 50.0]
+        orders = [base, base[::-1], [30.0, 10.0, 50.0, 20.0, 40.0]]
+        for deadlines in orders:
+            ranked.check(sub, deadlines, build_schedule=False)
+        # Same rank *pattern* (5 distinct deadlines, full eligibility):
+        # one model serves every permutation.
+        assert ranked.model_constructions == 1
+        assert ranked.cache_hits == len(orders) - 1
+
+    def test_witness_requests_fall_back_to_the_exact_path(self):
+        ranked = ReplanProbe(rank_keyed=True)
+        plain = ReplanProbe()
+        sub = self._sub(7, num_jobs=4)
+        deadlines = [40.0, 10.0, 30.0, 20.0]  # not rank-sorted
+        with_witness = ranked.check(sub, deadlines, build_schedule=True)
+        reference = plain.check(sub, deadlines, build_schedule=True)
+        assert ranked.rank_canonicalisations == 0  # gated off
+        assert with_witness.feasible == reference.feasible
+        if with_witness.feasible:
+            assert with_witness.schedule.pieces == reference.schedule.pieces
+
+    def test_heterogeneous_releases_are_not_canonicalised(self):
+        instance = random_unrelated_instance(5, 3, seed=9)  # staggered releases
+        ranked = ReplanProbe(rank_keyed=True)
+        deadlines = [job.release_date + 50.0 for job in instance.jobs][::-1]
+        deadlines.sort()  # any order; releases differ so no relabelling
+        ranked.check(instance, deadlines, build_schedule=False)
+        assert ranked.rank_canonicalisations == 0
+
+
+class TestEventScopedRefresh:
+    """Repeated checks on one instance object skip the coefficient rewrite."""
+
+    def test_same_instance_bisection_reuses_the_refreshed_matrix(self):
+        probe = ReplanProbe()
+        instance = random_unrelated_instance(6, 3, seed=4)
+        sub, _ = remaining_subinstance(instance, 2.0, [0, 1, 2, 3], [1.0, 0.8, 0.5, 0.3])
+        answers = []
+        for objective in (5.0, 10.0, 20.0, 40.0, 80.0):
+            deadlines = [2.0 + objective / job.weight for job in sub.jobs]
+            answers.append(probe.check(sub, deadlines, build_schedule=False).feasible)
+        assert probe.event_refresh_reuses > 0
+        assert probe.coefficient_refreshes + probe.event_refresh_reuses == probe.lp_solves
+        # The reuse is sound: re-asking through a fresh probe agrees.
+        fresh = ReplanProbe()
+        for objective, expected in zip((5.0, 10.0, 20.0, 40.0, 80.0), answers):
+            deadlines = [2.0 + objective / job.weight for job in sub.jobs]
+            assert fresh.check(sub, deadlines, build_schedule=False).feasible == expected
+
+    def test_switching_instances_clears_the_event_scope(self):
+        probe = ReplanProbe()
+        first, _ = remaining_subinstance(
+            random_unrelated_instance(5, 3, seed=5), 1.0, [0, 1, 2], [1.0, 1.0, 1.0]
+        )
+        second, _ = remaining_subinstance(
+            random_unrelated_instance(5, 3, seed=6), 1.0, [0, 1, 2], [1.0, 1.0, 1.0]
+        )
+        deadlines = [50.0, 50.0, 50.0]
+        probe.check(first, deadlines, build_schedule=False)
+        probe.check(first, deadlines, build_schedule=False)
+        reuses_before = probe.event_refresh_reuses
+        assert reuses_before == 1
+        # New event instance: the first check must rewrite coefficients even
+        # though the structure (and hence the template) is cached.
+        probe.check(second, deadlines, build_schedule=False)
+        assert probe.event_refresh_reuses == reuses_before
+        probe.check(second, deadlines, build_schedule=False)
+        assert probe.event_refresh_reuses == reuses_before + 1

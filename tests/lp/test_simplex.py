@@ -128,3 +128,41 @@ class TestSimplexRandomCrossValidation:
             assert simplex_solution.objective_value == pytest.approx(
                 scipy_solution.objective_value, abs=1e-6
             )
+
+
+class TestNearZeroCoefficients:
+    """Regression: sub-tolerance matrix entries must not poison the tableau.
+
+    A 1e-10 constraint coefficient used to survive into the tableau, where a
+    pivot on it (after scaling, ~1.6e-9 > the 1e-9 pivot guard) divided the
+    row by a near-zero value and amplified rounding dirt into a variable
+    value of -1.1e-5 — outside its bounds and at the wrong vertex.  Both
+    backends must drop such entries (HiGHS does so in presolve) and agree.
+    """
+
+    def test_hypothesis_found_tiny_coefficient_example(self):
+        costs = [0.0, -1.0, 0.0, -1.0]
+        rows = [[1.0, 0.0, -1.0, -1.5], [1.0, 1e-10, 0.0625, 0.0]]
+        rhs = [0.0, 0.0]
+        lp = LinearProgram(sense="min")
+        variables = lp.add_variables(4, prefix="x", upper=10.0)
+        for row, bound in zip(rows, rhs):
+            lp.add_constraint(sum(c * v for c, v in zip(row, variables)) <= bound)
+        lp.set_objective(sum(c * v for c, v in zip(costs, variables)))
+        scipy_solution, simplex_solution = _solve_both(lp)
+        assert simplex_solution.is_optimal
+        assert lp.check_solution(simplex_solution.values, tol=1e-6) == []
+        assert simplex_solution.objective_value == pytest.approx(
+            scipy_solution.objective_value, abs=1e-6
+        )
+
+    def test_dirt_negative_ratios_never_pull_variables_negative(self):
+        # Degenerate rows whose rhs is exact zero: the ratio test must clamp
+        # accumulated -1e-14-style dirt instead of selecting a negative ratio.
+        lp = LinearProgram(sense="min")
+        x = lp.add_variables(3, prefix="x", upper=5.0)
+        lp.add_constraint(x[0] + 1e-10 * x[1] + 0.0625 * x[2] <= 0)
+        lp.set_objective(-x[1] - x[2])
+        solution = lp.solve(backend="simplex")
+        assert solution.is_optimal
+        assert lp.check_solution(solution.values, tol=1e-6) == []

@@ -189,3 +189,87 @@ def test_digit_and_keyword_labels_stay_reachable(tmp_path):
         assert store.resolve_run("latest") == second
         assert store.resolve_run(str(third)) == third  # unlabelled digits -> id
         assert store.resolve_run(first) == first  # ints are always ids
+
+
+class TestSchemaV2Migration:
+    """v1 stores gain the ``extra`` JSON column in place; cells survive."""
+
+    def _make_v1_store(self, path):
+        import sqlite3
+
+        # A faithful v1 store: the v2 schema minus the extra column.
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE runs (
+                run_id INTEGER PRIMARY KEY AUTOINCREMENT, label TEXT NOT NULL,
+                created_at TEXT NOT NULL, completed INTEGER NOT NULL DEFAULT 0,
+                meta TEXT NOT NULL DEFAULT '{}', stats TEXT);
+            CREATE TABLE records (
+                digest TEXT PRIMARY KEY, run_id INTEGER NOT NULL,
+                workload TEXT NOT NULL, workload_key TEXT NOT NULL,
+                scenario TEXT, seed INTEGER, policy TEXT NOT NULL,
+                code_epoch TEXT NOT NULL, max_weighted_flow REAL NOT NULL,
+                max_stretch REAL NOT NULL, makespan REAL NOT NULL,
+                normalised REAL NOT NULL, preemptions INTEGER NOT NULL,
+                objective REAL);
+            CREATE TABLE run_records (
+                run_id INTEGER NOT NULL, position INTEGER NOT NULL,
+                digest TEXT NOT NULL, PRIMARY KEY (run_id, position));
+            CREATE TABLE metrics (
+                run_id INTEGER NOT NULL, policy TEXT NOT NULL,
+                metric TEXT NOT NULL, value REAL NOT NULL,
+                PRIMARY KEY (run_id, policy, metric));
+            """
+        )
+        conn.execute("INSERT INTO runs (label, created_at, completed) VALUES ('old', 't', 1)")
+        conn.execute(
+            "INSERT INTO records VALUES ('d1', 1, 'w', 'k', NULL, NULL, 'srpt', ?, "
+            "1.0, 2.0, 3.0, 1.5, 0, NULL)",
+            (CODE_EPOCH,),
+        )
+        conn.execute("INSERT INTO run_records VALUES (1, 0, 'd1')")
+        conn.execute("PRAGMA user_version = 1")
+        conn.commit()
+        conn.close()
+
+    def test_v1_store_migrates_in_place_and_keeps_its_cells(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "old.sqlite"
+        self._make_v1_store(path)
+        with ExperimentStore(path) as store:
+            records = store.run_records(1)
+            assert len(records) == 1
+            assert records[0].digest == "d1"
+            assert records[0].extra is None
+            # And new cells can carry the v2 payload.
+            run_id = store.begin_run("new")
+            with store.writer(run_id) as writer:
+                writer.add(
+                    "d2",
+                    _record("w2", "mct"),
+                    workload_key="k2",
+                    extra={"kind": "stream-cell", "rho": 0.5},
+                )
+            loaded = store.lookup(["d2"])["d2"]
+            assert loaded.extra == {"kind": "stream-cell", "rho": 0.5}
+        conn = sqlite3.connect(path)
+        assert conn.execute("PRAGMA user_version").fetchone()[0] == 2
+        conn.close()
+
+    def test_extra_round_trips_and_defaults_to_none(self, tmp_path):
+        path = tmp_path / "v2.sqlite"
+        with ExperimentStore(path) as store:
+            run_id = store.begin_run("r")
+            with store.writer(run_id) as writer:
+                writer.add("plain", _record("w", "srpt"), workload_key="k")
+                writer.add(
+                    "rich",
+                    _record("w", "mct"),
+                    workload_key="k",
+                    extra={"report": {"mean": 1.25}},
+                )
+            found = store.lookup(["plain", "rich"])
+            assert found["plain"].extra is None
+            assert found["rich"].extra == {"report": {"mean": 1.25}}

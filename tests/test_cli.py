@@ -22,8 +22,8 @@ class TestParser:
     def test_all_subcommands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("info", "scenario", "solve", "simulate", "campaign", "store",
-                        "divisibility"):
+        for command in ("info", "scenario", "solve", "simulate", "campaign", "stream",
+                        "store", "divisibility"):
             assert command in text
 
     def test_missing_command_is_an_error(self):
@@ -306,3 +306,61 @@ class TestVersion:
 def test_instance_file_is_plain_json(instance_file):
     payload = json.loads(instance_file.read_text())
     assert payload["format"] == "repro-instance"
+
+
+class TestStream:
+    _BASE = [
+        "stream",
+        "--scenario",
+        "small-cluster",
+        "--policies",
+        "srpt,mct",
+        "--rho",
+        "0.4:0.8:2",
+        "--arrivals",
+        "250",
+        "--seed",
+        "3",
+    ]
+
+    def test_stream_sweep_runs_and_writes_json(self, tmp_path, capsys):
+        output = tmp_path / "sweep.json"
+        assert main(self._BASE + ["--output", str(output)]) == 0
+        text = capsys.readouterr().out
+        assert "Steady-state load sweep" in text
+        assert "srpt" in text and "mct" in text
+        payload = json.loads(output.read_text())
+        assert len(payload["cells"]) == 4
+        assert payload["stats"]["cells"] == 4
+        assert {cell["rho"] for cell in payload["cells"]} == {0.4, 0.8}
+
+    def test_stream_store_resume_reaches_full_skip_rate(self, tmp_path, capsys):
+        store = tmp_path / "stream.sqlite"
+        assert main(self._BASE + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(self._BASE + ["--store", str(store), "--resume"]) == 0
+        output = capsys.readouterr().out
+        assert "skip rate 100%" in output
+        assert "0 arrivals" in output
+
+    def test_rho_accepts_comma_lists(self, capsys):
+        argv = list(self._BASE)
+        argv[argv.index("0.4:0.8:2")] = "0.5"
+        assert main(argv) == 0
+        assert "0.50" in capsys.readouterr().out
+
+    def test_malformed_rho_is_a_clean_error(self, capsys):
+        argv = list(self._BASE)
+        argv[argv.index("0.4:0.8:2")] = "0.3:0.9"
+        assert main(argv) == 1
+        assert "start:stop:count" in capsys.readouterr().err
+
+    def test_unknown_policy_is_a_clean_error(self, capsys):
+        argv = list(self._BASE)
+        argv[argv.index("srpt,mct")] = "srpt:no_such_param=1"
+        assert main(argv) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_resume_without_store_is_a_clean_error(self, capsys):
+        assert main(self._BASE + ["--resume"]) == 1
+        assert "--store" in capsys.readouterr().err

@@ -10,6 +10,7 @@ import pytest
 from repro.core import minimize_max_weighted_flow
 from repro.exceptions import WorkloadError
 from repro.workload import (
+    ArrivalProcess,
     instance_from_dict,
     instance_to_dict,
     load_instance,
@@ -72,3 +73,100 @@ class TestScheduleTraces:
         schedule = minimize_max_weighted_flow(instance, preemptive=True).schedule
         rebuilt = schedule_from_dict(schedule_to_dict(schedule))
         assert rebuilt.divisible is False
+
+
+class TestReSimulationByteIdentity:
+    """Save -> load -> re-simulate must reproduce the original run exactly.
+
+    The trace files are the archival format for streamed and generated
+    workloads; a lossy round-trip (e.g. float truncation) would silently
+    change every archived experiment on replay.
+    """
+
+    @pytest.mark.parametrize("policy", ["srpt", "mct", "greedy-weighted-flow"])
+    def test_instance_round_trip_resimulates_identically(self, tmp_path, policy):
+        from repro.heuristics import make_scheduler
+        from repro.simulation import simulate
+        from repro.workload import make_scenario
+
+        original = make_scenario("small-cluster", seed=17)
+        path = tmp_path / "instance.json"
+        save_instance(original, path)
+        loaded = load_instance(path)
+
+        assert [job for job in loaded.jobs] == [job for job in original.jobs]
+        assert np.array_equal(loaded.costs, original.costs)
+
+        first = simulate(original, make_scheduler(policy))
+        second = simulate(loaded, make_scheduler(policy))
+        assert first.schedule.pieces == second.schedule.pieces
+        assert first.completion_times == second.completion_times
+        assert first.events == second.events
+
+    def test_schedule_round_trip_is_piece_exact(self, tmp_path):
+        from repro.heuristics import make_scheduler
+        from repro.simulation import simulate
+        from repro.workload import make_scenario
+
+        instance = make_scenario("bursty-batch", seed=3)
+        result = simulate(instance, make_scheduler("srpt"))
+        path = tmp_path / "schedule.json"
+        save_schedule(result.schedule, path)
+        loaded = load_schedule(path)
+        assert loaded.pieces == result.schedule.pieces
+        assert loaded.completion_times() == result.schedule.completion_times()
+
+    def test_streamed_trace_replay_survives_the_round_trip(self, tmp_path):
+        from repro.heuristics import make_scheduler
+        from repro.simulation import StreamingSimulator
+        from repro.workload import make_scenario, replay_stream
+
+        instance = make_scenario("hotspot", seed=5)
+        path = tmp_path / "instance.json"
+        save_instance(instance, path)
+        loaded = load_instance(path)
+        first = StreamingSimulator().run(replay_stream(instance), make_scheduler("srpt"))
+        second = StreamingSimulator().run(replay_stream(loaded), make_scheduler("srpt"))
+        assert first.fingerprint() == second.fingerprint()
+
+
+class TestArrivalProcessSpawnedDeterminism:
+    """ArrivalProcess draws are reproducible under SeedSequence spawning."""
+
+    def test_spawned_seeds_reproduce_at_any_spawn_count(self):
+        from repro.workload import spawn_scenario_seeds
+
+        process = ArrivalProcess(kind="poisson", rate=2.0)
+        wide = spawn_scenario_seeds(42, "poisson-workload", 6)
+        narrow = spawn_scenario_seeds(42, "poisson-workload", 2)
+        for seed_a, seed_b in zip(narrow, wide):
+            assert seed_a == seed_b
+            first = process.sample(50, np.random.default_rng(seed_a))
+            second = process.sample(50, np.random.default_rng(seed_b))
+            assert first == second
+
+    @pytest.mark.parametrize("kind", ["poisson", "uniform", "batch"])
+    def test_each_kind_is_deterministic_per_spawned_seed(self, kind):
+        from repro.workload import spawn_scenario_seeds
+
+        process = ArrivalProcess(kind=kind, rate=1.5, horizon=8.0)
+        (seed,) = spawn_scenario_seeds(7, f"{kind}-stream", 1)
+        first = process.sample(30, np.random.default_rng(seed))
+        second = process.sample(30, np.random.default_rng(seed))
+        assert first == second
+        assert all(
+            earlier <= later for earlier, later in zip(first, first[1:])
+        )
+
+    def test_stream_seed_spawning_is_component_stable(self):
+        from repro.workload import spawn_stream_seeds
+
+        # The k-th component child must not depend on how many components a
+        # future stream version spawns.
+        process = ArrivalProcess(kind="poisson", rate=1.0)
+        for position, (old, new) in enumerate(
+            zip(spawn_stream_seeds(3, "family", 3), spawn_stream_seeds(3, "family", 5))
+        ):
+            a = process.sample(10, np.random.default_rng(old))
+            b = process.sample(10, np.random.default_rng(new))
+            assert a == b, position
