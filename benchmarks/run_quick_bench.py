@@ -15,7 +15,9 @@ compare against::
 The record also carries a **streaming row** (arrivals/sec of the
 rolling-horizon simulator, peak active jobs, saturation flag), diffed
 against the previous invocation's row the way the campaign rows are
-diffed through the store.
+diffed through the store, and a **lint row** (repro.lint finding counts and
+analyzer wall-clock over src/repro): any non-baselined finding fails the
+bench run — the analyzer's zero-regressions assertion.
 
 The campaign rows are also written into a persistent experiment store
 (``BENCH_store.sqlite``, one run per invocation): the record includes the
@@ -213,6 +215,30 @@ def bench_stream(arrivals: int = 3000) -> dict:
         "mean_stretch_half_width": report.mean_stretch.half_width,
         "utilisation": report.utilisation,
         "elapsed_seconds": result.elapsed_seconds,
+    }
+
+
+def bench_lint() -> dict:
+    """Static-analyzer row: finding counts and analyzer wall-clock.
+
+    The full ``repro.lint`` rule set runs over ``src/repro`` against the
+    committed baseline.  The row records the analyzer's throughput trajectory
+    next to the perf rows — and carries the **zero-regressions assertion**:
+    any non-baselined finding makes the whole bench run exit non-zero, the
+    same way a kernel regression does.
+    """
+    from repro.lint import run_lint
+
+    report = run_lint()
+    return {
+        "modules": report.modules_analyzed,
+        "rules": len(report.rules_run),
+        "new_findings": len(report.new_findings),
+        "baselined_findings": len(report.baselined_findings),
+        "counts_by_severity": report.counts_by_severity(),
+        "elapsed_seconds": report.elapsed_seconds,
+        "clean": not report.new_findings,
+        "details": [finding.as_dict() for finding in report.new_findings],
     }
 
 
@@ -419,6 +445,7 @@ def main(argv=None) -> int:
         "stream": bench_stream(),
         "pr1_comparison": bench_pr1_comparison(),
         "store": bench_store(os.path.abspath(args.store)),
+        "lint": bench_lint(),
     }
     campaign_record["total_seconds"] = time.perf_counter() - campaign_start
 
@@ -509,8 +536,22 @@ def main(argv=None) -> int:
         diff = store_record["diff_vs_previous"]
         verdict = "clean" if diff["clean"] else f"{len(diff['regressions'])} regression(s)"
         print(f"  vs run #{diff['baseline_run']}: {verdict}")
+    lint_row = campaign_record["lint"]
+    print(
+        f"lint: {lint_row['new_findings']} finding(s) "
+        f"({lint_row['baselined_findings']} baselined) over "
+        f"{lint_row['modules']} modules / {lint_row['rules']} rules in "
+        f"{lint_row['elapsed_seconds']:.2f}s"
+    )
     print(f"wrote {output} ({record['total_seconds']:.1f}s total)")
     print(f"wrote {campaign_output} ({campaign_record['total_seconds']:.1f}s total)")
+    if not lint_row["clean"]:
+        print(
+            "lint REGRESSION: non-baselined findings present — "
+            "run 'repro-sched lint' for details",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -17,6 +17,12 @@ can be selected as a family with ``-m bench``.
 ``bench_smoke`` marks the tiny-scale smoke twins of the bench assertion
 paths (``tests/benchmarks/``): they run in tier-1, so a broken bench
 assertion surfaces at the fast gate instead of at the ``-m bench`` run.
+
+``lint`` marks the ``repro.lint`` static-analyzer tests (``tests/lint/``),
+including the full-package self-check that asserts zero non-baselined
+findings over ``src/repro``.  They run in tier-1 by default — the analyzer
+is a standing gate the way ``bench_engine_regression.py`` is for the
+kernel — and can be selected as a family with ``-m lint``.
 """
 
 import pytest
@@ -34,6 +40,10 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "bench_smoke: tiny-scale bench assertion smoke tests; run in tier-1",
+    )
+    config.addinivalue_line(
+        "markers",
+        "lint: repro.lint static-analyzer tests (self-check gate); run in tier-1",
     )
 
 

@@ -30,6 +30,11 @@ The CLI exposes the library's main workflows without writing any Python:
     them on workload key and localises changes to individual scenarios),
     or prune epoch-orphaned records and incomplete runs (``gc``, dry-run
     by default).
+``repro-sched lint [--format json] [--baseline .reprolint.json] [--fail-on warning]``
+    Project-invariant static analyzer (see :mod:`repro.lint`): determinism
+    rules, the digest-epoch guard and policy-protocol conformance over
+    ``src/repro``; ``--types`` additionally runs the (optional) mypy policy
+    from ``setup.cfg``.  Also available as ``python -m repro.lint``.
 ``repro-sched divisibility --dimension sequences|motifs``
     Regenerate the Figure 1 series and its regression.
 
@@ -341,6 +346,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--apply",
         action="store_true",
         help="actually delete and VACUUM (default: dry-run report only)",
+    )
+
+    # lint -----------------------------------------------------------------------
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the project-invariant static analyzer (repro.lint)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyze (default: the whole src/repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file of justified, allowlisted findings "
+        "(default: .reprolint.json at the project root, when present)",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "note", "never"),
+        default="error",
+        help="lowest severity of non-baselined findings that fails the run "
+        "(default: error)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule subset (default: every registered rule; "
+        "see --list)",
+    )
+    lint.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_rules",
+        help="list the registered rules and exit",
+    )
+    lint.add_argument(
+        "--diff-range",
+        default=None,
+        metavar="A..B",
+        help="git range for the diff-aware rules (epoch guard); default: "
+        "working tree vs HEAD",
+    )
+    lint.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also list the baseline-suppressed findings and their justifications",
+    )
+    lint.add_argument(
+        "--types",
+        action="store_true",
+        help="additionally run the mypy policy from setup.cfg (strict on "
+        "repro.store and repro.core.replanning); skipped explicitly when "
+        "mypy is not installed",
     )
 
     # divisibility ---------------------------------------------------------------
@@ -752,6 +819,54 @@ def _cmd_store(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .lint import (
+        available_rules,
+        find_project_root,
+        rule_spec,
+        run_lint,
+        run_typecheck,
+    )
+
+    if args.list_rules:
+        for name in available_rules():
+            spec = rule_spec(name)
+            print(f"{name:22s} {spec.severity:8s} [{spec.scope}] {spec.description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [token.strip() for token in args.rules.split(",") if token.strip()]
+        for name in rules:
+            rule_spec(name)  # fail fast on unknown rule names
+    root = find_project_root()
+    report = run_lint(
+        root,
+        paths=[Path(path) for path in args.paths] or None,
+        rules=rules,
+        baseline_path=Path(args.baseline) if args.baseline else None,
+        diff_range=args.diff_range,
+    )
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text(show_baselined=args.show_baselined))
+
+    exit_code = 0
+    if args.fail_on != "never" and report.failed(args.fail_on):
+        exit_code = 1
+
+    if args.types:
+        result = run_typecheck(root)
+        print()
+        print(result.output or "mypy: no output")
+        if result.available and result.returncode != 0:
+            exit_code = 1
+    return exit_code
+
+
 def _cmd_divisibility(args: argparse.Namespace) -> int:
     if args.dimension == "sequences":
         study = sequence_divisibility_experiment(repetitions=args.repetitions)
@@ -796,6 +911,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_stream(args)
         if args.command == "store":
             return _cmd_store(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "divisibility":
             return _cmd_divisibility(args)
     except (ReproError, FileNotFoundError, json.JSONDecodeError, KeyError) as error:

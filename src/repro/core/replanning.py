@@ -63,7 +63,7 @@ from .formulations import (
     preemptive_schedule_from_solution,
 )
 from .instance import Instance
-from .intervals import build_constant_intervals
+from .intervals import TimeInterval, build_constant_intervals
 from .job import Job
 from .tolerances import ABS_TOL, lt
 
@@ -375,7 +375,7 @@ class ReplanProbe:
         instance: Instance,
         deadlines: Sequence[float],
         key: Tuple,
-        intervals,
+        intervals: Sequence[TimeInterval],
         cuts: Sequence[float],
     ) -> _ModelTemplate:
         """Structure miss: run the from-scratch pipeline and record positions."""
@@ -515,7 +515,7 @@ class ReplanProbe:
         )
 
 
-def _cut_values(intervals) -> List[float]:
+def _cut_values(intervals: Sequence[TimeInterval]) -> List[float]:
     """Interval boundary values (lower bounds plus the final upper bound)."""
     cuts = [interval.lower_at(0.0) for interval in intervals]
     if intervals:

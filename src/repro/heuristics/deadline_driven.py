@@ -95,6 +95,18 @@ class DeadlineDrivenScheduler(OnlineScheduler):
     def reset(self, instance: Instance) -> None:
         self._target = self.initial_target or 0.0
 
+    def rebind(self, instance: Instance) -> None:
+        # The running target is index-free and deliberately survives window
+        # growth (resetting it on every arrival would forget the adaptation);
+        # deadlines are recomputed from the instance at each decide().
+        return None
+
+    def decide_arrays(self, state: SimulationState) -> AllocationDecision:
+        # The scalar path already reads per-job dynamic state only through
+        # the state's vector-preferring accessors (fastest_remaining_work),
+        # so the array contract is the scalar decision, verbatim.
+        return self.decide(state)
+
     def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
         # The running target is index-free and the probe is keyed purely by
         # LP structure: both survive window compaction untouched.

@@ -33,6 +33,11 @@ class _ListScheduler(OnlineScheduler):
     def reset(self, instance: Instance) -> None:
         self._commitment = {}
 
+    def rebind(self, instance: Instance) -> None:
+        # Commitments are keyed by job index and window growth keeps existing
+        # indices stable, so there is nothing to refresh.
+        return None
+
     def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
         # Sticky commitments survive window compaction under the new indices.
         self._commitment = {

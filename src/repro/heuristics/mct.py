@@ -34,6 +34,13 @@ class MCTScheduler(OnlineScheduler):
         self._queues = {i: [] for i in range(instance.num_machines)}
         self._assigned = set()
 
+    def rebind(self, instance: Instance) -> None:
+        # Queues and assignments are index-keyed and window growth keeps
+        # existing indices stable; new arrivals are routed by decide(), so
+        # there is nothing to refresh.  (_queues lazily grows machine keys in
+        # reset() only, but machines never change mid-stream.)
+        return None
+
     def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
         # Assignments are irrevocable: remap the queues so compaction never
         # re-routes a job (completed jobs simply drop out of their queue).

@@ -135,6 +135,20 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
         else:
             self._effective_period = None
 
+    def rebind(self, instance: Instance) -> None:
+        # The plan and its active-set snapshot are index-keyed and window
+        # growth keeps existing indices stable; the next decide() sees the
+        # grown active set differ from the snapshot and replans.  The period
+        # floor deliberately stays as computed at reset(): re-deriving it
+        # from the grown window would change replanning times mid-stream.
+        return None
+
+    def decide_arrays(self, state: SimulationState) -> AllocationDecision:
+        # The scalar path reads per-job dynamic state only through the
+        # state's vector-preferring accessors, so the array contract is the
+        # scalar decision, verbatim.
+        return self.decide(state)
+
     def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
         # The current plan references window job indices; remap it so a
         # compaction between events never forces an extra replanning (the

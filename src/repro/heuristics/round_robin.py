@@ -9,6 +9,7 @@ which is exactly why the LP-based policies beat it.
 from __future__ import annotations
 
 import math
+from typing import Dict
 
 from ..core.instance import Instance
 from ..simulation.state import AllocationDecision, SimulationState
@@ -24,6 +25,16 @@ class RoundRobinScheduler(OnlineScheduler):
     divisible = True
 
     def reset(self, instance: Instance) -> None:
+        return None
+
+    def rebind(self, instance: Instance) -> None:
+        # Stateless: every decide() reads the instance afresh, so window
+        # growth needs no refresh.
+        return None
+
+    def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
+        # Stateless: no index-keyed state to remap, so compaction timing
+        # cannot change the streamed behaviour.
         return None
 
     def decide(self, state: SimulationState) -> AllocationDecision:

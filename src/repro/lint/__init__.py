@@ -1,0 +1,77 @@
+"""``repro.lint`` — the project-invariant static analyzer.
+
+Every correctness claim of this reproduction bottoms out in determinism
+invariants: byte-identical kernels, SeedSequence-derived randomness,
+content-addressed store cells keyed by ``CODE_EPOCH``.  Until this subsystem
+they were enforced only *dynamically* — by benches and round-trip tests, and
+only on the paths those happen to exercise.  ``repro.lint`` enforces them
+statically, over every module, on every run:
+
+* **determinism rules** (:mod:`repro.lint.determinism`) — no wall-clock
+  reads, no unseeded/global-state RNG, no bare-set iteration feeding ordered
+  output, no exact float equality in hot-path branches;
+* **digest-epoch guard** (:mod:`repro.lint.epoch`) — a declared manifest of
+  semantics-bearing modules and a git-diff-aware check that edits to them
+  bump ``CODE_EPOCH``;
+* **policy-protocol conformance** (:mod:`repro.lint.protocol`) — every
+  registered policy defines its streaming hooks, honours its ``array_aware``
+  promise, and declares a parameter schema its constructor accepts.
+
+Rules live in a registry mirroring ``heuristics.registry``
+(:mod:`repro.lint.registry`); intentional violations are allowlisted, with
+mandatory justifications, in the committed ``.reprolint.json`` baseline
+(:mod:`repro.lint.baseline`).  Run it as ``repro-sched lint`` or
+``python -m repro.lint``; the tier-1 suite runs the full analyzer as a
+standing gate (``tests/lint/test_selfcheck.py``), and
+``benchmarks/run_quick_bench.py`` records finding counts and analyzer
+wall-clock next to the perf rows.
+"""
+
+from .baseline import Baseline, BaselineEntry, load_baseline
+from .engine import LintReport, find_project_root, run_lint
+from .findings import ERROR, NOTE, SEVERITIES, WARNING, Finding
+from .registry import (
+    Rule,
+    RuleSpec,
+    available_rules,
+    register_rule,
+    rule_spec,
+    unregister_rule,
+)
+from .sources import ModuleSource, ProjectContext, load_project
+from .typecheck import TypecheckResult, mypy_available, run_typecheck
+
+# Importing the rule modules registers the built-in rules.
+from . import determinism as _determinism  # noqa: F401  (registration side effect)
+from . import epoch as _epoch  # noqa: F401
+from . import protocol as _protocol  # noqa: F401
+from .epoch import DIGEST_MODULE, SEMANTIC_MANIFEST, changed_semantic_paths
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DIGEST_MODULE",
+    "ERROR",
+    "Finding",
+    "LintReport",
+    "ModuleSource",
+    "NOTE",
+    "ProjectContext",
+    "Rule",
+    "RuleSpec",
+    "SEMANTIC_MANIFEST",
+    "SEVERITIES",
+    "TypecheckResult",
+    "WARNING",
+    "available_rules",
+    "changed_semantic_paths",
+    "find_project_root",
+    "load_baseline",
+    "load_project",
+    "mypy_available",
+    "register_rule",
+    "rule_spec",
+    "run_lint",
+    "run_typecheck",
+    "unregister_rule",
+]

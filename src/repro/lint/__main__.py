@@ -1,0 +1,14 @@
+"""``python -m repro.lint`` — the analyzer as a standalone module.
+
+Delegates to the ``repro-sched lint`` subcommand so both entry points share
+one argument surface and one exit-code contract.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["lint", *sys.argv[1:]]))

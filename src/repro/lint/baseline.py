@@ -1,0 +1,144 @@
+"""The committed allowlist of intentional rule violations.
+
+The baseline file (``.reprolint.json`` at the project root) records every
+finding the project deliberately keeps, one entry per violation, each with a
+mandatory one-line justification.  The analyzer subtracts baselined findings
+from its verdict, and *polices the baseline itself*: an entry without a
+justification, or one that no longer matches any finding, produces a
+``lint-baseline`` finding — the allowlist can neither silently grow nor
+silently rot.
+
+Entry matching is content-based, not line-based: an entry names the rule,
+the file, and (optionally) the stripped text of the offending line
+(``context``).  Entries survive unrelated edits that shift line numbers;
+an entry without ``context`` suppresses every finding of that rule in that
+file (use sparingly, for per-file waivers).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .findings import ERROR, WARNING, Finding
+
+__all__ = ["Baseline", "BaselineEntry", "load_baseline"]
+
+#: Name of the baseline file at the project root.
+DEFAULT_BASELINE_NAME = ".reprolint.json"
+
+
+@dataclass
+class BaselineEntry:
+    """One allowlisted violation."""
+
+    rule: str
+    path: str
+    context: str = ""
+    justification: str = ""
+    #: Set by :meth:`Baseline.apply` when a finding matched this entry.
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry suppresses ``finding``."""
+        if self.rule != finding.rule or self.path != finding.path:
+            return False
+        return not self.context or self.context == finding.context
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "justification": self.justification,
+        }
+        if self.context:
+            payload["context"] = self.context
+        return payload
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+    path: Optional[Path] = None
+
+    def apply(self, findings: Iterable[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, suppressed) against this baseline.
+
+        Marks matched entries ``used``; call :meth:`hygiene_findings`
+        afterwards to surface unjustified and stale entries.
+        """
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            entry = next((e for e in self.entries if e.matches(finding)), None)
+            if entry is None:
+                new.append(finding)
+            else:
+                entry.used = True
+                suppressed.append(finding.suppressed_by(entry.justification))
+        return new, suppressed
+
+    def hygiene_findings(self) -> List[Finding]:
+        """Baseline-policing findings: unjustified entries and stale entries."""
+        location = str(self.path) if self.path is not None else DEFAULT_BASELINE_NAME
+        findings: List[Finding] = []
+        for entry in self.entries:
+            if not entry.justification.strip():
+                findings.append(
+                    Finding(
+                        rule="lint-baseline",
+                        severity=ERROR,
+                        path=location,
+                        line=0,
+                        message=(
+                            f"baseline entry for rule {entry.rule!r} in "
+                            f"{entry.path!r} has no justification — every "
+                            "allowlisted violation must say why it is intentional"
+                        ),
+                        context=entry.context,
+                    )
+                )
+            if not entry.used:
+                findings.append(
+                    Finding(
+                        rule="lint-baseline",
+                        severity=WARNING,
+                        path=location,
+                        line=0,
+                        message=(
+                            f"stale baseline entry: rule {entry.rule!r} in "
+                            f"{entry.path!r} no longer matches any finding — "
+                            "delete the entry"
+                        ),
+                        context=entry.context,
+                    )
+                )
+        return findings
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Parse a baseline file (missing file → empty baseline)."""
+    if not path.exists():
+        return Baseline(path=path)
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"malformed baseline {path}: expected an object with 'entries'")
+    entries = []
+    for raw in payload["entries"]:
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    context=raw.get("context", ""),
+                    justification=raw.get("justification", ""),
+                )
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed baseline entry in {path}: {raw!r}") from error
+    return Baseline(entries=entries, path=path)

@@ -1,0 +1,89 @@
+"""Findings and severities of the project-invariant analyzer.
+
+A :class:`Finding` is one violation of one registered rule, anchored to a
+file and line.  Findings carry a *context fingerprint* — the stripped text of
+the flagged source line — so the committed baseline (see
+:mod:`repro.lint.baseline`) matches them stably across unrelated edits that
+merely shift line numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+__all__ = ["ERROR", "NOTE", "SEVERITIES", "WARNING", "Finding", "severity_rank"]
+
+#: Severity levels, weakest to strongest.  ``--fail-on`` picks the threshold.
+NOTE = "note"
+WARNING = "warning"
+ERROR = "error"
+SEVERITIES = (NOTE, WARNING, ERROR)
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity (higher is more severe)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(
+            f"unknown severity {severity!r}; expected one of {', '.join(SEVERITIES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes
+    ----------
+    rule:
+        Name of the rule that produced the finding (see
+        :mod:`repro.lint.registry`).
+    severity:
+        ``"error"``, ``"warning"`` or ``"note"``.
+    path:
+        Project-root-relative POSIX path of the offending file.
+    line:
+        1-based line number (0 for whole-file findings).
+    message:
+        Human-readable description of the violation.
+    context:
+        Stripped text of the offending source line — the stable fingerprint
+        baseline entries match on.
+    baselined:
+        ``True`` when a baseline entry suppressed the finding.
+    justification:
+        The matching baseline entry's justification (empty otherwise).
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    context: str = ""
+    baselined: bool = field(default=False, compare=False)
+    justification: str = field(default="", compare=False)
+
+    def suppressed_by(self, justification: str) -> "Finding":
+        """A copy of the finding marked as baseline-suppressed."""
+        return replace(self, baselined=True, justification=justification)
+
+    @property
+    def location(self) -> str:
+        """``path:line`` (just ``path`` for whole-file findings)."""
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (what ``lint --format json`` emits)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "context": self.context,
+            "baselined": self.baselined,
+            "justification": self.justification,
+        }

@@ -1,0 +1,125 @@
+"""Source loading: the parsed project the rules walk.
+
+A :class:`ProjectContext` is a project root (usually the repository root)
+plus the parsed modules of one package subtree (usually ``src/repro``).
+Modules are parsed once; every rule shares the same ASTs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .findings import ERROR, Finding
+
+__all__ = ["ModuleSource", "ProjectContext", "load_project"]
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source module."""
+
+    path: Path
+    relpath: str  # project-root-relative, POSIX separators
+    text: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def line_context(self, lineno: int) -> str:
+        """Stripped text of a 1-based source line (the baseline fingerprint)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+@dataclass
+class ProjectContext:
+    """The analyzed project: root directory plus parsed package modules."""
+
+    root: Path
+    package_root: Path
+    modules: List[ModuleSource] = field(default_factory=list)
+    #: Files that failed to parse (surfaced as findings by the engine).
+    parse_failures: List[Finding] = field(default_factory=list)
+    _by_relpath: Dict[str, ModuleSource] = field(default_factory=dict, repr=False)
+
+    def module(self, relpath: str) -> Optional[ModuleSource]:
+        """Look a module up by its project-root-relative path."""
+        return self._by_relpath.get(relpath)
+
+    def add(self, module: ModuleSource) -> None:
+        self.modules.append(module)
+        self._by_relpath[module.relpath] = module
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_project(
+    root: Path,
+    package_root: Optional[Path] = None,
+    *,
+    paths: Optional[Iterable[Path]] = None,
+) -> ProjectContext:
+    """Parse a package subtree into a :class:`ProjectContext`.
+
+    Parameters
+    ----------
+    root:
+        Project root; findings and baseline entries use paths relative to it.
+    package_root:
+        Directory whose ``*.py`` files are analyzed (default:
+        ``root / "src" / "repro"``).
+    paths:
+        Explicit file/directory subset to analyze instead of the whole
+        package (the CLI's positional arguments).
+    """
+    root = Path(root)
+    if package_root is None:
+        package_root = root / "src" / "repro"
+    package_root = Path(package_root)
+    project = ProjectContext(root=root, package_root=package_root)
+
+    if paths is not None:
+        files: List[Path] = []
+        for entry in paths:
+            entry = Path(entry)
+            if entry.is_dir():
+                files.extend(sorted(entry.rglob("*.py")))
+            else:
+                files.append(entry)
+    else:
+        files = sorted(package_root.rglob("*.py")) if package_root.is_dir() else []
+
+    for path in files:
+        relpath = _relpath(path, root)
+        try:
+            text = path.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as error:
+            project.parse_failures.append(
+                Finding(
+                    rule="lint-parse",
+                    severity=ERROR,
+                    path=relpath,
+                    line=getattr(error, "lineno", 0) or 0,
+                    message=f"cannot analyze module: {error}",
+                )
+            )
+            continue
+        project.add(
+            ModuleSource(
+                path=path,
+                relpath=relpath,
+                text=text,
+                tree=tree,
+                lines=text.splitlines(),
+            )
+        )
+    return project

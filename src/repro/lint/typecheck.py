@@ -1,0 +1,76 @@
+"""Gated mypy runner behind ``repro-sched lint --types``.
+
+The project's type-checking policy lives in ``setup.cfg``: strict on the two
+modules whose invariants are load-bearing for persistence and replanning
+(``repro.store`` and ``repro.core.replanning``), permissive everywhere else.
+mypy is an *optional* toolchain dependency — offline containers may not ship
+it — so this runner degrades explicitly: when mypy is importable it runs and
+its verdict decides the exit code; when it is not, the check reports itself
+as skipped (exit 0) instead of failing environments that cannot install it.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["TypecheckResult", "run_typecheck"]
+
+#: What ``--types`` checks, in dependency order.
+TYPECHECK_TARGETS = ("src/repro/store", "src/repro/core/replanning.py")
+
+
+@dataclass
+class TypecheckResult:
+    """Outcome of one ``--types`` run."""
+
+    available: bool
+    returncode: int = 0
+    output: str = ""
+    targets: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Success — including the explicit skip when mypy is absent."""
+        return not self.available or self.returncode == 0
+
+
+def mypy_available() -> bool:
+    """Whether the mypy toolchain is importable in this environment."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_typecheck(root: Path, targets: Optional[List[str]] = None) -> TypecheckResult:
+    """Run mypy over the strict targets (or report an explicit skip)."""
+    targets = list(targets) if targets is not None else list(TYPECHECK_TARGETS)
+    if not mypy_available():
+        return TypecheckResult(
+            available=False,
+            output=(
+                "mypy is not installed in this environment; type check skipped "
+                "(install mypy to enforce the setup.cfg policy: strict on "
+                "repro.store and repro.core.replanning)"
+            ),
+            targets=targets,
+        )
+    # setup.cfg pins the target packages (`packages = repro.store,
+    # repro.core.replanning`), so mypy needs no path arguments here.
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "setup.cfg"],
+        cwd=str(root),
+        capture_output=True,
+        text=True,
+    )
+    return TypecheckResult(
+        available=True,
+        returncode=completed.returncode,
+        output=(completed.stdout + completed.stderr).strip(),
+        targets=targets,
+    )

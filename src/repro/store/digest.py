@@ -20,15 +20,24 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Protocol
 
 __all__ = ["CODE_EPOCH", "canonical_digest", "instance_digest", "record_digest"]
+
+
+class _DigestableInstance(Protocol):
+    """Anything with the :meth:`~repro.core.instance.Instance.to_dict` contract."""
+
+    def to_dict(self) -> Dict[str, Any]: ...
 
 #: Epoch of the engine/policy semantics baked into every record digest.
 #: Bump whenever a change alters the metrics a cell produces (engine event
 #: ordering, policy behaviour, normalisation); stored cells from older epochs
-#: then stop matching and are transparently recomputed.
-CODE_EPOCH = "2005.3"
+#: then stop matching and are transparently recomputed.  The manifest of
+#: modules whose edits require a bump is declared in
+#: :data:`repro.lint.epoch.SEMANTIC_MANIFEST` and enforced, git-diff-aware,
+#: by the ``epoch-guard`` lint rule (see ROADMAP.md, "Project invariants").
+CODE_EPOCH = "2005.4"
 
 
 def canonical_digest(payload: Mapping[str, Any]) -> str:
@@ -41,7 +50,7 @@ def canonical_digest(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
-def instance_digest(instance) -> str:
+def instance_digest(instance: _DigestableInstance) -> str:
     """Digest of a concrete instance's full content (jobs, machines, costs).
 
     ``instance`` is anything with the :meth:`~repro.core.instance.Instance.to_dict`

@@ -272,7 +272,7 @@ class ExperimentStore:
     def __enter__(self) -> "ExperimentStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #
@@ -665,7 +665,7 @@ class BulkWriter:
     def __enter__(self) -> "BulkWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

@@ -1,0 +1,172 @@
+"""Policy-protocol conformance tests against deliberately broken specs.
+
+The rules accept an injected ``specs`` list, so most cases run against
+in-test :class:`PolicySpec` doubles; one test registers a hook-less
+scheduler in the live registry and asserts the full analyzer flags it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.heuristics import (
+    OnlineScheduler,
+    PolicyParam,
+    PolicySpec,
+    register_online_scheduler,
+    unregister_policy,
+)
+from repro.lint import Baseline, ProjectContext, run_lint
+from repro.lint.protocol import (
+    PolicyArrayAwareRule,
+    PolicyExplicitHooksRule,
+    PolicyParamSchemaRule,
+)
+from repro.lint.registry import rule_spec
+from repro.simulation import AllocationDecision
+
+pytestmark = pytest.mark.lint
+
+
+class _ImplicitHooks(OnlineScheduler):
+    """Broken on purpose: inherits the base rebind/compact defaults."""
+
+    name = "implicit-hooks-test"
+
+    def decide(self, state):
+        return AllocationDecision()
+
+
+class _ExplicitHooks(_ImplicitHooks):
+    """Conforming: both hooks defined (documented no-ops)."""
+
+    def rebind(self, instance):
+        pass
+
+    def compact(self, instance, mapping):
+        pass
+
+
+class _ArrayLiar(_ExplicitHooks):
+    """Broken on purpose: promises an array path it never defines."""
+
+    array_aware = True
+
+
+class _ArrayHonest(_ArrayLiar):
+    def decide_arrays(self, state):
+        return self.decide(state)
+
+
+class _Parametrised(_ExplicitHooks):
+    def __init__(self, period: float = 1.0) -> None:
+        self.period = period
+
+
+def _spec(cls, *, params=()):
+    return PolicySpec(
+        name=cls.name,
+        kind="online",
+        factory=lambda **kwargs: None,
+        scheduler_factory=cls,
+        params=tuple(params),
+    )
+
+
+def _run_rule(rule_cls, rule_name, specs):
+    rule = rule_cls(specs=specs)
+    rule.spec = rule_spec(rule_name)
+    project = ProjectContext(root=Path.cwd(), package_root=Path.cwd())
+    return list(rule.check_project(project))
+
+
+class TestExplicitHooksRule:
+    def test_flags_implicit_rebind_and_compact(self):
+        findings = _run_rule(
+            PolicyExplicitHooksRule,
+            "policy-explicit-hooks",
+            [("implicit", _spec(_ImplicitHooks))],
+        )
+        assert {("rebind" in f.message, "compact" in f.message) for f in findings} == {
+            (True, False),
+            (False, True),
+        }
+        assert all(f.context == "class _ImplicitHooks" for f in findings)
+        # Findings anchor to the class definition, not line 0.
+        assert all(f.line > 0 for f in findings)
+
+    def test_explicit_noops_conform(self):
+        findings = _run_rule(
+            PolicyExplicitHooksRule,
+            "policy-explicit-hooks",
+            [("explicit", _spec(_ExplicitHooks))],
+        )
+        assert findings == []
+
+
+class TestArrayAwareRule:
+    def test_flags_array_aware_without_decide_arrays(self):
+        findings = _run_rule(
+            PolicyArrayAwareRule, "policy-array-aware", [("liar", _spec(_ArrayLiar))]
+        )
+        assert len(findings) == 1
+        assert "decide_arrays" in findings[0].message
+
+    def test_defined_array_path_conforms(self):
+        findings = _run_rule(
+            PolicyArrayAwareRule,
+            "policy-array-aware",
+            [("honest", _spec(_ArrayHonest))],
+        )
+        assert findings == []
+
+    def test_flag_off_policies_are_ignored(self):
+        findings = _run_rule(
+            PolicyArrayAwareRule,
+            "policy-array-aware",
+            [("scalar", _spec(_ExplicitHooks))],
+        )
+        assert findings == []
+
+
+class TestParamSchemaRule:
+    def test_flags_param_not_accepted_by_constructor(self):
+        spec = _spec(_Parametrised, params=[PolicyParam("horizon", float, 2.0)])
+        findings = _run_rule(PolicyParamSchemaRule, "policy-param-schema", [("p", spec)])
+        assert len(findings) == 1
+        assert "'horizon'" in findings[0].message
+        assert "period" in findings[0].message
+
+    def test_matching_schema_conforms(self):
+        spec = _spec(_Parametrised, params=[PolicyParam("period", float, 1.0)])
+        assert (
+            _run_rule(PolicyParamSchemaRule, "policy-param-schema", [("p", spec)]) == []
+        )
+
+    def test_var_keyword_constructors_are_not_second_guessed(self):
+        class _Kwargs(_ExplicitHooks):
+            def __init__(self, **kwargs) -> None:
+                pass
+
+        spec = _spec(_Kwargs, params=[PolicyParam("anything", float, 0.0)])
+        assert (
+            _run_rule(PolicyParamSchemaRule, "policy-param-schema", [("k", spec)]) == []
+        )
+
+
+def test_live_registry_registration_is_flagged_by_full_run():
+    """End to end: register a hook-less scheduler, run the real analyzer."""
+    register_online_scheduler("implicit-hooks-test", _ImplicitHooks)
+    try:
+        report = run_lint(rules=["policy-explicit-hooks"], baseline=Baseline())
+        offenders = [
+            f
+            for f in report.new_findings
+            if f.rule == "policy-explicit-hooks" and "_ImplicitHooks" in f.message
+        ]
+        assert len(offenders) == 2  # rebind and compact
+        assert offenders[0].path.endswith("tests/lint/test_protocol.py")
+    finally:
+        unregister_policy("implicit-hooks-test")
