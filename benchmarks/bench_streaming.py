@@ -1,6 +1,6 @@
-"""Acceptance bench for the streaming arrival-stream runtime (PR 5 tentpole).
+"""Acceptance bench for the streaming arrival-stream runtime (PR 5 + PR 7).
 
-Protects the subsystem's three headline guarantees:
+Protects the subsystem's headline guarantees:
 
 1. **O(active) memory** — a 100k-arrival Poisson stream simulates with a
    window bounded by the queue's natural occupancy (twice the peak live
@@ -9,6 +9,13 @@ Protects the subsystem's three headline guarantees:
    byte-identical (completion series, counters, fingerprint).
 3. **Resumable sweeps** — a ρ-sweep re-run against its experiment store
    reaches a 100 % skip rate and reconstructs bit-identical reports.
+4. **Fast core** — the zero-copy view engine beats the PR 6 baseline
+   throughput (4795 arrivals/s recorded in ``BENCH_campaign.json``) by
+   ≥ 4× on the pure-numpy path (≥ 10× with the ``repro[compiled]``
+   numba kernels, asserted only when the extra is installed) while
+   staying byte-identical to the frozen rebuild-per-arrival reference —
+   for every registered policy, at both compaction timings, and through
+   ``replay_stream`` round trips.
 
 Plus the saturation contract: a super-critical stream is flagged and cut
 short instead of looping (or allocating) forever.
@@ -24,9 +31,15 @@ import time
 import pytest
 
 from repro.analysis import analyse_stream, run_stream_sweep
-from repro.heuristics import make_scheduler
+from repro.heuristics import available_schedulers, make_scheduler
 from repro.simulation import StreamingSimulator
-from repro.workload import StreamSpec, open_stream
+from repro.simulation import _compiled
+from repro.workload import StreamSpec, open_stream, replay_stream
+
+# The streaming row of BENCH_campaign.json as committed by PR 6: the
+# rebuild-per-arrival engine's throughput on this class of machine.  The
+# acceptance floors below are relative to this recorded number.
+PR6_BASELINE_ARRIVALS_PER_SECOND = 4795.39
 
 
 @pytest.mark.bench
@@ -63,6 +76,115 @@ def test_100k_arrival_stream_is_o_active_and_byte_identical():
         f"{first.compactions} compactions, mean stretch "
         f"{report.mean_stretch.mean:.3f} ± {report.mean_stretch.half_width:.3f}"
     )
+
+
+@pytest.mark.bench
+def test_view_engine_clears_speedup_floors_on_100k_stream():
+    """PR 7 acceptance: ≥ 4× over the PR 6 baseline pure-numpy, ≥ 10× compiled.
+
+    Both floors are against the throughput PR 6 recorded in
+    ``BENCH_campaign.json`` (the rebuild-per-arrival engine); the frozen
+    rebuild engine is also re-run here so the byte-identity of the fast
+    path is checked on the exact acceptance workload.
+    """
+    arrivals = 100_000
+    spec = StreamSpec(
+        label="accept", scenario="small-cluster", seed=2005
+    ).with_utilisation(0.7)
+
+    results = {}
+    for engine in ("rebuild", "view"):
+        simulator = StreamingSimulator(engine=engine, use_compiled=False)
+        results[engine] = simulator.run(
+            open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals
+        )
+    view = results["view"]
+    assert results["rebuild"].fingerprint() == view.fingerprint()
+
+    pure_ratio = view.arrivals_per_second / PR6_BASELINE_ARRIVALS_PER_SECOND
+    print(
+        f"[stream] view (pure numpy): {view.arrivals_per_second:.0f} arrivals/s "
+        f"= {pure_ratio:.2f}x the PR 6 baseline "
+        f"({PR6_BASELINE_ARRIVALS_PER_SECOND:.0f}/s); rebuild reference "
+        f"{results['rebuild'].arrivals_per_second:.0f}/s"
+    )
+    assert pure_ratio >= 4.0, (
+        f"pure-numpy view path only {pure_ratio:.2f}x over the PR 6 baseline"
+    )
+
+    if _compiled.COMPILED_AVAILABLE:
+        simulator = StreamingSimulator(use_compiled=True)
+        compiled = simulator.run(
+            open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals
+        )
+        assert compiled.fingerprint() == view.fingerprint()
+        compiled_ratio = (
+            compiled.arrivals_per_second / PR6_BASELINE_ARRIVALS_PER_SECOND
+        )
+        print(
+            f"[stream] view (compiled): {compiled.arrivals_per_second:.0f} "
+            f"arrivals/s = {compiled_ratio:.2f}x the PR 6 baseline"
+        )
+        assert compiled_ratio >= 10.0, (
+            f"compiled view path only {compiled_ratio:.2f}x over the PR 6 baseline"
+        )
+    else:
+        print("[stream] compiled kernels absent (repro[compiled] not installed); "
+              "the 10x floor is asserted only with the extra")
+
+
+@pytest.mark.bench
+def test_every_policy_is_byte_identical_across_engines_and_compactions():
+    """View vs rebuild: same fingerprints, series and replays, all policies.
+
+    Every registered policy runs through both engines at both compaction
+    timings (forced-early ``compact_min=1`` and effectively-never
+    ``compact_min=10**9``) plus the default; the LP-backed policies get a
+    shorter stream to keep the matrix under a minute.  Each view run's
+    completion series and queue traces must match the rebuild reference
+    byte for byte, and a ``replay_stream`` round trip of a finite workload
+    must agree across engines as well.
+    """
+    lp_backed = {"deadline-driven", "online-offline"}
+    spec = StreamSpec(label="id", scenario="small-cluster", seed=11).with_utilisation(0.8)
+
+    for policy in available_schedulers():
+        arrivals = 60 if policy in lp_backed else 400
+        for compact_min in (1, 64, 10**9):
+            runs = {}
+            for engine in ("rebuild", "view"):
+                simulator = StreamingSimulator(engine=engine, compact_min=compact_min)
+                runs[engine] = simulator.run(
+                    open_stream(spec), make_scheduler(policy), max_arrivals=arrivals
+                )
+            assert runs["view"].fingerprint() == runs["rebuild"].fingerprint(), (
+                f"{policy} diverges at compact_min={compact_min}"
+            )
+            assert (
+                runs["view"].queue_times.tobytes()
+                == runs["rebuild"].queue_times.tobytes()
+            )
+            assert (
+                runs["view"].queue_lengths.tobytes()
+                == runs["rebuild"].queue_lengths.tobytes()
+            )
+
+        # Replay bridge: a finite instance streamed through replay_stream
+        # must execute identically on both engines too.
+        from repro.workload import random_unrelated_instance
+
+        instance = random_unrelated_instance(30, 3, seed=5)
+        replays = {}
+        for engine in ("rebuild", "view"):
+            simulator = StreamingSimulator(engine=engine)
+            replays[engine] = simulator.run(
+                replay_stream(instance), make_scheduler(policy)
+            )
+        assert replays["view"].fingerprint() == replays["rebuild"].fingerprint(), (
+            f"{policy} diverges on the replay bridge"
+        )
+    print(f"[stream] {len(available_schedulers())} policies byte-identical "
+          f"across engines, compaction timings and replays")
 
 
 @pytest.mark.bench

@@ -13,9 +13,10 @@ compare against::
                                          [--store BENCH_store.sqlite]
 
 The record also carries a **streaming row** (arrivals/sec of the
-rolling-horizon simulator, peak active jobs, saturation flag), diffed
-against the previous invocation's row the way the campaign rows are
-diffed through the store, and a **lint row** (repro.lint finding counts and
+rolling-horizon simulator through both the legacy rebuild-per-arrival
+engine and the zero-copy view path, their in-process speed ratio, peak
+active jobs, saturation flag), diffed against the previous invocation's
+row the way the campaign rows are diffed through the store, and a **lint row** (repro.lint finding counts and
 analyzer wall-clock over src/repro): any non-baselined finding fails the
 bench run — the analyzer's zero-regressions assertion.
 
@@ -177,13 +178,18 @@ def bench_replanning(num_jobs: int = 16, num_machines: int = 3) -> dict:
     }
 
 
-def bench_stream(arrivals: int = 3000) -> dict:
+def bench_stream(arrivals: int = 3000, speed_floor: float = 2.5) -> dict:
     """Streaming-runtime throughput row: arrivals/sec, peak window, saturation.
 
-    One rolling-horizon simulation of a Poisson stream at 70% offered load;
-    the asserts protect the subsystem's core guarantees (O(active) window,
-    determinism, no spurious saturation) and the record feeds the
-    PR-over-PR trajectory in ``BENCH_campaign.json``.
+    One rolling-horizon simulation of a Poisson stream at 70% offered load,
+    run through **both** engines: the frozen legacy rebuild-per-arrival
+    reference and the zero-copy view path.  The asserts protect the
+    subsystem's core guarantees (byte-identical results across engines,
+    O(active) window, determinism, no spurious saturation, and the view
+    path's in-process speedup floor) and the record feeds the PR-over-PR
+    trajectory in ``BENCH_campaign.json`` — its ``arrivals_per_second`` is
+    the view path's, so the ``diff_vs_previous`` ratio against the last
+    committed row measures the speedup over the previous PR's engine.
     """
     from repro.analysis import analyse_stream  # noqa: E402  (late: path set in main)
     from repro.simulation import StreamingSimulator  # noqa: E402
@@ -192,21 +198,45 @@ def bench_stream(arrivals: int = 3000) -> dict:
     spec = StreamSpec(
         label="quick-bench", scenario="small-cluster", seed=2005
     ).with_utilisation(0.7)
-    simulator = StreamingSimulator()
-    result = simulator.run(open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals)
+    results = {}
+    for engine in ("rebuild", "view"):
+        simulator = StreamingSimulator(engine=engine)
+        results[engine] = simulator.run(
+            open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals
+        )
+    result = results["view"]
+    # The legacy engine is the byte-identity reference: same events, same
+    # decisions, same completion series.
+    assert results["rebuild"].fingerprint() == result.fingerprint()
     report = analyse_stream(result)
     assert result.completions == arrivals
     assert not report.saturated
     # O(active) memory: the window is bounded by the live occupancy, never
     # by the arrival count.
     assert result.peak_window <= 2 * result.peak_active + 16
-    twin = simulator.run(open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals)
+    twin = StreamingSimulator().run(
+        open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals
+    )
     assert twin.fingerprint() == result.fingerprint()
+    speed_ratio = result.arrivals_per_second / max(
+        results["rebuild"].arrivals_per_second, 1e-12
+    )
+    # Conservative in-process floor (the paper-scale 100k-arrival assertion
+    # lives in bench_streaming.py): the view path must stay comfortably
+    # ahead of the rebuild reference even on this tiny stream.  Callers at
+    # toy sizes (the tier-1 smoke) pass a lower floor — startup noise
+    # dominates short runs.
+    assert speed_ratio >= speed_floor, (
+        f"view path only {speed_ratio:.2f}x over rebuild (floor {speed_floor}x)"
+    )
     return {
         "arrivals": result.arrivals,
         "policy": "srpt",
         "rho": 0.7,
         "arrivals_per_second": result.arrivals_per_second,
+        "legacy_arrivals_per_second": results["rebuild"].arrivals_per_second,
+        "engine_speed_ratio": speed_ratio,
+        "engines_identical": True,
         "peak_active": result.peak_active,
         "peak_window": result.peak_window,
         "compactions": result.compactions,
@@ -458,6 +488,13 @@ def main(argv=None) -> int:
             "mean_stretch_delta": stream_row["mean_stretch"]
             - previous_stream.get("mean_stretch", stream_row["mean_stretch"]),
         }
+        # Asserted, not just reported: the streaming trajectory may wobble
+        # with machine load but a PR must never halve the throughput of the
+        # previously committed row.
+        assert stream_row["diff_vs_previous"]["speed_ratio"] >= 0.5, (
+            "streaming throughput regressed more than 2x vs the previous "
+            f"BENCH_campaign.json row: {stream_row['diff_vs_previous']}"
+        )
 
     with open(campaign_output, "w") as handle:
         json.dump(campaign_record, handle, indent=2, sort_keys=True)
@@ -505,7 +542,10 @@ def main(argv=None) -> int:
         )
     print(
         f"stream: {stream_row['arrivals_per_second']:.0f} arrivals/s over "
-        f"{stream_row['arrivals']} arrivals (peak active {stream_row['peak_active']}, "
+        f"{stream_row['arrivals']} arrivals "
+        f"(legacy rebuild {stream_row['legacy_arrivals_per_second']:.0f}/s, "
+        f"{stream_row['engine_speed_ratio']:.2f}x in-process; "
+        f"peak active {stream_row['peak_active']}, "
         f"window {stream_row['peak_window']}, "
         f"{'SATURATED' if stream_row['saturated'] else 'steady'}, "
         f"mean stretch {stream_row['mean_stretch']:.3f})"

@@ -17,9 +17,11 @@ This module supplies the standard simulation-output machinery:
 * **Saturation detection** — a super-critical stream has no steady state:
   its queue grows without bound and every estimate is meaningless.  The
   simulator flags hard saturation (queue cap exceeded); here the recorded
-  queue-length trajectory is additionally tested for sustained growth, so
-  near-critical runs that merely *trend* upward are flagged instead of
-  reported as converged.
+  queue-length trajectory is additionally put through MSER-5
+  initialisation-bias truncation, and a run whose optimal truncation point
+  falls in the second half of the trajectory (the rule's "no steady state
+  detected" verdict) is flagged instead of reported as converged — without
+  mistaking a long warmup transient for drift.
 
 :func:`analyse_stream` bundles the three into a :class:`SteadyStateReport`
 (the payload the streaming load-sweep campaigns persist into the experiment
@@ -190,29 +192,62 @@ def batch_means(
 def detect_saturation(
     queue_lengths: Sequence[float],
     *,
-    warmup_fraction: float = 0.25,
-    growth_factor: float = 2.0,
+    batch_size: int = 5,
     min_samples: int = 24,
+    occupancy_slack: float = 1.0,
 ) -> bool:
-    """Heuristic unbounded-growth test on a queue-length trajectory.
+    """MSER-5 unbounded-growth test on a queue-length trajectory.
 
-    Compares the mean occupancy of the last third of the post-warmup
-    trajectory against the first third: sustained growth beyond
-    ``growth_factor`` (plus one job of slack, so empty-ish systems never
-    trigger) flags the stream as saturated.  Deliberately conservative —
+    The marginal standard error rule (White 1997; the MSER-5 variant
+    averages the series into non-overlapping batches of five) picks the
+    truncation point ``d*`` minimising the marginal standard error of the
+    retained batch means,
+
+    ``z(d) = sum_{i>d} (Y_i - mean(Y_{d:}))^2 / (m - d)^2``.
+
+    A trajectory that is stationary after an initial transient puts ``d*``
+    in the first half of the series — the rule finds a steady-state window.
+    When ``d*`` lands in the **second half**, the rule could not: the series
+    is still drifting at its end, the MSER literature's "no steady state
+    detected" verdict, and exactly the signature of a near-critical queue
+    growing without bound.  That verdict — plus an absolute occupancy guard
+    (the final batch must sit ``occupancy_slack`` jobs above the early
+    occupancy, so empty-ish systems never trigger) and a peak guard (the
+    final batch must sit near the trajectory's running maximum: a busy
+    period that peaked mid-run and *recovered* is a burst, not growth) —
+    is the saturation flag.
+
+    Deliberately conservative, like the two-window mean test it replaces:
     the hard ``max_active`` cap in the simulator catches runaway queues;
-    this catches the near-critical runs that merely trend upward.
+    this catches the near-critical runs that merely trend upward without
+    misreporting a long warmup transient as drift.
     """
     values = _as_float_array(queue_lengths)
     if values.size < min_samples:
         return False
-    kept = values[int(values.size * warmup_fraction) :]
-    third = kept.size // 3
-    if third == 0:
+    num_batches = values.size // batch_size
+    if num_batches < 4:
         return False
-    head = float(kept[:third].mean())
-    tail = float(kept[-third:].mean())
-    return tail > growth_factor * head + 1.0
+    batches = values[: num_batches * batch_size].reshape(num_batches, batch_size).mean(axis=1)
+    # MSER statistic for every truncation point d with >= 2 retained
+    # batches, via reversed cumulative sums (O(m), deterministic).
+    counts = num_batches - np.arange(num_batches, dtype=np.int64)
+    tail_sums = np.cumsum(batches[::-1])[::-1]
+    tail_squares = np.cumsum((batches * batches)[::-1])[::-1]
+    tail_means = tail_sums / counts
+    sse = np.maximum(tail_squares - counts * tail_means * tail_means, 0.0)
+    statistic = (sse / (counts * counts))[: num_batches - 1]
+    truncation = int(np.argmin(statistic))
+    if truncation <= num_batches // 2:
+        return False
+    head = num_batches // 4 if num_batches >= 4 else 1
+    early_occupancy = float(batches[:head].mean())
+    final = float(batches[-1])
+    if final <= early_occupancy + occupancy_slack:
+        return False
+    # Sustained growth ends at (or near) its running maximum; a queue that
+    # peaked mid-run and came back down was a busy period, not saturation.
+    return final >= 0.8 * float(batches.max())
 
 
 @dataclass(frozen=True)
@@ -311,9 +346,7 @@ def analyse_stream(
     dropped = stretch.warmup_dropped
     tail_stretch = result.stretches[dropped:]
     tail_wflow = result.weighted_flows[dropped:]
-    saturated = result.saturated or detect_saturation(
-        result.queue_lengths, warmup_fraction=warmup_fraction
-    )
+    saturated = result.saturated or detect_saturation(result.queue_lengths)
     return SteadyStateReport(
         policy=result.policy,
         label=result.label,

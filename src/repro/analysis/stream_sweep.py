@@ -21,10 +21,12 @@ column).
 from __future__ import annotations
 
 import math
+import os
 import time as _time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..exceptions import WorkloadError
 from ..heuristics import make_scheduler
@@ -136,6 +138,8 @@ class StreamSweepStats:
         Cells flagged saturated.
     elapsed_seconds:
         Wall-clock time of the sweep.
+    max_workers:
+        Worker processes requested (``None``: in-process sequential).
     store_run_id:
         Run id registered in the store (``None`` without a store).
     """
@@ -146,6 +150,7 @@ class StreamSweepStats:
     arrivals: int = 0
     saturated_cells: int = 0
     elapsed_seconds: float = 0.0
+    max_workers: Optional[int] = None
     store_run_id: Optional[int] = None
 
     @property
@@ -169,6 +174,7 @@ class StreamSweepStats:
             "arrivals_per_second": self.arrivals_per_second,
             "saturated_cells": self.saturated_cells,
             "elapsed_seconds": self.elapsed_seconds,
+            "max_workers": self.max_workers,
             "store_run_id": self.store_run_id,
         }
 
@@ -228,6 +234,36 @@ def _cell_workload_key(
     )
 
 
+def _run_stream_cell(
+    cell_spec: StreamSpec,
+    variant_label: str,
+    max_arrivals: int,
+    warmup_fraction: float,
+    num_batches: int,
+    confidence: float,
+    max_active: int,
+) -> Tuple[str, SteadyStateReport, int]:
+    """Measure one (stream, policy) cell: the process-pool work unit.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
+    pickle it.  A cell's value depends only on the spec (which carries the
+    seed) and the measurement protocol — never on which worker runs it or
+    in what order — so a parallel sweep's cells are digest- and
+    content-identical to the sequential sweep's (wall-clock throughput
+    fields aside).
+    """
+    scheduler = make_scheduler(variant_label)
+    simulator = StreamingSimulator(SimulationKernel(), max_active=max_active)
+    sim = simulator.run(open_stream(cell_spec), scheduler, max_arrivals=max_arrivals)
+    report = analyse_stream(
+        sim,
+        warmup_fraction=warmup_fraction,
+        num_batches=num_batches,
+        confidence=confidence,
+    )
+    return scheduler.name, report, sim.arrivals
+
+
 def run_stream_sweep(
     spec: StreamSpec,
     policies: Sequence[str],
@@ -238,6 +274,7 @@ def run_stream_sweep(
     num_batches: int = 16,
     confidence: float = 0.95,
     max_active: int = 10_000,
+    max_workers: Optional[int] = None,
     stats: Optional[StreamSweepStats] = None,
     store: Optional[Union[str, Path, "ExperimentStore"]] = None,
     resume: bool = False,
@@ -263,6 +300,13 @@ def run_stream_sweep(
         different protocol is a different cell).
     max_active:
         Saturation cap forwarded to the simulator.
+    max_workers:
+        ``None`` (default) computes every cell in-process; an integer fans
+        the not-resumed cells out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor` (``0`` means "one
+        worker per CPU", the campaign dispatcher's convention).  Store
+        writes stay in the parent, in the sequential sweep's cell order, so
+        the persisted cells are digest-identical either way.
     stats:
         Optional :class:`StreamSweepStats` filled in while sweeping.
     store, resume, run_label:
@@ -279,6 +323,7 @@ def run_stream_sweep(
         raise WorkloadError("resume=True needs a store to resume from")
 
     own_stats = stats if stats is not None else StreamSweepStats()
+    own_stats.max_workers = max_workers
     started = _time.perf_counter()
 
     # Deferred imports: repro.store depends on repro.analysis.campaign.
@@ -337,6 +382,36 @@ def run_stream_sweep(
     kernel = SimulationKernel()
     simulator = StreamingSimulator(kernel, max_active=max_active)
     result = StreamSweepResult(stats=own_stats)
+
+    # Parallel fan-out: submit every not-resumed cell up front; the main
+    # loop below then consumes futures instead of simulating, while the
+    # resume bookkeeping and the store writes run in the parent in the
+    # sequential sweep's cell order (digest-identical persistence).
+    pool: Optional[ProcessPoolExecutor] = None
+    futures: Dict[Tuple[int, str], object] = {}
+    if max_workers is not None:
+        to_compute: List[Tuple[int, str, StreamSpec]] = []
+        for index, (rho, cell_spec) in enumerate(cells):
+            for variant in variants:
+                stored = found.get(digests.get((index, variant.label), ""))
+                if stored is not None and StreamCellRecord.from_stored(stored) is not None:
+                    continue
+                to_compute.append((index, variant.label, cell_spec))
+        if to_compute:
+            workers = max_workers if max_workers > 0 else (os.cpu_count() or 1)
+            pool = ProcessPoolExecutor(max_workers=max(1, min(workers, len(to_compute))))
+            for index, variant_label, cell_spec in to_compute:
+                futures[(index, variant_label)] = pool.submit(
+                    _run_stream_cell,
+                    cell_spec,
+                    variant_label,
+                    max_arrivals,
+                    warmup_fraction,
+                    num_batches,
+                    confidence,
+                    max_active,
+                )
+
     completed = False
     try:
         for index, (rho, cell_spec) in enumerate(cells):
@@ -368,21 +443,26 @@ def run_stream_sweep(
                         own_stats.resumed_cells += 1
                         resumed = True
                 if cell is None:
-                    if stream is None:
-                        stream = open_stream(cell_spec)
-                    scheduler = make_scheduler(variant.label)
-                    sim = simulator.run(stream, scheduler, max_arrivals=max_arrivals)
-                    report = analyse_stream(
-                        sim,
-                        warmup_fraction=warmup_fraction,
-                        num_batches=num_batches,
-                        confidence=confidence,
-                    )
+                    future = futures.pop((index, variant.label), None)
+                    if future is not None:
+                        policy_name, report, simulated = future.result()
+                    else:
+                        if stream is None:
+                            stream = open_stream(cell_spec)
+                        scheduler = make_scheduler(variant.label)
+                        sim = simulator.run(stream, scheduler, max_arrivals=max_arrivals)
+                        report = analyse_stream(
+                            sim,
+                            warmup_fraction=warmup_fraction,
+                            num_batches=num_batches,
+                            confidence=confidence,
+                        )
+                        policy_name, simulated = scheduler.name, sim.arrivals
                     cell = StreamCellRecord(
-                        workload=label, policy=scheduler.name, rho=float(rho), report=report
+                        workload=label, policy=policy_name, rho=float(rho), report=report
                     )
                     own_stats.computed_cells += 1
-                    own_stats.arrivals += sim.arrivals
+                    own_stats.arrivals += simulated
                 own_stats.cells += 1
                 if cell.report.saturated:
                     own_stats.saturated_cells += 1
@@ -397,6 +477,8 @@ def run_stream_sweep(
                 result.records.append(cell)
         completed = True
     finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
         own_stats.elapsed_seconds = _time.perf_counter() - started
         if writer is not None:
             writer.close()

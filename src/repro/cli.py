@@ -266,6 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="saturation cap on simultaneously live jobs (default 10000)",
     )
     stream.add_argument(
+        "--max-workers",
+        type=int,
+        default=None,
+        help="parallel worker processes for the cells (0 = one per CPU; "
+        "default: in-process); store cells are digest-identical either way",
+    )
+    stream.add_argument(
         "--store",
         metavar="PATH",
         help="persist stream cells into this experiment store (SQLite)",
@@ -676,6 +683,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         warmup_fraction=args.warmup,
         num_batches=args.batches,
         max_active=args.max_active,
+        max_workers=args.max_workers,
         store=args.store,
         resume=args.resume,
         run_label=args.run_label,

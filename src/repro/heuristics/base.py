@@ -111,7 +111,8 @@ def exclusive_allocation(assignments: Dict[int, int]) -> AllocationDecision:
         Mapping ``machine_index -> job_index``.
     """
     return AllocationDecision(
-        shares={machine: [(job, 1.0)] for machine, job in assignments.items()}
+        shares={machine: [(job, 1.0)] for machine, job in assignments.items()},
+        all_exclusive=True,
     )
 
 

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..core.instance import Instance
 from ..simulation.state import AllocationDecision, SimulationState
-from .base import OnlineScheduler, exclusive_allocation
+from .base import OnlineScheduler
 
 __all__ = ["SRPTScheduler", "GreedyWeightedFlowScheduler"]
 
@@ -42,23 +42,23 @@ class _PriorityPreemptiveScheduler(OnlineScheduler):
         self._min_costs: Optional[np.ndarray] = None
         self._weights: Optional[np.ndarray] = None
         self._releases: Optional[np.ndarray] = None
+        self._cost_rows: Optional[List[List[float]]] = None
+        self._job_lists: Optional[tuple] = None
 
     def reset(self, instance: Instance) -> None:
         self.rebind(instance)
 
     def rebind(self, instance: Instance) -> None:
         # Static per-instance vectors consumed by the array ranking path;
-        # refreshed whenever the streaming window grows or compacts.
-        n = instance.num_jobs
-        self._min_costs = np.fromiter(
-            (instance.min_cost(j) for j in range(n)), dtype=float, count=n
-        )
-        self._weights = np.fromiter(
-            (job.weight for job in instance.jobs), dtype=float, count=n
-        )
-        self._releases = np.fromiter(
-            (job.release_date for job in instance.jobs), dtype=float, count=n
-        )
+        # refreshed whenever the streaming window grows or compacts.  The
+        # accessor is O(1) on the streaming InstanceView (zero-copy slices
+        # of the window metadata) and cached on frozen Instances, so this
+        # hook is constant-time in both runtimes.  The cost rows alias the
+        # window's Python-float rows (mutated in place, so the cached
+        # reference stays current); ``None`` on plain instances.
+        self._min_costs, self._weights, self._releases = instance.job_vectors()
+        self._cost_rows = getattr(instance, "costs_rows", None)
+        self._job_lists = getattr(instance, "job_lists", None)
 
     def compact(self, instance: Instance, mapping: Dict[int, int]) -> None:
         # No index-keyed state beyond the per-instance vectors: re-derive them.
@@ -70,25 +70,48 @@ class _PriorityPreemptiveScheduler(OnlineScheduler):
     def _ranking_keys(self, state: SimulationState, active: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
+    def _rank_scalar(self, state: SimulationState, active: List[int]) -> List[int]:
+        """Scalar twin of :meth:`_ranking_keys` + stable argsort.
+
+        Runs over the streaming window's Python-float metadata lists with
+        ``sorted`` — the keys are the same IEEE-754 doubles the vector path
+        computes and both sorts are stable over ascending active indices,
+        so the ranking (and the schedule) is identical.
+        """
+        raise NotImplementedError
+
     def _assign(self, state: SimulationState, ranked) -> AllocationDecision:
+        # Ascending machine scan with a strict "<": each job takes the
+        # lowest-index free machine achieving its minimum cost.  The costs
+        # are read per machine row — Python floats on the streaming view
+        # (``costs_rows``), row views of the ndarray elsewhere — skipping
+        # both the scalar ``instance.cost`` accessor and per-element
+        # float64 boxing.
         instance = state.instance
-        free_machines = set(range(instance.num_machines))
-        assignments: Dict[int, int] = {}
+        rows = self._cost_rows
+        if rows is None:
+            rows = getattr(instance, "costs_rows", None)
+            if rows is None:
+                rows = list(instance.costs)
+        free_machines = list(range(instance.num_machines))
+        # Built in assignment order — the same dict exclusive_allocation
+        # would produce, without the intermediate assignments mapping.
+        shares: Dict[int, List] = {}
         for job_index in ranked:
             if not free_machines:
                 break
-            best_machine = None
+            best_machine = -1
             best_cost = math.inf
             for machine_index in free_machines:
-                cost = instance.cost(machine_index, job_index)
+                cost = rows[machine_index][job_index]
                 if cost < best_cost:
                     best_cost = cost
                     best_machine = machine_index
-            if best_machine is None or math.isinf(best_cost):
+            if best_machine < 0 or math.isinf(best_cost):
                 continue
-            assignments[best_machine] = job_index
-            free_machines.discard(best_machine)
-        return exclusive_allocation(assignments)
+            shares[best_machine] = [(job_index, 1.0)]
+            free_machines.remove(best_machine)
+        return AllocationDecision(shares=shares, all_exclusive=True)
 
     def decide(self, state: SimulationState) -> AllocationDecision:
         return self._assign(state, self._ranked_jobs(state))
@@ -102,12 +125,15 @@ class _PriorityPreemptiveScheduler(OnlineScheduler):
         """
         if self._min_costs is None or state.remaining_vector is None:
             return self.decide(state)
-        active = np.asarray(state.active_jobs(), dtype=np.intp)
-        if active.size == 0:
+        active_list = state.active if state.active is not None else state.active_jobs()
+        if not active_list:
             return AllocationDecision()
+        if self._job_lists is not None:
+            return self._assign(state, self._rank_scalar(state, active_list))
+        active = np.asarray(active_list, dtype=np.intp)
         keys = self._ranking_keys(state, active)
-        ranked = active[np.argsort(keys, kind="stable")]
-        return self._assign(state, (int(j) for j in ranked))
+        ranked = active[keys.argsort(kind="stable")]
+        return self._assign(state, ranked.tolist())
 
 
 class SRPTScheduler(_PriorityPreemptiveScheduler):
@@ -120,6 +146,14 @@ class SRPTScheduler(_PriorityPreemptiveScheduler):
 
     def _ranking_keys(self, state: SimulationState, active: np.ndarray) -> np.ndarray:
         return state.remaining_vector[active] * self._min_costs[active]
+
+    def _rank_scalar(self, state: SimulationState, active: List[int]) -> List[int]:
+        mins = self._job_lists[0]
+        rem = state.remaining_list
+        if rem is None:
+            remaining = state.remaining_vector.item
+            return sorted(active, key=lambda j: remaining(j) * mins[j])
+        return sorted(active, key=lambda j: rem[j] * mins[j])
 
 
 class GreedyWeightedFlowScheduler(_PriorityPreemptiveScheduler):
@@ -149,3 +183,19 @@ class GreedyWeightedFlowScheduler(_PriorityPreemptiveScheduler):
             state.remaining_vector[active] * self._min_costs[active]
         )
         return (-self._weights[active]) * projected
+
+    def _rank_scalar(self, state: SimulationState, active: List[int]) -> List[int]:
+        mins, weights, releases = self._job_lists
+        time = state.time
+        rem = state.remaining_list
+        if rem is None:
+            remaining = state.remaining_vector.item
+            return sorted(
+                active,
+                key=lambda j: (-weights[j])
+                * ((time - releases[j]) + remaining(j) * mins[j]),
+            )
+        return sorted(
+            active,
+            key=lambda j: (-weights[j]) * ((time - releases[j]) + rem[j] * mins[j]),
+        )

@@ -16,6 +16,9 @@ Public API
     Executed schedule, events, preemption counts and metrics.
 :class:`SimulationState`, :class:`AllocationDecision`
     The engine/policy interface (see :mod:`repro.heuristics.base`).
+:class:`StreamingSimulator`, :class:`StreamResult`, :class:`InstanceView`
+    The rolling-horizon streaming runtime and the zero-copy instance facade
+    its policies see (see :mod:`repro.simulation.window`).
 """
 
 from .engine import simulate
@@ -23,16 +26,19 @@ from .kernel import SimulationKernel, simulate_many
 from .result import EventRecord, SimulationResult
 from .state import AllocationDecision, JobProgress, MachineShare, SimulationState
 from .stream import StreamingSimulator, StreamResult
+from .window import InstanceView, StreamWindow
 
 __all__ = [
     "AllocationDecision",
     "EventRecord",
+    "InstanceView",
     "JobProgress",
     "MachineShare",
     "SimulationKernel",
     "SimulationResult",
     "SimulationState",
     "StreamResult",
+    "StreamWindow",
     "StreamingSimulator",
     "simulate",
     "simulate_many",

@@ -1,0 +1,127 @@
+"""Optional compiled inner kernels for the streaming event core (numba).
+
+Gated exactly like the mypy runner in :mod:`repro.lint.typecheck`: numba is
+**not** a dependency of the package — it is the ``repro[compiled]`` extra in
+``setup.cfg`` — and when it is absent this module degrades explicitly:
+:data:`COMPILED_AVAILABLE` is ``False``, the jitted entry points are ``None``
+and :class:`~repro.simulation.stream.StreamingSimulator` falls back to the
+pure-numpy path (requesting ``use_compiled=True`` then raises, it never
+silently downgrades).  Tests that need the compiled path ``skipif`` on
+:data:`COMPILED_AVAILABLE`, mirroring how the typecheck tier skips when mypy
+is missing.
+
+The kernels are **op-for-op twins** of the inline scalar code in the view
+loop: the same IEEE-754 operations on the same float64 slots in the same
+order, so jit compilation cannot change a single output bit — the same
+contract :mod:`benchmarks._seed_engine` pins for the batch kernel.  The
+un-jitted Python originals are exported as ``python_advance_pairs`` /
+``python_apply_progress`` so tier-1 can assert twin-ness byte-for-byte even
+on hosts without numba.
+
+Determinism note: nothing here reads clocks or draws randomness — the gated
+import is the only environment-dependent branch, and it only selects between
+two byte-identical implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "COMPILED_AVAILABLE",
+    "advance_pairs",
+    "apply_progress",
+    "python_advance_pairs",
+    "python_apply_progress",
+]
+
+try:  # pragma: no cover - exercised only when the extra is installed
+    from numba import njit  # type: ignore
+
+    COMPILED_AVAILABLE = True
+except Exception:  # pragma: no cover - ImportError and broken installs alike
+    njit = None  # type: ignore
+    COMPILED_AVAILABLE = False
+
+
+def _advance_pairs(
+    prev: np.ndarray,
+    pair_machines: np.ndarray,
+    pair_jobs: np.ndarray,
+    pair_shares: np.ndarray,
+    costs: np.ndarray,
+    remaining: np.ndarray,
+    rate: np.ndarray,
+    time: float,
+    horizon: float,
+) -> Tuple[float, float]:
+    """Clear last window's rates, apply this decision's shares, bound the horizon.
+
+    ``prev`` holds the job slots whose rate entries the previous window set
+    (everything else is already zero); the pair arrays list this decision's
+    ``(machine, job, share)`` triples in ``decision.shares`` iteration order.
+    Returns ``(horizon, total_share)`` with ``horizon`` lowered to the
+    earliest projected completion ``time + remaining[j] / rate[j]``.
+    """
+    for k in range(prev.shape[0]):
+        rate[prev[k]] = 0.0
+    total_share = 0.0
+    for k in range(pair_jobs.shape[0]):
+        job = pair_jobs[k]
+        share = pair_shares[k]
+        rate[job] += share / costs[pair_machines[k], job]
+        total_share += share
+    for k in range(pair_jobs.shape[0]):
+        job = pair_jobs[k]
+        job_rate = rate[job]
+        if job_rate > 0.0:
+            candidate = time + remaining[job] / job_rate
+            if candidate < horizon:
+                horizon = candidate
+    return horizon, total_share
+
+
+def _apply_progress(
+    pair_machines: np.ndarray,
+    pair_jobs: np.ndarray,
+    pair_shares: np.ndarray,
+    pair_exclusive: np.ndarray,
+    costs: np.ndarray,
+    remaining: np.ndarray,
+    window_span: float,
+) -> None:
+    """Advance ``remaining`` over one window, pair by pair in decision order.
+
+    Exclusive pairs progress by ``window_span / cost`` (the share is within
+    dust of 1 and the legacy loop drops it); shared pairs progress by
+    ``share * window_span / cost``.  Both clamp at zero — the identical
+    sequence of float64 operations the inline scalar path performs.
+    """
+    for k in range(pair_jobs.shape[0]):
+        job = pair_jobs[k]
+        if pair_exclusive[k]:
+            progressed = window_span / costs[pair_machines[k], job]
+        else:
+            progressed = pair_shares[k] * window_span / costs[pair_machines[k], job]
+            if progressed <= 0.0:
+                continue
+        value = remaining[job] - progressed
+        if value < 0.0:
+            value = 0.0
+        remaining[job] = value
+
+
+#: Un-jitted originals, importable for twin-identity tests on any host.
+python_advance_pairs = _advance_pairs
+python_apply_progress = _apply_progress
+
+advance_pairs: Optional[object]
+apply_progress: Optional[object]
+if COMPILED_AVAILABLE:  # pragma: no cover - exercised only with the extra
+    advance_pairs = njit(cache=True, fastmath=False)(_advance_pairs)
+    apply_progress = njit(cache=True, fastmath=False)(_apply_progress)
+else:
+    advance_pairs = None
+    apply_progress = None

@@ -93,6 +93,12 @@ class SimulationState:
         entirely, so the mirrors must not be read — the scalar accessors
         below already prefer the vector when it is bound.  States built by
         hand leave both ``None`` and fall back to the mirrors.
+    remaining_list:
+        Python-float twin of ``remaining_vector``, bound only by the
+        streaming fast core's pure path (which maintains both in lockstep —
+        the list holds the very doubles the vector stores).  Policies may
+        read it in scalar ranking loops to skip per-element float64 boxing;
+        everywhere else it is ``None``.
     """
 
     instance: Instance
@@ -102,6 +108,7 @@ class SimulationState:
     active: Optional[List[int]] = None
     remaining_vector: Optional[np.ndarray] = None
     rate_vector: Optional[np.ndarray] = None
+    remaining_list: Optional[List[float]] = None
 
     # ------------------------------------------------------------------ #
     def active_jobs(self) -> List[int]:
@@ -151,10 +158,18 @@ class AllocationDecision:
         Optional absolute time at which the policy wants to be invoked again
         even if no arrival/completion happens before (used by plan-following
         policies).
+    all_exclusive:
+        Structural guarantee set by
+        :func:`~repro.heuristics.base.exclusive_allocation`: every entry of
+        ``shares`` is a single full ``(job, 1.0)`` share.  The streaming
+        fast core specialises its advance/progress arithmetic on it; a
+        hand-built decision may leave it ``False`` even when the shape
+        happens to match (only the generic path is taken then).
     """
 
     shares: Dict[int, MachineShare] = field(default_factory=dict)
     wake_up_at: Optional[float] = None
+    all_exclusive: bool = False
 
     def validate(self, state: SimulationState, tol: float = 1e-9) -> None:
         """Check the decision against the current state; raise :class:`SimulationError`."""

@@ -9,24 +9,37 @@ simulator maintains only the **active window** — jobs that have arrived and
 are not yet compacted out — so simulating a 100k-arrival stream costs
 O(peak active jobs) state, not O(total arrivals).
 
-How the window works
---------------------
-* Arrivals are pulled lazily from the stream and appended to the window;
-  existing window indices never move on arrival, so policies keep
-  index-keyed state (plans, queue commitments) across events exactly as in
-  the batch kernel.  Policies are notified of window growth through the
-  :meth:`~repro.heuristics.base.OnlineScheduler.rebind` hook.
-* Completed jobs stay in the window (as inert, zero-remaining slots) until
-  the dead slots outnumber the live ones; the window is then *compacted*:
-  surviving jobs shift down, and the policy receives the old→new index
-  mapping through :meth:`~repro.heuristics.base.OnlineScheduler.compact`.
-  Policies that implement an exact remap behave identically no matter when
-  compaction fires (the streaming tests assert this); the default hook
-  resets the policy, which is always safe.
-* The numpy remaining/rate vectors come from the pooled
-  :class:`SimulationKernel` buffers (:meth:`SimulationKernel.bind_buffers`),
-  so batch and streaming runs share one allocation pool, and array-aware
-  policies are dispatched to ``decide_arrays`` exactly as in the kernel.
+The zero-copy fast core
+-----------------------
+The default engine never materialises an :class:`~repro.core.instance.Instance`:
+
+* The window lives in a :class:`~repro.simulation.window.StreamWindow` over
+  the pooled :meth:`SimulationKernel.bind_buffers` vectors; policies see it
+  through a zero-copy :class:`~repro.simulation.window.InstanceView`.
+  Arrivals append into preallocated slots (no construction, no
+  revalidation) and compaction remaps indices in place — the
+  ``rebind``/``compact`` hooks fire exactly as before.
+* Events are processed in batches between decision points: all due arrivals
+  of an epoch are admitted in one block write, one pooled
+  :class:`~repro.simulation.state.SimulationState` is updated in place (no
+  per-event state objects), and the per-decision rate/horizon/progress
+  arithmetic touches only the slots the decision allocated instead of
+  rescanning the window.
+* The inner advance arithmetic can run under an **optional compiled
+  kernel** (numba; the ``repro[compiled]`` extra in ``setup.cfg``).  The
+  gate mirrors the mypy runner in :mod:`repro.lint.typecheck`: absent numba
+  means an explicit fallback to the pure-numpy path, and
+  ``use_compiled=True`` raises instead of silently downgrading.  The
+  compiled kernels are op-for-op twins of the inline scalar code (see
+  :mod:`repro.simulation._compiled`).
+
+``StreamingSimulator(engine="rebuild")`` selects the frozen legacy loop in
+:mod:`repro.simulation._stream_legacy` — the rebuild-per-arrival reference
+the fast core is asserted byte-identical against, the same way
+``benchmarks/_seed_engine.py`` anchors the batch kernel.  Identity covers
+the full :meth:`StreamResult.fingerprint`: completion series, counters
+(decisions included — batching removes overhead *around* decision points,
+it never skips one), end time and busy machine-seconds.
 
 Saturation
 ----------
@@ -45,18 +58,17 @@ from __future__ import annotations
 
 import math
 import time as _time
-from bisect import insort
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
-from ..core.instance import Instance
-from ..core.job import Job
 from ..exceptions import SimulationError
 from ..workload.streams import ArrivalEvent, WorkloadStream
+from . import _compiled
 from .kernel import SimulationKernel, _COMPLETION_DUST, _EXCLUSIVE_SHARE, _MIN_STEP
 from .state import AllocationDecision, SimulationState
+from .window import StreamWindow
 
 __all__ = ["StreamResult", "StreamingSimulator"]
 
@@ -65,6 +77,9 @@ _COMPACT_MIN = 8
 
 #: Queue-trajectory samples are decimated beyond this many points.
 _TRAJECTORY_CAP = 4096
+
+#: Window engines: the zero-copy fast core and the frozen legacy reference.
+_ENGINES = ("view", "rebuild")
 
 
 @dataclass
@@ -189,101 +204,6 @@ class StreamResult:
         return digest.hexdigest()
 
 
-class _Window:
-    """The active window: slots, pooled vectors and the policy-facing instance."""
-
-    def __init__(self, kernel: SimulationKernel, machines: Tuple) -> None:
-        self.kernel = kernel
-        self.machines = machines
-        self.num_machines = len(machines)
-        self.capacity = 0
-        self.jobs: List[Job] = []  # window slot -> Job
-        self.global_ids: List[int] = []  # window slot -> arrival index
-        self.min_costs: List[float] = []  # window slot -> fastest processing time
-        self.live: List[bool] = []
-        self.costs = np.empty((self.num_machines, 0))
-        self.remaining: Optional[np.ndarray] = None
-        self.rate: Optional[np.ndarray] = None
-        self.mirrors: List = []
-        self.instance: Optional[Instance] = None
-
-    # ------------------------------------------------------------------ #
-    def __len__(self) -> int:
-        return len(self.jobs)
-
-    def _ensure_capacity(self, needed: int) -> None:
-        if needed <= self.capacity:
-            return
-        new_capacity = max(64, 2 * self.capacity, needed)
-        width = len(self.jobs)
-        saved_remaining = self.remaining[:width].copy() if self.remaining is not None else None
-        remaining, rate, mirrors = self.kernel.bind_buffers(new_capacity)
-        grown = np.empty((self.num_machines, new_capacity))
-        grown[:, :width] = self.costs[:, :width]
-        self.costs = grown
-        if saved_remaining is not None:
-            remaining[:width] = saved_remaining
-        self.remaining = remaining
-        self.rate = rate
-        self.mirrors = mirrors
-        # bind_buffers reset the mirrors; restore the live window's state.
-        for slot in range(width):
-            mirror = mirrors[slot]
-            mirror.arrived = True
-            mirror.remaining_fraction = float(remaining[slot])
-            mirror.completion_time = None if self.live[slot] else 0.0
-        self.capacity = new_capacity
-
-    def admit(self, event: ArrivalEvent) -> int:
-        """Append one arrival; returns its window index."""
-        slot = len(self.jobs)
-        self._ensure_capacity(slot + 1)
-        self.jobs.append(event.job)
-        self.global_ids.append(event.index)
-        self.min_costs.append(event.min_cost)
-        self.live.append(True)
-        self.costs[:, slot] = event.costs
-        self.remaining[slot] = 1.0
-        self.rate[slot] = 0.0
-        mirror = self.mirrors[slot]
-        mirror.arrived = True
-        mirror.remaining_fraction = 1.0
-        mirror.completion_time = None
-        return slot
-
-    def rebuild_instance(self) -> Instance:
-        """Materialise the policy-facing instance of the current window."""
-        width = len(self.jobs)
-        self.instance = Instance(
-            jobs=tuple(self.jobs),
-            machines=self.machines,
-            costs=self.costs[:, :width],
-        )
-        return self.instance
-
-    def dead_count(self) -> int:
-        return sum(1 for alive in self.live if not alive)
-
-    def compact(self) -> Dict[int, int]:
-        """Drop dead slots; returns the old→new mapping of survivors."""
-        survivors = [slot for slot, alive in enumerate(self.live) if alive]
-        mapping = {old: new for new, old in enumerate(survivors)}
-        width = len(survivors)
-        self.costs[:, :width] = self.costs[:, survivors]
-        self.remaining[:width] = self.remaining[survivors]
-        self.rate[:width] = 0.0
-        self.jobs = [self.jobs[slot] for slot in survivors]
-        self.global_ids = [self.global_ids[slot] for slot in survivors]
-        self.min_costs = [self.min_costs[slot] for slot in survivors]
-        self.live = [True] * width
-        for new in range(width):
-            mirror = self.mirrors[new]
-            mirror.arrived = True
-            mirror.remaining_fraction = float(self.remaining[new])
-            mirror.completion_time = None
-        return mapping
-
-
 class StreamingSimulator:
     """Rolling-horizon driver of on-line policies over workload streams.
 
@@ -305,6 +225,18 @@ class StreamingSimulator:
         compacts when dead slots reach ``max(compact_min, live slots)``, so
         it never exceeds ``2 × peak live + compact_min``).  The default is
         right for production; tests lower it to exercise compaction timing.
+    engine:
+        ``"view"`` (default) runs the zero-copy fast core; ``"rebuild"``
+        runs the frozen legacy rebuild-per-arrival loop
+        (:mod:`repro.simulation._stream_legacy`), the byte-identity
+        reference used by the A/B benches and tests.
+    use_compiled:
+        ``None`` (default) uses the numba-compiled inner kernels when the
+        ``repro[compiled]`` extra is installed and falls back to pure numpy
+        otherwise; ``True`` requires them (raises
+        :class:`~repro.exceptions.SimulationError` when numba is absent —
+        an explicit skip, mirroring the gated mypy runner); ``False`` never
+        uses them.
     """
 
     def __init__(
@@ -314,15 +246,32 @@ class StreamingSimulator:
         max_active: int = 10_000,
         validate_decisions: bool = False,
         compact_min: int = _COMPACT_MIN,
+        engine: str = "view",
+        use_compiled: Optional[bool] = None,
     ) -> None:
         if max_active < 1:
             raise SimulationError("max_active must be at least 1")
         if compact_min < 1:
             raise SimulationError("compact_min must be at least 1")
+        if engine not in _ENGINES:
+            raise SimulationError(
+                f"unknown streaming engine {engine!r}; available: {', '.join(_ENGINES)}"
+            )
+        if use_compiled and not _compiled.COMPILED_AVAILABLE:
+            raise SimulationError(
+                "use_compiled=True but numba is not installed; "
+                "install the repro[compiled] extra or leave use_compiled=None "
+                "to fall back to the pure-numpy path"
+            )
         self.kernel = kernel if kernel is not None else SimulationKernel()
         self.max_active = max_active
         self.validate_decisions = validate_decisions
         self.compact_min = compact_min
+        self.engine = engine
+        self.use_compiled = use_compiled
+        enable_compiled = use_compiled is not False and _compiled.COMPILED_AVAILABLE
+        self._advance = _compiled.advance_pairs if enable_compiled else None
+        self._progress = _compiled.apply_progress if enable_compiled else None
 
     # ------------------------------------------------------------------ #
     def run(
@@ -350,6 +299,12 @@ class StreamingSimulator:
             Record the per-completion metric series (flows, stretches);
             disable to shed even that O(completions) output buffer.
         """
+        if self.engine == "rebuild":
+            from ._stream_legacy import run_rebuild
+
+            return run_rebuild(
+                self, stream, scheduler, max_arrivals=max_arrivals, record_jobs=record_jobs
+            )
         if max_arrivals is None and stream.length is None:
             raise SimulationError(
                 "an open-ended stream needs max_arrivals (or a finite trace stream)"
@@ -362,7 +317,8 @@ class StreamingSimulator:
         )
         started = _time.perf_counter()
 
-        window = _Window(self.kernel, stream.machines)
+        window = StreamWindow(self.kernel, stream.machines)
+        view = window.view
         arrivals: Iterator[ArrivalEvent] = stream.jobs()
         pending: Optional[ArrivalEvent] = next(arrivals, None)
         if pending is None:
@@ -372,12 +328,15 @@ class StreamingSimulator:
 
         array_mode = bool(getattr(scheduler, "array_aware", False))
         decide_fn = scheduler.decide_arrays if array_mode else scheduler.decide
+        advance = self._advance
+        progress_fn = self._progress
+        pure = advance is None
 
         active: List[int] = []  # sorted live window indices
         running: Dict[int, int] = {}  # machine -> exclusively running window slot
         time = pending.job.release_date
         result.start_time = time
-        result.end_time = time
+        end_time = time
 
         flows: List[float] = []
         weighted: List[float] = []
@@ -388,76 +347,141 @@ class StreamingSimulator:
         queue_lengths: List[int] = []
         sample_stride = 1
 
-        state: Optional[SimulationState] = None
+        # One pooled policy-facing snapshot for the whole run, updated in
+        # place (the kernel's scheme); its buffer references are refreshed
+        # whenever the window's capacity grows.
+        state = SimulationState(
+            instance=view,  # type: ignore[arg-type] — duck-typed zero-copy view
+            time=time,
+            jobs=window.mirrors,
+            next_arrival=None,
+            active=active,
+            remaining_vector=window.remaining,
+            # On the pure path rates live in a loop-local Python-float list
+            # (same bits, no per-access float64 boxing); the pooled vector
+            # is only bound when the compiled kernels maintain it, so a
+            # policy reading a stale vector fails loudly instead of
+            # silently seeing zeros.
+            rate_vector=None if pure else window.rate,
+        )
+        costs = window.costs_base
+        rows = window.costs_rows  # stable: inner lists mutate in place
+        remaining = window.remaining
+        remaining_item = remaining.item if remaining is not None else None
+        rate = window.rate
+        #: Pure-path per-slot rates and remaining fractions as Python floats
+        #: (bit-identical to the float64 vector arithmetic the compiled
+        #: kernels perform).  ``remaining_list`` is maintained in lockstep
+        #: with the pooled vector — every write lands in both — and is the
+        #: read side of the hot arithmetic; mutated in place so the state
+        #: binding below stays current.
+        rate_list: List[float] = []
+        remaining_list: List[float] = []
+        if pure:
+            state.remaining_list = remaining_list
+        mirrors = window.mirrors
+
         reset_done = False
         pending_compact = False
         stall_events = 0
+        #: Window slots whose rate entries the previous decision set — the
+        #: only entries that can be non-zero, so the next decision clears
+        #: just these instead of the whole window.
+        touched: List[int] = []
+        due: List[ArrivalEvent] = []
 
-        def bind_state() -> SimulationState:
-            width = len(window)
-            return SimulationState(
-                instance=window.instance,
-                time=time,
-                jobs=window.mirrors[:width],
-                next_arrival=None,
-                active=active,
-                remaining_vector=window.remaining[:width],
-                rate_vector=window.rate[:width],
-            )
+        peak_active = 0
+        peak_window = 0
+        # Hot counters stay in locals; they land back on the result after
+        # the loop (and are lost on an exception, like the legacy loop).
+        n_events = 0
+        n_arrivals = 0
+        n_decisions = 0
+        n_completions = 0
+        n_preemptions = 0
+        n_compactions = 0
+        busy = 0.0
+        saturated = False
+        max_active_cap = self.max_active
+        compact_min = self.compact_min
+        validate = self.validate_decisions
 
         while True:
-            result.events += 1
+            n_events += 1
             progressed_this_event = False
             time_before = time
 
-            # ---- admit due arrivals --------------------------------------
+            # ---- admit due arrivals (batched) ----------------------------
             window_changed = False
-            while (
-                pending is not None
-                and result.arrivals < budget
-                and pending.job.release_date <= time + 1e-12
-            ):
-                slot = window.admit(pending)
-                insort(active, slot)
-                result.arrivals += 1
-                window_changed = True
-                progressed_this_event = True
-                if result.arrivals % sample_stride == 0:
-                    queue_times.append(pending.job.release_date)
-                    queue_lengths.append(len(active))
-                    if len(queue_times) > _TRAJECTORY_CAP:
-                        queue_times = queue_times[::2]
-                        queue_lengths = queue_lengths[::2]
-                        sample_stride *= 2
-                pending = next(arrivals, None)
-            if result.arrivals >= budget:
+            if pending is not None and n_arrivals < budget:
+                threshold = time + 1e-12
+                if pending.job.release_date <= threshold:
+                    live_before = len(active)
+                    while (
+                        pending is not None
+                        and n_arrivals < budget
+                        and pending.job.release_date <= threshold
+                    ):
+                        due.append(pending)
+                        n_arrivals += 1
+                        if n_arrivals % sample_stride == 0:
+                            queue_times.append(pending.job.release_date)
+                            queue_lengths.append(live_before + len(due))
+                            if len(queue_times) > _TRAJECTORY_CAP:
+                                queue_times = queue_times[::2]
+                                queue_lengths = queue_lengths[::2]
+                                sample_stride *= 2
+                        pending = next(arrivals, None)
+                    first_slot = window.admit_batch(due)
+                    count = len(due)
+                    active.extend(range(first_slot, first_slot + count))
+                    if pure:
+                        rate_list.extend([0.0] * count)
+                        remaining_list.extend([1.0] * count)
+                    due.clear()
+                    window_changed = True
+                    progressed_this_event = True
+            if n_arrivals >= budget:
                 pending = None
 
-            result.peak_active = max(result.peak_active, len(active))
-            result.peak_window = max(result.peak_window, len(window))
-            if len(active) > self.max_active:
-                result.saturated = True
-                result.end_time = time
+            active_count = len(active)
+            if active_count > peak_active:
+                peak_active = active_count
+            if len(window.jobs) > peak_window:
+                peak_window = len(window.jobs)
+            if active_count > max_active_cap:
+                saturated = True
+                end_time = time
                 break
 
             if window_changed:
-                window.rebuild_instance()
+                # Zero-copy: the view already spans the grown window; only
+                # the pooled buffer references may have moved on a capacity
+                # doubling.
+                costs = window.costs_base
+                remaining = window.remaining
+                remaining_item = remaining.item
+                rate = window.rate
+                mirrors = window.mirrors
+                state.jobs = mirrors
+                state.remaining_vector = remaining
+                if not pure:
+                    state.rate_vector = rate
                 if not reset_done:
                     if hasattr(scheduler, "reset"):
-                        scheduler.reset(window.instance)
+                        scheduler.reset(view)
                     reset_done = True
                 elif pending_compact:
-                    scheduler.compact(window.instance, {})
+                    scheduler.compact(view, {})
                     pending_compact = False
                 else:
-                    scheduler.rebind(window.instance)
-                state = bind_state()
+                    scheduler.rebind(view)
 
             next_arrival = pending.job.release_date if pending is not None else None
 
             if not active:
                 if next_arrival is None:
-                    result.end_time = time
+                    end_time = time
                     break  # drained
                 time = next_arrival
                 continue
@@ -466,38 +490,90 @@ class StreamingSimulator:
             state.time = time
             state.next_arrival = next_arrival
             decision: AllocationDecision = decide_fn(state)
-            result.decisions += 1
-            if self.validate_decisions:
+            n_decisions += 1
+            if validate:
                 decision.validate(state)
 
-            remaining = window.remaining
-            rate = window.rate
-            width = len(window)
-            rate[:width] = 0.0
-            pair_jobs: List[int] = []
-            pair_contrib: List[float] = []
-            total_share = 0.0
-            for machine_index, share_list in decision.shares.items():
-                for job_index, share in share_list:
-                    pair_jobs.append(job_index)
-                    pair_contrib.append(share / window.costs[machine_index, job_index])
-                    total_share += share
-            if pair_jobs:
-                np.add.at(rate, pair_jobs, pair_contrib)
-
-            horizon = math.inf
-            if next_arrival is not None:
-                horizon = min(horizon, next_arrival)
+            shares = decision.shares
+            horizon = next_arrival if next_arrival is not None else math.inf
             if decision.wake_up_at is not None:
                 horizon = min(horizon, max(decision.wake_up_at, time + _MIN_STEP))
-            rate_view = rate[:width]
-            running_jobs = np.nonzero(rate_view > 0.0)[0]
-            if running_jobs.size:
-                horizon = min(
-                    horizon,
-                    float(np.min(time + remaining[running_jobs] / rate_view[running_jobs])),
+
+            exclusive_only = pure and decision.all_exclusive
+            if pure:
+                # Pure path: clear last window's rate entries, apply this
+                # decision's shares, bound the horizon by the earliest
+                # projected completion — touching only allocated slots,
+                # with plain Python-float arithmetic throughout (the same
+                # IEEE-754 float64 operations the vector held).
+                for job_index in touched:
+                    rate_list[job_index] = 0.0
+                del touched[:]
+                if exclusive_only:
+                    # exclusive_allocation guarantees one full (job, 1.0)
+                    # share per machine, so the per-share bookkeeping
+                    # collapses: the share literal is 1.0 and summing one
+                    # 1.0 per machine equals float(len(shares)) exactly —
+                    # the generic loop's arithmetic, bit for bit.
+                    total_share = float(len(shares))
+                    for machine_index, share_list in shares.items():
+                        job_index = share_list[0][0]
+                        rate_list[job_index] += 1.0 / rows[machine_index][job_index]
+                        touched.append(job_index)
+                else:
+                    total_share = 0.0
+                    flat = []
+                    for machine_index, share_list in shares.items():
+                        row = rows[machine_index]
+                        exclusive = (
+                            len(share_list) == 1 and share_list[0][1] >= _EXCLUSIVE_SHARE
+                        )
+                        for job_index, share in share_list:
+                            rate_list[job_index] += share / row[job_index]
+                            total_share += share
+                            touched.append(job_index)
+                            flat.append((machine_index, job_index, share, exclusive))
+                for job_index in touched:
+                    job_rate = rate_list[job_index]
+                    if job_rate > 0.0:
+                        candidate = time + remaining_list[job_index] / job_rate
+                        if candidate < horizon:
+                            horizon = candidate
+                pair_arrays = None
+            else:
+                pair_machines: List[int] = []
+                pair_shares: List[float] = []
+                pair_exclusive: List[bool] = []
+                new_touched: List[int] = []
+                for machine_index, share_list in shares.items():
+                    exclusive = len(share_list) == 1 and share_list[0][1] >= _EXCLUSIVE_SHARE
+                    for job_index, share in share_list:
+                        pair_machines.append(machine_index)
+                        new_touched.append(job_index)
+                        pair_shares.append(share)
+                        pair_exclusive.append(exclusive)
+                pair_arrays = (
+                    np.asarray(pair_machines, dtype=np.int64),
+                    np.asarray(new_touched, dtype=np.int64),
+                    np.asarray(pair_shares, dtype=np.float64),
+                    np.asarray(pair_exclusive, dtype=np.uint8),
                 )
-            if math.isinf(horizon):
+                horizon, total_share = advance(
+                    np.asarray(touched, dtype=np.int64),
+                    pair_arrays[0],
+                    pair_arrays[1],
+                    pair_arrays[2],
+                    costs,
+                    remaining,
+                    rate,
+                    time,
+                    horizon,
+                )
+                horizon = float(horizon)
+                total_share = float(total_share)
+                touched = new_touched
+
+            if horizon == math.inf:
                 raise SimulationError(
                     f"policy {result.policy!r} left active jobs unscheduled "
                     f"with no future arrival (window of {len(active)} live jobs)"
@@ -506,109 +582,188 @@ class StreamingSimulator:
 
             # Preemptions: an exclusive (machine, job) run no longer allocated
             # although the job is unfinished — the kernel's open-piece rule.
-            assigned_now = {
-                (machine_index, job_index)
-                for machine_index, share_list in decision.shares.items()
-                for job_index, _ in share_list
-            }
-            for machine_index in list(running):
-                job_index = running[machine_index]
-                if (machine_index, job_index) not in assigned_now:
-                    if remaining[job_index] > _COMPLETION_DUST:
-                        result.preemptions += 1
-                    del running[machine_index]
+            if running:
+                if exclusive_only:
+                    assigned_now = {
+                        (machine_index, share_list[0][0])
+                        for machine_index, share_list in shares.items()
+                    }
+                else:
+                    assigned_now = {
+                        (machine_index, job_index)
+                        for machine_index, share_list in shares.items()
+                        for job_index, _ in share_list
+                    }
+                for machine_index in list(running):
+                    job_index = running[machine_index]
+                    if (machine_index, job_index) not in assigned_now:
+                        if remaining_item(job_index) > _COMPLETION_DUST:
+                            n_preemptions += 1
+                        del running[machine_index]
 
             if window_span > 0:
-                result.busy_machine_seconds += window_span * total_share
-                for machine_index, share_list in decision.shares.items():
-                    exclusive = (
-                        len(share_list) == 1 and share_list[0][1] >= _EXCLUSIVE_SHARE
-                    )
-                    if exclusive:
-                        job_index, _share = share_list[0]
+                busy += window_span * total_share
+                if exclusive_only:
+                    for machine_index, share_list in shares.items():
+                        job_index = share_list[0][0]
                         running[machine_index] = job_index
-                        progressed = window_span / window.costs[machine_index, job_index]
-                        value = max(0.0, remaining[job_index] - progressed)
+                        value = remaining_list[job_index] - window_span / rows[
+                            machine_index
+                        ][job_index]
+                        if value < 0.0:
+                            value = 0.0
                         remaining[job_index] = value
+                        remaining_list[job_index] = value
                         if not array_mode:
-                            window.mirrors[job_index].remaining_fraction = value
-                    else:
-                        running.pop(machine_index, None)
-                        for job_index, share in share_list:
+                            mirrors[job_index].remaining_fraction = value
+                elif pure:
+                    for machine_index, job_index, share, exclusive in flat:
+                        if exclusive:
+                            running[machine_index] = job_index
+                            value = remaining_list[job_index] - window_span / rows[
+                                machine_index
+                            ][job_index]
+                            if value < 0.0:
+                                value = 0.0
+                            remaining[job_index] = value
+                            remaining_list[job_index] = value
+                            if not array_mode:
+                                mirrors[job_index].remaining_fraction = value
+                        else:
+                            running.pop(machine_index, None)
                             progressed = (
-                                share * window_span / window.costs[machine_index, job_index]
+                                share * window_span / rows[machine_index][job_index]
                             )
                             if progressed <= 0:
                                 continue
-                            value = max(0.0, remaining[job_index] - progressed)
+                            value = remaining_list[job_index] - progressed
+                            if value < 0.0:
+                                value = 0.0
                             remaining[job_index] = value
+                            remaining_list[job_index] = value
                             if not array_mode:
-                                window.mirrors[job_index].remaining_fraction = value
+                                mirrors[job_index].remaining_fraction = value
+                else:
+                    for machine_index, share_list in shares.items():
+                        if len(share_list) == 1 and share_list[0][1] >= _EXCLUSIVE_SHARE:
+                            running[machine_index] = share_list[0][0]
+                        else:
+                            running.pop(machine_index, None)
+                    progress_fn(
+                        pair_arrays[0],
+                        pair_arrays[1],
+                        pair_arrays[2],
+                        pair_arrays[3],
+                        costs,
+                        remaining,
+                        window_span,
+                    )
+                    if not array_mode:
+                        for job_index in touched:
+                            mirrors[job_index].remaining_fraction = float(
+                                remaining[job_index]
+                            )
                 time = horizon
-            elif not bool(np.any(remaining[active] <= _COMPLETION_DUST)):
-                # Degenerate zero-width window with nothing completing now:
-                # snap to the next real event (kernel semantics).
-                time = next_arrival if next_arrival is not None else time + _MIN_STEP
 
-            # ---- completions (ascending window index) --------------------
-            active_arr = np.asarray(active, dtype=np.intp)
-            completed_now = active_arr[remaining[active_arr] <= _COMPLETION_DUST]
-            for job_index in completed_now:
-                job_index = int(job_index)
-                remaining[job_index] = 0.0
-                mirror = window.mirrors[job_index]
-                mirror.remaining_fraction = 0.0
-                mirror.completion_time = time
-                window.live[job_index] = False
-                active.remove(job_index)
-                for machine_index in [
-                    m for m, j in running.items() if j == job_index
-                ]:
-                    del running[machine_index]
-                result.completions += 1
-                progressed_this_event = True
-                if record_jobs:
-                    job = window.jobs[job_index]
-                    flow = time - job.release_date
-                    flows.append(flow)
-                    weighted.append(job.weight * flow)
-                    stretches.append(flow / window.min_costs[job_index])
-                    finished_ids.append(window.global_ids[job_index])
-                    releases.append(job.release_date)
-            result.end_time = max(result.end_time, time)
+                # ---- completions: only progressed slots can cross the
+                # dust threshold; process them in ascending window index,
+                # exactly like the legacy full-window scan.
+                if pure:
+                    completed_now = [
+                        job_index
+                        for job_index in touched
+                        if remaining_list[job_index] <= _COMPLETION_DUST
+                    ]
+                else:
+                    completed_now = [
+                        job_index
+                        for job_index in touched
+                        if remaining_item(job_index) <= _COMPLETION_DUST
+                    ]
+                if completed_now:
+                    if len(completed_now) > 1:
+                        completed_now = sorted(set(completed_now))
+                    for job_index in completed_now:
+                        remaining[job_index] = 0.0
+                        if pure:
+                            remaining_list[job_index] = 0.0
+                        mirror = mirrors[job_index]
+                        mirror.remaining_fraction = 0.0
+                        mirror.completion_time = time
+                        window.live[job_index] = False
+                        active.remove(job_index)
+                        for machine_index in [
+                            m for m, j in running.items() if j == job_index
+                        ]:
+                            del running[machine_index]
+                        n_completions += 1
+                        progressed_this_event = True
+                        if record_jobs:
+                            job = window.jobs[job_index]
+                            flow = time - job.release_date
+                            flows.append(flow)
+                            weighted.append(job.weight * flow)
+                            stretches.append(flow / window.min_costs[job_index])
+                            finished_ids.append(window.global_ids[job_index])
+                            releases.append(job.release_date)
+            else:
+                # Degenerate zero-width window: every active job still has
+                # remaining work above the completion dust (completions are
+                # drained eagerly each event and admissions start at 1.0),
+                # so snap to the next real event (kernel semantics).
+                time = next_arrival if next_arrival is not None else time + _MIN_STEP
+            if time > end_time:
+                end_time = time
 
             # ---- compaction ----------------------------------------------
-            dead = len(window) - len(active)
-            if dead >= max(self.compact_min, len(active)):
+            dead = len(window.jobs) - len(active)
+            if dead >= compact_min and dead >= len(active):
                 mapping = window.compact()
-                active = sorted(mapping[idx] for idx in active)
+                active[:] = sorted(mapping[idx] for idx in active)
                 running = {
                     machine: mapping[idx]
                     for machine, idx in running.items()
                     if idx in mapping
                 }
-                if len(window) > 0:
-                    window.rebuild_instance()
-                    scheduler.compact(window.instance, mapping)
-                    state = bind_state()
+                # compact() zeroed the rate block wholesale and remapped
+                # every slot index.
+                del touched[:]
+                if pure:
+                    rate_list = [0.0] * len(window.jobs)
+                    # Same doubles: compact() fancy-copied the survivors'
+                    # float64 entries, tolist() unboxes them bit-for-bit.
+                    remaining_list[:] = remaining[: len(window.jobs)].tolist()
+                if len(window.jobs) > 0:
+                    scheduler.compact(view, mapping)
                 else:
-                    # Fully drained: the window is empty and an Instance
-                    # cannot be; notify the policy at the next admission
-                    # (its index-keyed state is entirely stale by then).
+                    # Fully drained: notify the policy at the next
+                    # admission (its index-keyed state is entirely stale
+                    # by then).
                     pending_compact = True
-                result.compactions += 1
+                n_compactions += 1
 
             # ---- cycling guard -------------------------------------------
             if progressed_this_event or time > time_before:
                 stall_events = 0
             else:
                 stall_events += 1
-                if stall_events > 50 * (len(window) + 10):
+                if stall_events > 50 * (len(window.jobs) + 10):
                     raise SimulationError(
                         f"policy {result.policy!r} made no progress for "
                         f"{stall_events} events; it may be cycling"
                     )
 
+        result.arrivals = n_arrivals
+        result.completions = n_completions
+        result.saturated = saturated
+        result.compactions = n_compactions
+        result.preemptions = n_preemptions
+        result.decisions = n_decisions
+        result.events = n_events
+        result.end_time = end_time
+        result.busy_machine_seconds = busy
+        result.peak_active = peak_active
+        result.peak_window = peak_window
         result.elapsed_seconds = _time.perf_counter() - started
         if record_jobs:
             result.completed_jobs = np.asarray(finished_ids, dtype=np.int64)

@@ -94,10 +94,18 @@ class ArrivalEvent(NamedTuple):
     index: int
     job: Job
     costs: np.ndarray
+    fastest: Optional[float] = None
 
     @property
     def min_cost(self) -> float:
-        """Fastest single-machine processing time (the stretch denominator)."""
+        """Fastest single-machine processing time (the stretch denominator).
+
+        Generators that know the platform structure precompute it
+        (``fastest``) so the streaming window admits in O(1); the fallback
+        scan yields the same float64 value bit for bit.
+        """
+        if self.fastest is not None:
+            return self.fastest
         return float(np.min(self.costs))
 
 
@@ -350,6 +358,31 @@ def _job_costs(machines: Sequence[Machine], job: Job) -> np.ndarray:
     return np.array([machine.processing_time(job) for machine in machines], dtype=float)
 
 
+def _bank_cost_columns(
+    machines: Sequence[Machine], banks: Sequence[str]
+) -> Dict[Optional[str], np.ndarray]:
+    """Per-databank unit-size cost columns: ``cycle_time`` or ``inf``.
+
+    A generated job needs exactly one databank (or none), so its cost column
+    is ``size * column[bank]`` — the same correctly-rounded float64 products
+    as calling :meth:`Machine.processing_time` per machine (``W_j * c_i``
+    where the bank is hosted, ``inf`` elsewhere), computed without the
+    per-arrival Python loop.
+    """
+    columns: Dict[Optional[str], np.ndarray] = {
+        None: np.array([machine.cycle_time for machine in machines], dtype=float)
+    }
+    for bank in banks:
+        columns[bank] = np.array(
+            [
+                machine.cycle_time if bank in machine.databanks else math.inf
+                for machine in machines
+            ],
+            dtype=float,
+        )
+    return columns
+
+
 def _generated_jobs(spec: StreamSpec, machines: Sequence[Machine]) -> Iterator[ArrivalEvent]:
     """Generator behind Poisson/MMPP streams (deterministic per spec)."""
     _, arrival_seed, size_seed, bank_seed = spawn_stream_seeds(spec.seed, spec.scenario, 4)
@@ -358,8 +391,17 @@ def _generated_jobs(spec: StreamSpec, machines: Sequence[Machine]) -> Iterator[A
     bank_rng = np.random.default_rng(bank_seed)
 
     banks = sorted(set().union(*(machine.databanks for machine in machines)))
+    bank_columns = _bank_cost_columns(machines, banks)
+    # size * min(column) == min(size * column) bit for bit (size > 0 and
+    # IEEE-754 multiplication is monotone), so the per-arrival fastest cost
+    # is one float product instead of an O(m) numpy reduction.
+    bank_fastest = {bank: float(np.min(column)) for bank, column in bank_columns.items()}
     low, high = (float(v) for v in spec.size_range)
     alpha = float(spec.pareto_shape)
+    pareto_sizes = spec.sizes == "pareto" and low < high
+    uniform_sizes = not pareto_sizes and low != high
+    pareto_tail = (low / high) ** alpha if pareto_sizes else 0.0
+    inverse_alpha = 1.0 / alpha if pareto_sizes else 0.0
 
     # MMPP regime bookkeeping: a quiet state and a burst state whose rate is
     # ``burst_factor`` times higher; dwell times are exponential with means
@@ -378,8 +420,33 @@ def _generated_jobs(spec: StreamSpec, machines: Sequence[Machine]) -> Iterator[A
     in_burst = False
     regime_ends = clock + (arrival_rng.exponential(dwell_means[in_burst]) if bursty else math.inf)
     index = 0
+    # Chunked draws: each generator owns an independent SeedSequence child,
+    # and numpy's vectorised sampling consumes a generator's bit stream
+    # value for value like repeated scalar draws, so refilling per-stream
+    # buffers every ``chunk`` arrivals yields the same jobs bit for bit
+    # while amortising the per-draw dispatch overhead.  ``tolist`` hands
+    # the simulator plain Python floats (same bits as the float64 values).
+    chunk = 512
+    position = chunk
+    gap_buffer: List[float] = []
+    uniform_buffer: List[float] = []
+    size_buffer: List[float] = []
+    bank_buffer: List[int] = []
+    num_banks = len(banks)
     while True:
+        if position == chunk:
+            if not bursty:
+                gap_buffer = arrival_rng.exponential(1.0 / spec.rate, size=chunk).tolist()
+            if pareto_sizes:
+                uniform_buffer = size_rng.random(chunk).tolist()
+            elif uniform_sizes:
+                size_buffer = size_rng.uniform(low, high, size=chunk).tolist()
+            if banks:
+                bank_buffer = bank_rng.integers(0, num_banks, size=chunk).tolist()
+            position = 0
         if bursty:
+            # Regime switches interleave dwell draws with gap draws on the
+            # arrival stream, so the bursty path keeps scalar draws.
             while True:
                 current_rate = burst_rate if in_burst else quiet_rate
                 gap = arrival_rng.exponential(1.0 / current_rate)
@@ -391,26 +458,33 @@ def _generated_jobs(spec: StreamSpec, machines: Sequence[Machine]) -> Iterator[A
                 in_burst = not in_burst
                 regime_ends = clock + arrival_rng.exponential(dwell_means[in_burst])
         else:
-            clock += arrival_rng.exponential(1.0 / spec.rate)
+            clock += gap_buffer[position]
 
-        if spec.sizes == "pareto" and low < high:
+        if pareto_sizes:
             # Bounded Pareto on [low, high] via inverse CDF.
-            u = size_rng.random()
-            size = low / (1.0 - u * (1.0 - (low / high) ** alpha)) ** (1.0 / alpha)
+            u = uniform_buffer[position]
+            size = low / (1.0 - u * (1.0 - pareto_tail)) ** inverse_alpha
+        elif uniform_sizes:
+            size = size_buffer[position]
         else:
-            size = low if low == high else float(size_rng.uniform(low, high))
+            size = low
         weight = 1.0 / size if spec.stretch_weights else 1.0
-        databanks = (
-            frozenset({banks[int(bank_rng.integers(0, len(banks)))]}) if banks else frozenset()
-        )
+        bank = banks[bank_buffer[position]] if banks else None
+        position += 1
         job = Job(
             name=f"s{index:07d}",
             release_date=clock,
             weight=weight,
             size=size,
-            databanks=databanks,
+            databanks=frozenset({bank}) if bank is not None else frozenset(),
         )
-        yield ArrivalEvent(index=index, job=job, costs=_job_costs(machines, job))
+        # size * (cycle | inf) — byte-identical to _job_costs(machines, job).
+        yield ArrivalEvent(
+            index=index,
+            job=job,
+            costs=size * bank_columns[bank],
+            fastest=size * bank_fastest[bank],
+        )
         index += 1
 
 

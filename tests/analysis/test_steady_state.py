@@ -81,6 +81,48 @@ class TestSaturationDetection:
         lengths = np.concatenate([np.zeros(200), np.full(200, 0.4)])
         assert not detect_saturation(lengths)
 
+    def test_initial_transient_is_not_misreported(self):
+        # A queue that rings up during warmup and then settles: MSER-5
+        # truncates the transient (its optimal cut sits early, not in the
+        # second half), so the stationary tail is not read as growth.  A
+        # naive first-half/second-half mean comparison would flag this.
+        rng = np.random.default_rng(7)
+        transient = np.linspace(0.0, 30.0, 120)
+        tail = 30.0 + rng.normal(0.0, 1.0, size=600)
+        assert not detect_saturation(np.concatenate([transient, tail]))
+
+    def test_noisy_ramp_is_still_flagged(self):
+        # Sustained growth survives the noise: the MSER statistic keeps
+        # improving as more of the ramp is cut, pushing the optimal
+        # truncation into the second half of the batch series.
+        rng = np.random.default_rng(8)
+        ramp = np.linspace(0.0, 200.0, 600) + rng.normal(0.0, 3.0, size=600)
+        assert detect_saturation(ramp)
+
+    def test_recovered_busy_period_is_not_saturation(self):
+        # A near-critical queue that builds mid-run and then drains: the
+        # MSER cut lands late (the hump keeps the head noisy) but the
+        # trajectory ends well below its peak — a busy period, not growth.
+        hump = np.concatenate(
+            [
+                np.full(100, 5.0),
+                np.linspace(5.0, 15.0, 100),
+                np.linspace(15.0, 7.0, 150),
+                np.full(50, 7.0),
+            ]
+        )
+        assert not detect_saturation(hump)
+
+    def test_occupancy_slack_guards_marginal_drift(self):
+        # A late, sub-slack occupancy rise must stay quiet even when the
+        # MSER cut lands late; raising the bar confirms the slack is the
+        # deciding guard, not the truncation point.
+        drift = np.concatenate([np.full(300, 5.0), np.full(100, 5.6)])
+        assert not detect_saturation(drift)
+        # Tightening the slack flips the verdict: the cut point was already
+        # late, only the occupancy guard was holding it back.
+        assert detect_saturation(drift, occupancy_slack=0.1)
+
 
 class TestAnalyseStream:
     @pytest.fixture(scope="class")

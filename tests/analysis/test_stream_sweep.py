@@ -113,6 +113,56 @@ class TestStoreResume:
             assert set(metrics) == set(POLICIES)
 
 
+class TestParallelWorkers:
+    def _strip_wall_clock(self, report_dict):
+        # The only field a worker pool may legitimately change: wall-clock
+        # throughput.  Everything else must be bit-identical.
+        return {k: v for k, v in report_dict.items() if k != "arrivals_per_second"}
+
+    def test_parallel_sweep_is_digest_identical_to_sequential(self, tmp_path):
+        sequential = _sweep(store=tmp_path / "seq.sqlite", run_label="seq")
+        parallel = _sweep(
+            store=tmp_path / "par.sqlite", run_label="par", max_workers=2
+        )
+        assert parallel.stats.max_workers == 2
+        assert parallel.stats.computed_cells == 4
+        with ExperimentStore(tmp_path / "seq.sqlite") as seq_store, ExperimentStore(
+            tmp_path / "par.sqlite"
+        ) as par_store:
+            seq_rows = seq_store.run_records("seq")
+            par_rows = par_store.run_records("par")
+            assert [row.digest for row in seq_rows] == [row.digest for row in par_rows]
+            for seq_row, par_row in zip(seq_rows, par_rows):
+                assert seq_row.policy == par_row.policy
+                assert seq_row.max_stretch == par_row.max_stretch
+                assert seq_row.normalised == par_row.normalised
+                assert self._strip_wall_clock(
+                    seq_row.extra["report"]
+                ) == self._strip_wall_clock(par_row.extra["report"])
+
+    def test_parallel_sweep_records_match_sequential_in_order(self):
+        sequential = _sweep()
+        parallel = _sweep(max_workers=2)
+        assert [(r.workload, r.policy) for r in parallel.records] == [
+            (r.workload, r.policy) for r in sequential.records
+        ]
+        assert [
+            self._strip_wall_clock(r.report.as_dict()) for r in parallel.records
+        ] == [self._strip_wall_clock(r.report.as_dict()) for r in sequential.records]
+
+    def test_parallel_resume_skips_without_spawning_workers(self, tmp_path):
+        path = tmp_path / "resume.sqlite"
+        _sweep(store=path, run_label="cold")
+        warm = _sweep(store=path, resume=True, run_label="warm", max_workers=2)
+        assert warm.stats.resume_skip_rate == 1.0
+        assert warm.stats.computed_cells == 0
+
+    def test_zero_means_one_worker_per_cpu(self):
+        result = _sweep(max_workers=0, max_arrivals=100)
+        assert result.stats.max_workers == 0
+        assert result.stats.cells == 4
+
+
 class TestDegenerateCells:
     def test_zero_completion_saturated_cell_persists_and_resumes(self, tmp_path):
         # A cell so overloaded that nothing completes post-warmup has NaN

@@ -138,12 +138,22 @@ def test_rank_keyed_probe_smoke():
 
 
 def test_quick_bench_stream_row_smoke():
-    """run_quick_bench.bench_stream: the streaming row's asserts hold at toy size."""
+    """run_quick_bench.bench_stream: the streaming row's asserts hold at toy size.
+
+    This is the tier-1 twin of the streaming-speed acceptance: both engines
+    run, the results are byte-identical, and the zero-copy view path beats
+    the legacy rebuild loop even on a 300-arrival stream (the floor is
+    deliberately slack — startup noise dominates toy runs; the real ≥ 4×
+    floor lives in ``bench_streaming.py``).
+    """
     import importlib
 
     module = importlib.import_module("run_quick_bench")
-    record = module.bench_stream(arrivals=300)
+    record = module.bench_stream(arrivals=300, speed_floor=1.5)
     assert record["arrivals"] == 300
     assert record["saturated"] is False
     assert record["peak_window"] <= 2 * record["peak_active"] + 16
     assert record["arrivals_per_second"] > 0
+    assert record["engines_identical"] is True
+    assert record["engine_speed_ratio"] >= 1.5
+    assert record["legacy_arrivals_per_second"] > 0

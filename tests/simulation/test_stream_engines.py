@@ -1,0 +1,131 @@
+"""Engine equivalence for the zero-copy streaming core (PR 7).
+
+The streaming simulator has two engines: the frozen legacy
+rebuild-per-arrival loop (``repro.simulation._stream_legacy``, the
+byte-identity reference) and the default zero-copy view path over the
+pooled kernel buffers.  These tests pin the core contract: **the engine
+is a performance knob, never a semantics knob** — every registered
+policy, every compaction timing, every replayed trace and every random
+spec must execute the exact same schedule on both, and the optional
+compiled kernels' pure-Python twins must be byte-for-byte the same
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.heuristics import available_schedulers, make_scheduler
+from repro.simulation import StreamingSimulator, _compiled
+from repro.workload import (
+    StreamSpec,
+    open_stream,
+    random_unrelated_instance,
+    replay_stream,
+)
+
+# The LP-backed policies solve an offline model per replanning event; they
+# get short streams so the full matrix stays tier-1 fast.
+LP_BACKED = {"deadline-driven", "online-offline"}
+FAST_POLICIES = [p for p in available_schedulers() if p not in LP_BACKED]
+
+
+def _run(policy, engine, *, seed=11, rho=0.8, arrivals=200, **simulator_kwargs):
+    spec = StreamSpec(
+        label="engines", scenario="small-cluster", seed=seed
+    ).with_utilisation(rho)
+    simulator = StreamingSimulator(engine=engine, **simulator_kwargs)
+    return simulator.run(
+        open_stream(spec), make_scheduler(policy), max_arrivals=arrivals
+    )
+
+
+def _assert_identical(view, rebuild, context):
+    assert view.fingerprint() == rebuild.fingerprint(), context
+    assert view.queue_times.tobytes() == rebuild.queue_times.tobytes(), context
+    assert view.queue_lengths.tobytes() == rebuild.queue_lengths.tobytes(), context
+
+
+class TestEngineByteIdentity:
+    @pytest.mark.parametrize("policy", FAST_POLICIES)
+    @pytest.mark.parametrize(
+        "compact_min", [1, 10**9], ids=["compact-early", "compact-never"]
+    )
+    def test_view_matches_rebuild_for_every_policy(self, policy, compact_min):
+        view = _run(policy, "view", compact_min=compact_min)
+        rebuild = _run(policy, "rebuild", compact_min=compact_min)
+        _assert_identical(view, rebuild, f"{policy} @ compact_min={compact_min}")
+
+    @pytest.mark.parametrize("policy", sorted(LP_BACKED))
+    def test_lp_backed_policies_match_across_engines(self, policy):
+        for compact_min in (1, 10**9):
+            view = _run(policy, "view", arrivals=40, compact_min=compact_min)
+            rebuild = _run(policy, "rebuild", arrivals=40, compact_min=compact_min)
+            _assert_identical(view, rebuild, f"{policy} @ compact_min={compact_min}")
+
+    @pytest.mark.parametrize("policy", ["srpt", "greedy-weighted-flow", "fifo"])
+    def test_replayed_trace_matches_across_engines(self, policy):
+        instance = random_unrelated_instance(25, 3, seed=9)
+        runs = {
+            engine: StreamingSimulator(engine=engine).run(
+                replay_stream(instance), make_scheduler(policy)
+            )
+            for engine in ("view", "rebuild")
+        }
+        _assert_identical(runs["view"], runs["rebuild"], policy)
+
+    def test_unknown_engine_is_rejected(self):
+        with pytest.raises(SimulationError):
+            StreamingSimulator(engine="turbo")
+
+
+class TestBatchedAdvancement:
+    """The batched event loop must visit every decision point the legacy
+    one-event-at-a-time loop visits — batching may only change *when* work
+    is done, never *what* the policy sees."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        rho=st.floats(min_value=0.3, max_value=1.1),
+        arrivals=st.integers(min_value=10, max_value=120),
+        policy=st.sampled_from(["srpt", "greedy-weighted-flow", "mct", "fifo"]),
+    )
+    def test_no_decision_point_is_ever_skipped(self, seed, rho, arrivals, policy):
+        view = _run(policy, "view", seed=seed, rho=rho, arrivals=arrivals)
+        rebuild = _run(policy, "rebuild", seed=seed, rho=rho, arrivals=arrivals)
+        assert view.decisions == rebuild.decisions
+        assert view.preemptions == rebuild.preemptions
+        _assert_identical(view, rebuild, f"{policy} seed={seed} rho={rho}")
+
+
+class TestCompiledKernels:
+    def test_use_compiled_true_requires_numba(self):
+        if _compiled.COMPILED_AVAILABLE:
+            StreamingSimulator(use_compiled=True)  # constructs fine
+        else:
+            with pytest.raises(SimulationError, match="numba"):
+                StreamingSimulator(use_compiled=True)
+
+    @pytest.mark.parametrize("policy", ["srpt", "round-robin", "greedy-weighted-flow"])
+    def test_python_twins_reproduce_the_pure_path(self, policy):
+        # The un-jitted originals of the compiled kernels are exported so
+        # their twin-ness is asserted even without the repro[compiled]
+        # extra: drive the compiled code path with the Python twins and
+        # compare against both references.
+        spec = StreamSpec(
+            label="engines", scenario="small-cluster", seed=11
+        ).with_utilisation(0.8)
+        twinned = StreamingSimulator(use_compiled=False)
+        twinned._advance = _compiled.python_advance_pairs
+        twinned._progress = _compiled.python_apply_progress
+        compiled_like = twinned.run(
+            open_stream(spec), make_scheduler(policy), max_arrivals=300
+        )
+        pure = _run(policy, "view", arrivals=300)
+        rebuild = _run(policy, "rebuild", arrivals=300)
+        _assert_identical(compiled_like, pure, policy)
+        _assert_identical(compiled_like, rebuild, policy)
