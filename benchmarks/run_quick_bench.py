@@ -16,7 +16,10 @@ The record also carries a **streaming row** (arrivals/sec of the
 rolling-horizon simulator through both the legacy rebuild-per-arrival
 engine and the zero-copy view path, their in-process speed ratio, peak
 active jobs, saturation flag), diffed against the previous invocation's
-row the way the campaign rows are diffed through the store, and a **lint row** (repro.lint finding counts and
+row the way the campaign rows are diffed through the store, an **obs
+row** (metrics-off vs metrics-on arrivals/sec, the on/off ratio, trace
+determinism — regression-asserted against the previous invocation the
+same way), and a **lint row** (repro.lint finding counts and
 analyzer wall-clock over src/repro): any non-baselined finding fails the
 bench run — the analyzer's zero-regressions assertion.
 
@@ -248,6 +251,68 @@ def bench_stream(arrivals: int = 3000, speed_floor: float = 2.5) -> dict:
     }
 
 
+def bench_obs(arrivals: int = 3000) -> dict:
+    """Observability row: metrics-off vs metrics-on throughput + determinism.
+
+    Interleaves three metrics-off runs with three metrics-on runs
+    (``collecting()`` scope) of the same stream and keeps each arm's best.
+    The asserts protect the layer's contracts at this scale: identical
+    fingerprints and byte-identical traces with obs on or off, and the
+    expected aggregate counters in the snapshot.  The recorded
+    ``enabled_over_disabled_ratio`` feeds the PR-over-PR trajectory; the
+    tight ≤ 3 % disabled-mode bound lives in ``bench_obs_overhead.py``
+    (it needs paired-median methodology this quick smoke doesn't carry).
+    """
+    from repro.obs import collecting, trace_stream_result  # noqa: E402
+    from repro.simulation import StreamingSimulator  # noqa: E402
+    from repro.workload import StreamSpec, open_stream  # noqa: E402
+
+    spec = StreamSpec(
+        label="quick-bench-obs", scenario="small-cluster", seed=2005
+    ).with_utilisation(0.7)
+
+    off_best = on_best = 0.0
+    result_off = result_on = None
+    recorder = None
+    for _ in range(3):
+        simulator = StreamingSimulator()
+        scheduler = make_scheduler("srpt")
+        stream = open_stream(spec)
+        start = time.perf_counter()
+        result_off = simulator.run(stream, scheduler, max_arrivals=arrivals)
+        off_best = max(off_best, arrivals / (time.perf_counter() - start))
+
+        simulator = StreamingSimulator()
+        scheduler = make_scheduler("srpt")
+        stream = open_stream(spec)
+        start = time.perf_counter()
+        with collecting() as recorder:
+            result_on = simulator.run(stream, scheduler, max_arrivals=arrivals)
+        on_best = max(on_best, arrivals / (time.perf_counter() - start))
+
+    assert result_on.fingerprint() == result_off.fingerprint()
+    trace = trace_stream_result(result_off).to_jsonl()
+    assert trace == trace_stream_result(result_on).to_jsonl()
+    snapshot = recorder.snapshot()
+    assert snapshot["counters"]["stream.arrivals"] == float(arrivals)
+    assert snapshot["counters"]["stream.runs"] == 1.0
+    ratio = on_best / max(off_best, 1e-12)
+    # Enabled-mode metrics may cost something, but never half the engine.
+    assert ratio >= 0.5, f"metrics-on throughput only {ratio:.2f}x of metrics-off"
+    return {
+        "arrivals": arrivals,
+        "policy": "srpt",
+        "rho": 0.7,
+        "disabled_arrivals_per_second": off_best,
+        "enabled_arrivals_per_second": on_best,
+        "enabled_over_disabled_ratio": ratio,
+        "fingerprints_identical": True,
+        "traces_identical": True,
+        "trace_events": trace.count("\n"),
+        "counters": snapshot["counters"],
+    }
+
+
 def bench_lint() -> dict:
     """Static-analyzer row: finding counts and analyzer wall-clock.
 
@@ -457,12 +522,16 @@ def main(argv=None) -> int:
     # campaign rows are diffed through the store: read before overwriting.
     campaign_output = os.path.abspath(args.campaign_output)
     previous_stream = None
+    previous_obs = None
     if os.path.exists(campaign_output):
         try:
             with open(campaign_output) as handle:
-                previous_stream = json.load(handle).get("stream")
+                previous = json.load(handle)
+            previous_stream = previous.get("stream")
+            previous_obs = previous.get("obs")
         except (json.JSONDecodeError, OSError):
             previous_stream = None
+            previous_obs = None
 
     campaign_start = time.perf_counter()
     campaign_record = {
@@ -473,6 +542,7 @@ def main(argv=None) -> int:
         "replanning": bench_replanning(),
         "campaign": bench_campaign(),
         "stream": bench_stream(),
+        "obs": bench_obs(),
         "pr1_comparison": bench_pr1_comparison(),
         "store": bench_store(os.path.abspath(args.store)),
         "lint": bench_lint(),
@@ -494,6 +564,28 @@ def main(argv=None) -> int:
         assert stream_row["diff_vs_previous"]["speed_ratio"] >= 0.5, (
             "streaming throughput regressed more than 2x vs the previous "
             f"BENCH_campaign.json row: {stream_row['diff_vs_previous']}"
+        )
+
+    obs_row = campaign_record["obs"]
+    if previous_obs and previous_obs.get("disabled_arrivals_per_second"):
+        obs_row["diff_vs_previous"] = {
+            "disabled_arrivals_per_second": previous_obs[
+                "disabled_arrivals_per_second"
+            ],
+            "speed_ratio": obs_row["disabled_arrivals_per_second"]
+            / previous_obs["disabled_arrivals_per_second"],
+            "ratio_delta": obs_row["enabled_over_disabled_ratio"]
+            - previous_obs.get(
+                "enabled_over_disabled_ratio",
+                obs_row["enabled_over_disabled_ratio"],
+            ),
+        }
+        # Same policy as the stream row: machine wobble is tolerated, a
+        # 2x disabled-mode throughput regression is not — that would mean
+        # the "zero overhead when off" contract broke.
+        assert obs_row["diff_vs_previous"]["speed_ratio"] >= 0.5, (
+            "metrics-off streaming throughput regressed more than 2x vs the "
+            f"previous BENCH_campaign.json obs row: {obs_row['diff_vs_previous']}"
         )
 
     with open(campaign_output, "w") as handle:
@@ -555,6 +647,19 @@ def main(argv=None) -> int:
         print(
             f"  vs previous invocation: {diff['speed_ratio']:.2f}x throughput, "
             f"stretch delta {diff['mean_stretch_delta']:+.4f}"
+        )
+    print(
+        f"obs: metrics off {obs_row['disabled_arrivals_per_second']:.0f} "
+        f"arrivals/s, on {obs_row['enabled_arrivals_per_second']:.0f} arrivals/s "
+        f"({obs_row['enabled_over_disabled_ratio']:.2f}x), "
+        f"{obs_row['trace_events']} trace events, fingerprints and traces "
+        f"identical"
+    )
+    if "diff_vs_previous" in obs_row:
+        diff = obs_row["diff_vs_previous"]
+        print(
+            f"  vs previous invocation: {diff['speed_ratio']:.2f}x metrics-off "
+            f"throughput, on/off ratio delta {diff['ratio_delta']:+.3f}"
         )
     pr1 = campaign_record["pr1_comparison"]
     if pr1["skipped"]:

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Observe a streaming simulation: metrics, a Perfetto trace, a profile.
+
+The PR 8 observability layer (``repro.obs``) watches the runtime without
+perturbing it — metrics and traces are deterministic, live outside every
+digest, and cost nothing when disabled.  This example drives all three
+pillars over one open-ended request stream:
+
+1. run the stream twice, once bare and once inside a
+   :func:`~repro.obs.collecting` scope, and check the results are
+   byte-identical (metrics never change what the simulator computes);
+2. print the collected counter/gauge/histogram table;
+3. build a deterministic trace from the finished result with
+   :func:`~repro.obs.trace_stream_result` and export it both ways —
+   JSON-lines (the byte-identity format) and Chrome trace-event JSON you
+   can drop into https://ui.perfetto.dev or ``chrome://tracing``;
+4. time the phases with a :class:`~repro.obs.PhaseProfiler` (wall clock,
+   reporting only — never part of any contract).
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/stream_trace.py
+
+Then inspect the artefacts it writes::
+
+    PYTHONPATH=src python -m repro.cli obs report stream_trace.json
+
+"""
+
+from repro.heuristics import make_scheduler
+from repro.obs import PhaseProfiler, Tracer, collecting, render_metrics, trace_stream_result
+from repro.simulation import StreamingSimulator
+from repro.workload import StreamSpec, open_stream
+
+ARRIVALS = 600
+
+
+def run_once() -> object:
+    spec = StreamSpec(label="portal", scenario="small-cluster", seed=2005)
+    spec = spec.with_utilisation(0.8)
+    return StreamingSimulator().run(
+        open_stream(spec), make_scheduler("srpt"), max_arrivals=ARRIVALS
+    )
+
+
+def main() -> None:
+    profiler = PhaseProfiler()
+
+    with profiler.phase("bare run"):
+        bare = run_once()
+    with profiler.phase("observed run"):
+        with collecting() as recorder:
+            observed = run_once()
+
+    assert observed.fingerprint() == bare.fingerprint(), "metrics perturbed the run!"
+    print(f"{ARRIVALS} arrivals simulated twice; fingerprints identical with obs on/off")
+    print()
+    print(render_metrics(recorder.snapshot()))
+    print()
+
+    with profiler.phase("trace"):
+        tracer: Tracer = trace_stream_result(observed)
+        jsonl = tracer.to_jsonl()
+        chrome = tracer.to_chrome()
+    again = trace_stream_result(run_once()).to_jsonl()
+    assert again == jsonl, "traces must be byte-identical run to run"
+
+    with open("stream_trace.jsonl", "w") as handle:
+        handle.write(jsonl)
+    with open("stream_trace.json", "w") as handle:
+        handle.write(chrome + "\n")
+    print(f"trace: {len(tracer)} events -> stream_trace.jsonl (byte-identity format)")
+    print("       and stream_trace.json (open it in https://ui.perfetto.dev)")
+    print()
+
+    print(profiler.render())
+    print()
+    print("Tip: `repro-sched stream --metrics --trace out.json --profile ...` does")
+    print("all of this from the CLI; `repro-sched obs report PATH` renders any")
+    print("of the artefacts (traces, metrics snapshots, sweep/campaign outputs).")
+
+
+if __name__ == "__main__":
+    main()

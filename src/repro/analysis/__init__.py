@@ -35,11 +35,13 @@ from .stats import (
     summarize,
 )
 from .steady_state import (
+    SaturationScan,
     SteadyStateEstimate,
     SteadyStateReport,
     analyse_stream,
     batch_means,
     detect_saturation,
+    saturation_scan,
 )
 from .stream_sweep import (
     StreamCellRecord,
@@ -53,8 +55,10 @@ __all__ = [
     "CampaignRecord",
     "CampaignResult",
     "CampaignStats",
+    "SaturationScan",
     "SteadyStateEstimate",
     "SteadyStateReport",
+    "saturation_scan",
     "StreamCellRecord",
     "StreamSweepResult",
     "StreamSweepStats",

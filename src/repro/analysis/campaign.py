@@ -44,7 +44,6 @@ from __future__ import annotations
 import itertools
 import os
 import threading
-import time
 from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
@@ -66,6 +65,8 @@ from typing import (
 from ..core.instance import Instance
 from ..core.maxflow import FeasibilityProbe
 from ..exceptions import WorkloadError
+from ..obs.clock import wall_clock
+from ..obs.metrics import get_recorder
 from ..heuristics import OnlinePolicy, PolicyOutcome, make_policy
 from ..heuristics.registry import (
     OFFLINE_OPTIMAL,
@@ -824,7 +825,8 @@ def stream_campaign(
         scheduler_factory=scheduler_factory,
         dispatch_id=dispatch_id,
     )
-    start = time.perf_counter()
+    start = wall_clock()
+    recorder = get_recorder()
     seen_workloads = -1
     workload_keys: Dict[int, str] = {}  # content_key memo, see _plan_item
 
@@ -832,12 +834,16 @@ def stream_campaign(
         nonlocal seen_workloads
         seen_workloads = max(seen_workloads, workload_index)
         own_stats.workloads = seen_workloads + 1
-        own_stats.elapsed_seconds = time.perf_counter() - start
+        own_stats.elapsed_seconds = wall_clock() - start
 
     def account_result(result: _ItemResult, workload_index: int) -> None:
         own_stats.items += 1
         own_stats.probe_constructions += result.probe_constructions
         own_stats.offline_solves += result.offline_solves
+        if recorder.enabled:
+            recorder.count("campaign.items")
+            recorder.count("campaign.probe_constructions", float(result.probe_constructions))
+            recorder.count("campaign.offline_solves", float(result.offline_solves))
         note_workload(workload_index)
 
     def emit_plan(
@@ -880,7 +886,14 @@ def stream_campaign(
                         note_workload(plan.workload_index)
                         yield from emit_plan(plan, (), None)
                         continue
-                    result = _run_campaign_item(plan.item)
+                    if recorder.enabled:
+                        chunk_started = wall_clock()
+                        result = _run_campaign_item(plan.item)
+                        recorder.observe(
+                            "campaign.chunk_seconds", wall_clock() - chunk_started
+                        )
+                    else:
+                        result = _run_campaign_item(plan.item)
                     account_result(result, plan.workload_index)
                     yield from emit_plan(plan, result.records, result.optimum)
             completed = True
@@ -917,6 +930,8 @@ def stream_campaign(
             def submit(plan: _ItemPlan) -> None:
                 pending[pool.submit(_run_campaign_item, plan.item)] = plan
                 own_stats.peak_in_flight = max(own_stats.peak_in_flight, len(pending))
+                if recorder.enabled:
+                    recorder.gauge("campaign.in_flight", float(len(pending)))
 
             def admit(plan: _ItemPlan) -> None:
                 """Route one plan: mark ready, submit, or gate on the optimum.
@@ -1008,7 +1023,7 @@ def stream_campaign(
             assert not ready and not deferred, "streaming dispatcher lost an item"
         completed = True
     finally:
-        own_stats.elapsed_seconds = time.perf_counter() - start
+        own_stats.elapsed_seconds = wall_clock() - start
         if writer is not None:
             writer.close()
             own_stats.store_new_records = writer.inserted

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats as _scipy_stats
@@ -41,12 +41,18 @@ from ..exceptions import WorkloadError
 from ..simulation.stream import StreamResult
 
 __all__ = [
+    "SaturationScan",
     "SteadyStateEstimate",
     "SteadyStateReport",
     "analyse_stream",
     "batch_means",
     "detect_saturation",
+    "saturation_scan",
 ]
+
+#: Reported occupancy trajectories are decimated beyond this many points
+#: (report/``records.extra`` hygiene; the verdict always sees every batch).
+_SCAN_TRAJECTORY_CAP = 160
 
 
 def _as_float_array(series: Sequence[float]) -> np.ndarray:
@@ -189,13 +195,69 @@ def batch_means(
     )
 
 
-def detect_saturation(
+@dataclass(frozen=True)
+class SaturationScan:
+    """Full outcome of one MSER-5 saturation scan (verdict + evidence).
+
+    :func:`detect_saturation` historically returned only the boolean and
+    discarded the truncation point and the batch-means trajectory; this
+    carries them so reports (and ``repro-sched obs report``) can show *why*
+    a run was or wasn't flagged.  The verdict logic is byte-identical to
+    the boolean-only rule.
+
+    Attributes
+    ----------
+    saturated:
+        The verdict (exactly :func:`detect_saturation`'s return value).
+    truncation:
+        MSER-5 optimal truncation point ``d*`` (batch index), or ``None``
+        when the trajectory was too short to scan.
+    num_batches, batch_size:
+        Batch layout of the scan (``num_batches`` is 0 when unscanned).
+    trajectory:
+        The MSER-5 batch-means occupancy trajectory (decimated beyond
+        ``_SCAN_TRAJECTORY_CAP`` points), as plain floats.
+    early_occupancy, final_occupancy:
+        The occupancy-guard operands: mean of the first-quarter batches
+        and the final batch mean (both 0.0 when unscanned).
+    """
+
+    saturated: bool
+    truncation: Optional[int]
+    num_batches: int
+    batch_size: int
+    trajectory: Tuple[float, ...]
+    early_occupancy: float
+    final_occupancy: float
+
+
+def _decimated(batches: np.ndarray) -> Tuple[float, ...]:
+    """Stride-decimate a batch-means trajectory to the reporting cap."""
+    stride = 1
+    while batches.size // stride > _SCAN_TRAJECTORY_CAP:
+        stride *= 2
+    return tuple(float(v) for v in batches[::stride])
+
+
+def _unscanned(saturated: bool = False) -> SaturationScan:
+    return SaturationScan(
+        saturated=saturated,
+        truncation=None,
+        num_batches=0,
+        batch_size=0,
+        trajectory=(),
+        early_occupancy=0.0,
+        final_occupancy=0.0,
+    )
+
+
+def saturation_scan(
     queue_lengths: Sequence[float],
     *,
     batch_size: int = 5,
     min_samples: int = 24,
     occupancy_slack: float = 1.0,
-) -> bool:
+) -> SaturationScan:
     """MSER-5 unbounded-growth test on a queue-length trajectory.
 
     The marginal standard error rule (White 1997; the MSER-5 variant
@@ -224,10 +286,10 @@ def detect_saturation(
     """
     values = _as_float_array(queue_lengths)
     if values.size < min_samples:
-        return False
+        return _unscanned()
     num_batches = values.size // batch_size
     if num_batches < 4:
-        return False
+        return _unscanned()
     batches = values[: num_batches * batch_size].reshape(num_batches, batch_size).mean(axis=1)
     # MSER statistic for every truncation point d with >= 2 retained
     # batches, via reversed cumulative sums (O(m), deterministic).
@@ -238,16 +300,47 @@ def detect_saturation(
     sse = np.maximum(tail_squares - counts * tail_means * tail_means, 0.0)
     statistic = (sse / (counts * counts))[: num_batches - 1]
     truncation = int(np.argmin(statistic))
-    if truncation <= num_batches // 2:
-        return False
     head = num_batches // 4 if num_batches >= 4 else 1
     early_occupancy = float(batches[:head].mean())
     final = float(batches[-1])
-    if final <= early_occupancy + occupancy_slack:
-        return False
-    # Sustained growth ends at (or near) its running maximum; a queue that
-    # peaked mid-run and came back down was a busy period, not saturation.
-    return final >= 0.8 * float(batches.max())
+    if truncation <= num_batches // 2:
+        saturated = False
+    elif final <= early_occupancy + occupancy_slack:
+        saturated = False
+    else:
+        # Sustained growth ends at (or near) its running maximum; a queue
+        # that peaked mid-run and came back down was a busy period, not
+        # saturation.
+        saturated = final >= 0.8 * float(batches.max())
+    return SaturationScan(
+        saturated=saturated,
+        truncation=truncation,
+        num_batches=num_batches,
+        batch_size=batch_size,
+        trajectory=_decimated(batches),
+        early_occupancy=early_occupancy,
+        final_occupancy=final,
+    )
+
+
+def detect_saturation(
+    queue_lengths: Sequence[float],
+    *,
+    batch_size: int = 5,
+    min_samples: int = 24,
+    occupancy_slack: float = 1.0,
+) -> bool:
+    """Boolean MSER-5 saturation verdict (see :func:`saturation_scan`).
+
+    Kept as the stable public predicate; :func:`saturation_scan` returns
+    the same verdict plus the evidence behind it.
+    """
+    return saturation_scan(
+        queue_lengths,
+        batch_size=batch_size,
+        min_samples=min_samples,
+        occupancy_slack=occupancy_slack,
+    ).saturated
 
 
 @dataclass(frozen=True)
@@ -270,6 +363,14 @@ class SteadyStateReport:
         Volume counters from the simulation.
     arrivals_per_second:
         Simulation throughput (wall-clock; bench trajectory food).
+    mser_truncation:
+        MSER-5 optimal truncation point of the saturation scan (batch
+        index), ``None`` when the trajectory was too short to scan.
+        Evidence channel only — never part of the verdict or any digest.
+    occupancy_trajectory:
+        The scan's batch-means queue-occupancy trajectory (decimated).
+        Empty for unscanned runs and for reports stored before PR 8
+        (:meth:`from_dict` tolerates the missing keys).
     """
 
     policy: str
@@ -284,6 +385,8 @@ class SteadyStateReport:
     completions: int
     peak_active: int
     arrivals_per_second: float
+    mser_truncation: Optional[int] = None
+    occupancy_trajectory: Tuple[float, ...] = ()
 
     def as_dict(self) -> Dict:
         """JSON-friendly view (round-trips through :meth:`from_dict`)."""
@@ -300,11 +403,19 @@ class SteadyStateReport:
             "completions": self.completions,
             "peak_active": self.peak_active,
             "arrivals_per_second": self.arrivals_per_second,
+            "mser_truncation": self.mser_truncation,
+            "occupancy_trajectory": list(self.occupancy_trajectory),
         }
 
     @staticmethod
     def from_dict(data: Dict) -> "SteadyStateReport":
-        """Rebuild a report from :meth:`as_dict` output."""
+        """Rebuild a report from :meth:`as_dict` output.
+
+        Tolerates payloads stored before the scan-evidence fields existed
+        (pre-PR 8 cells resume with ``mser_truncation=None`` and an empty
+        trajectory).
+        """
+        truncation = data.get("mser_truncation")
         return SteadyStateReport(
             policy=str(data["policy"]),
             label=str(data["label"]),
@@ -318,6 +429,10 @@ class SteadyStateReport:
             completions=int(data["completions"]),
             peak_active=int(data["peak_active"]),
             arrivals_per_second=float(data["arrivals_per_second"]),
+            mser_truncation=int(truncation) if truncation is not None else None,
+            occupancy_trajectory=tuple(
+                float(v) for v in data.get("occupancy_trajectory", ())
+            ),
         )
 
 
@@ -346,7 +461,8 @@ def analyse_stream(
     dropped = stretch.warmup_dropped
     tail_stretch = result.stretches[dropped:]
     tail_wflow = result.weighted_flows[dropped:]
-    saturated = result.saturated or detect_saturation(result.queue_lengths)
+    scan = saturation_scan(result.queue_lengths)
+    saturated = result.saturated or scan.saturated
     return SteadyStateReport(
         policy=result.policy,
         label=result.label,
@@ -360,4 +476,6 @@ def analyse_stream(
         completions=result.completions,
         peak_active=result.peak_active,
         arrivals_per_second=result.arrivals_per_second,
+        mser_truncation=scan.truncation,
+        occupancy_trajectory=scan.trajectory,
     )

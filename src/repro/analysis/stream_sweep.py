@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import math
 import os
-import time as _time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -30,6 +29,9 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..exceptions import WorkloadError
 from ..heuristics import make_scheduler
+from ..obs.clock import wall_clock
+from ..obs.metrics import collecting, get_recorder
+from ..obs.trace import Tracer, trace_stream_result
 from ..heuristics.registry import resolve_policy_variant
 from ..simulation import SimulationKernel
 from ..simulation.stream import StreamingSimulator
@@ -68,12 +70,18 @@ class StreamCellRecord:
         Offered load of the cell's stream.
     report:
         The full steady-state report (estimates, saturation, throughput).
+    metrics:
+        Optional per-cell obs snapshot (``MetricsRecorder.snapshot()``
+        collected around the cell's simulation) — a reporting side-channel
+        that rides in ``records.extra`` *outside* the digest: stored bytes
+        are identical when obs is off.
     """
 
     workload: str
     policy: str
     rho: float
     report: SteadyStateReport
+    metrics: Optional[Dict] = None
 
     def to_campaign_record(self) -> CampaignRecord:
         """Project the cell onto the store's fixed record columns.
@@ -102,8 +110,15 @@ class StreamCellRecord:
         )
 
     def extra_payload(self) -> Dict:
-        """The JSON side-channel persisted with the cell."""
-        return {"kind": "stream-cell", "rho": self.rho, "report": self.report.as_dict()}
+        """The JSON side-channel persisted with the cell.
+
+        The ``metrics`` key is present only when a snapshot was collected,
+        so a sweep with obs disabled persists byte-identical extras.
+        """
+        payload = {"kind": "stream-cell", "rho": self.rho, "report": self.report.as_dict()}
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        return payload
 
     @staticmethod
     def from_stored(stored) -> Optional["StreamCellRecord"]:
@@ -121,6 +136,7 @@ class StreamCellRecord:
             policy=stored.policy,
             rho=float(extra["rho"]),
             report=SteadyStateReport.from_dict(extra["report"]),
+            metrics=extra.get("metrics"),
         )
 
 
@@ -242,7 +258,8 @@ def _run_stream_cell(
     num_batches: int,
     confidence: float,
     max_active: int,
-) -> Tuple[str, SteadyStateReport, int]:
+    collect_metrics: bool = False,
+) -> Tuple[str, SteadyStateReport, int, Optional[Dict]]:
     """Measure one (stream, policy) cell: the process-pool work unit.
 
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
@@ -250,18 +267,32 @@ def _run_stream_cell(
     seed) and the measurement protocol — never on which worker runs it or
     in what order — so a parallel sweep's cells are digest- and
     content-identical to the sequential sweep's (wall-clock throughput
-    fields aside).
+    fields aside).  With ``collect_metrics`` the cell runs under a scoped
+    :class:`~repro.obs.metrics.MetricsRecorder` and returns its snapshot —
+    the snapshot derives from simulation counters only, so it too is
+    identical across the pool and in-process paths.
     """
     scheduler = make_scheduler(variant_label)
     simulator = StreamingSimulator(SimulationKernel(), max_active=max_active)
-    sim = simulator.run(open_stream(cell_spec), scheduler, max_arrivals=max_arrivals)
-    report = analyse_stream(
-        sim,
-        warmup_fraction=warmup_fraction,
-        num_batches=num_batches,
-        confidence=confidence,
-    )
-    return scheduler.name, report, sim.arrivals
+
+    def measure() -> Tuple[object, SteadyStateReport]:
+        sim = simulator.run(open_stream(cell_spec), scheduler, max_arrivals=max_arrivals)
+        report = analyse_stream(
+            sim,
+            warmup_fraction=warmup_fraction,
+            num_batches=num_batches,
+            confidence=confidence,
+        )
+        return sim, report
+
+    if collect_metrics:
+        with collecting() as cell_recorder:
+            sim, report = measure()
+        snapshot: Optional[Dict] = cell_recorder.snapshot()
+    else:
+        sim, report = measure()
+        snapshot = None
+    return scheduler.name, report, sim.arrivals, snapshot
 
 
 def run_stream_sweep(
@@ -279,6 +310,8 @@ def run_stream_sweep(
     store: Optional[Union[str, Path, "ExperimentStore"]] = None,
     resume: bool = False,
     run_label: Optional[str] = None,
+    collect_metrics: bool = False,
+    tracer: Optional[Tracer] = None,
 ) -> StreamSweepResult:
     """Sweep offered load ρ × policy over one stream family.
 
@@ -312,6 +345,19 @@ def run_stream_sweep(
     store, resume, run_label:
         Experiment-store sink and resume mode, exactly as in
         :func:`~repro.analysis.campaign.stream_campaign`.
+    collect_metrics:
+        Collect a per-cell obs snapshot around every *computed* cell and
+        attach it to the cell (persisted in ``records.extra`` under the
+        ``"metrics"`` key, outside the digest).  Off by default — the
+        stored bytes are then identical to a sweep without obs.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` every *computed* cell's
+        finished stream is traced into (:func:`trace_stream_result`, one
+        track per cell).  Traces derive from the simulation's result
+        series, so they are incompatible with the process pool (the
+        parent never sees worker results' series): pass ``tracer`` only
+        with the in-process path (``max_workers=None``).  Resumed cells
+        are not traced — the store keeps reports, not result series.
     """
     if not policies:
         raise WorkloadError("a stream sweep needs at least one policy")
@@ -321,10 +367,16 @@ def run_stream_sweep(
         raise WorkloadError("max_arrivals must be at least 1")
     if resume and store is None:
         raise WorkloadError("resume=True needs a store to resume from")
+    if tracer is not None and max_workers is not None:
+        raise WorkloadError(
+            "tracer= needs the in-process path (max_workers=None): worker "
+            "processes return reports, not the result series traces are built from"
+        )
 
     own_stats = stats if stats is not None else StreamSweepStats()
     own_stats.max_workers = max_workers
-    started = _time.perf_counter()
+    started = wall_clock()
+    recorder = get_recorder()
 
     # Deferred imports: repro.store depends on repro.analysis.campaign.
     from ..store import ExperimentStore
@@ -410,6 +462,7 @@ def run_stream_sweep(
                     num_batches,
                     confidence,
                     max_active,
+                    collect_metrics,
                 )
 
     completed = False
@@ -439,31 +492,66 @@ def run_stream_sweep(
                             policy=cell.policy,
                             rho=cell.rho,
                             report=cell.report,
+                            metrics=cell.metrics,
                         )
                         own_stats.resumed_cells += 1
                         resumed = True
                 if cell is None:
                     future = futures.pop((index, variant.label), None)
                     if future is not None:
-                        policy_name, report, simulated = future.result()
+                        policy_name, report, simulated, cell_metrics = future.result()
                     else:
                         if stream is None:
                             stream = open_stream(cell_spec)
                         scheduler = make_scheduler(variant.label)
-                        sim = simulator.run(stream, scheduler, max_arrivals=max_arrivals)
-                        report = analyse_stream(
-                            sim,
-                            warmup_fraction=warmup_fraction,
-                            num_batches=num_batches,
-                            confidence=confidence,
-                        )
+                        cell_started = wall_clock()
+                        if collect_metrics:
+                            # Scoped recorder: the cell's own counters land in
+                            # its snapshot, not the ambient sink.
+                            with collecting() as cell_recorder:
+                                sim = simulator.run(
+                                    stream, scheduler, max_arrivals=max_arrivals
+                                )
+                                report = analyse_stream(
+                                    sim,
+                                    warmup_fraction=warmup_fraction,
+                                    num_batches=num_batches,
+                                    confidence=confidence,
+                                )
+                            cell_metrics = cell_recorder.snapshot()
+                        else:
+                            sim = simulator.run(stream, scheduler, max_arrivals=max_arrivals)
+                            report = analyse_stream(
+                                sim,
+                                warmup_fraction=warmup_fraction,
+                                num_batches=num_batches,
+                                confidence=confidence,
+                            )
+                            cell_metrics = None
+                        if tracer is not None:
+                            trace_stream_result(
+                                sim, tracer, track=f"{label}/{scheduler.name}"
+                            )
+                        if recorder.enabled:
+                            recorder.observe(
+                                "sweep.cell_seconds", wall_clock() - cell_started
+                            )
                         policy_name, simulated = scheduler.name, sim.arrivals
                     cell = StreamCellRecord(
-                        workload=label, policy=policy_name, rho=float(rho), report=report
+                        workload=label,
+                        policy=policy_name,
+                        rho=float(rho),
+                        report=report,
+                        metrics=cell_metrics,
                     )
                     own_stats.computed_cells += 1
                     own_stats.arrivals += simulated
                 own_stats.cells += 1
+                if recorder.enabled:
+                    recorder.count("sweep.cells")
+                    recorder.count(
+                        "sweep.cells_resumed" if resumed else "sweep.cells_computed"
+                    )
                 if cell.report.saturated:
                     own_stats.saturated_cells += 1
                 if writer is not None:
@@ -479,7 +567,7 @@ def run_stream_sweep(
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
-        own_stats.elapsed_seconds = _time.perf_counter() - started
+        own_stats.elapsed_seconds = wall_clock() - started
         if writer is not None:
             writer.close()
             store.finish_run(run_id, completed=completed, stats=own_stats.as_dict())

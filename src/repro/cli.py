@@ -18,12 +18,23 @@ The CLI exposes the library's main workflows without writing any Python:
     ``--resume`` computes only the cells missing from it.  Policies accept
     parameterised variant tokens — ``--policies
     online-offline:period=2,mct`` sweeps a named variant whose parameters
-    flow into the stored cell digests.
+    flow into the stored cell digests.  ``--metrics`` collects and prints
+    obs counters, ``--trace PATH`` writes a deterministic trace of the
+    records, ``--profile`` prints a wall-clock phase profile.
 ``repro-sched stream --scenario ... --rho 0.3:0.9:7 --arrivals N``
     Steady-state load sweep over an open-ended arrival stream: utilisation
     ρ (offered load over the platform's fluid capacity) × policy, with
     batch-means confidence intervals, saturation flags and — via
     ``--store``/``--resume`` — content-addressed, resumable cells.
+    ``--metrics`` additionally snapshots obs counters per computed cell
+    (persisted with ``--store``, outside the digests); ``--trace PATH``
+    writes a deterministic per-cell trace (JSON lines, or Chrome/Perfetto
+    JSON when PATH ends in ``.json``).
+``repro-sched obs report PATH``
+    Render an observability artefact: a metrics snapshot, a trace file
+    (either export format), or a sweep/campaign ``--output`` JSON —
+    auto-detected by shape.  Sweep reports surface the MSER-5 saturation
+    evidence (truncation point, occupancy trajectory) per cell.
 ``repro-sched store ls|show|diff|gc PATH ...``
     Query an experiment store: list runs, dump one run's records and
     headline metrics, diff two runs policy by policy (``--cells`` joins
@@ -206,6 +217,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="label of the run registered in --store (default: 'campaign')",
     )
+    campaign.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect obs counters around the campaign and print the metrics table",
+    )
+    campaign.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a deterministic trace of the records (JSON lines; "
+        "Chrome/Perfetto JSON when PATH ends in .json)",
+    )
+    campaign.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a coarse wall-clock phase profile of the command",
+    )
 
     # stream ---------------------------------------------------------------------
     stream = subparsers.add_parser(
@@ -288,6 +315,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="label of the run registered in --store (default: 'stream-sweep')",
     )
     stream.add_argument("--output", help="write cells and sweep stats to this JSON file")
+    stream.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect obs counters (sweep-wide and per computed cell) and "
+        "print the metrics table; per-cell snapshots persist with --store "
+        "in the records' extra JSON, outside the digests",
+    )
+    stream.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a deterministic trace of every computed cell (JSON "
+        "lines; Chrome/Perfetto JSON when PATH ends in .json); traces "
+        "need the cells' result series, so this forces in-process cells",
+    )
+    stream.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a coarse wall-clock phase profile of the command",
+    )
 
     # store ----------------------------------------------------------------------
     store = subparsers.add_parser(
@@ -415,6 +461,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="additionally run the mypy policy from setup.cfg (strict on "
         "repro.store and repro.core.replanning); skipped explicitly when "
         "mypy is not installed",
+    )
+
+    # obs ------------------------------------------------------------------------
+    obs = subparsers.add_parser(
+        "obs",
+        help="render observability artefacts (metrics snapshots, traces, "
+        "sweep/campaign reports)",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="pretty-print a metrics snapshot, a trace file, or a "
+        "stream/campaign --output JSON (auto-detected by shape)",
+    )
+    obs_report.add_argument("path", help="artefact file to render")
+    obs_report.add_argument(
+        "--trajectories",
+        action="store_true",
+        help="for sweep reports: also plot each cell's occupancy "
+        "trajectory (the MSER-5 scan evidence) as an ASCII series",
     )
 
     # divisibility ---------------------------------------------------------------
@@ -587,19 +653,35 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print("error: --resume needs --store PATH to resume from", file=sys.stderr)
         return 1
 
-    result = run_scenario_campaign(
-        scenarios,
-        policies,
-        seeds=seeds if seeds is not None else ((None,) if args.base_seed is None else None),
-        base_seed=args.base_seed,
-        seeds_per_scenario=args.num_seeds,
-        include_offline=not args.no_offline,
-        max_workers=args.max_workers,
-        chunk_size=args.chunk_size,
-        store=args.store,
-        resume=args.resume,
-        run_label=args.run_label,
-    )
+    from .obs import PhaseProfiler, collecting, render_metrics, trace_campaign_records
+
+    profiler = PhaseProfiler()
+    snapshot = None
+    with profiler.phase("campaign"):
+
+        def run():
+            return run_scenario_campaign(
+                scenarios,
+                policies,
+                seeds=seeds
+                if seeds is not None
+                else ((None,) if args.base_seed is None else None),
+                base_seed=args.base_seed,
+                seeds_per_scenario=args.num_seeds,
+                include_offline=not args.no_offline,
+                max_workers=args.max_workers,
+                chunk_size=args.chunk_size,
+                store=args.store,
+                resume=args.resume,
+                run_label=args.run_label,
+            )
+
+        if args.metrics:
+            with collecting() as recorder:
+                result = run()
+            snapshot = recorder.snapshot()
+        else:
+            result = run()
 
     print(result.as_table())
     stats = result.stats
@@ -620,16 +702,43 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 f"{stats.resumed_records} resumed "
                 f"(skip rate {stats.resume_skip_rate:.0%})"
             )
+    if snapshot is not None:
+        print()
+        print(render_metrics(snapshot))
+    if args.trace:
+        with profiler.phase("trace"):
+            tracer = trace_campaign_records(result.records)
+            _write_trace(tracer, args.trace)
+        print(f"trace written to {args.trace} ({len(tracer)} events)")
     if args.output:
         payload = {
             "records": [dataclasses.asdict(record) for record in result.records],
             "stats": stats.as_dict() if stats is not None else None,
         }
+        if snapshot is not None:
+            payload["metrics"] = snapshot
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"campaign written to {args.output}")
+    if args.profile:
+        print()
+        print(profiler.render())
     return 0
+
+
+def _write_trace(tracer, path: str) -> None:
+    """Write a trace in the format the file name asks for.
+
+    ``.json`` gets the Chrome trace-event export (Perfetto-loadable);
+    anything else gets the byte-identity JSON-lines export.
+    """
+    if path.endswith(".json"):
+        text = tracer.to_chrome() + "\n"
+    else:
+        text = tracer.to_jsonl()
+    with open(path, "w") as handle:
+        handle.write(text)
 
 
 def _parse_rho_sweep(text: str) -> list:
@@ -650,6 +759,7 @@ def _parse_rho_sweep(text: str) -> list:
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     from .analysis import run_stream_sweep
+    from .obs import PhaseProfiler, Tracer, collecting, render_metrics
     from .workload import StreamSpec
 
     policies = _split_policy_tokens(args.policies)
@@ -668,6 +778,18 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print("error: --resume needs --store PATH to resume from", file=sys.stderr)
         return 1
 
+    max_workers = args.max_workers
+    tracer = None
+    if args.trace:
+        tracer = Tracer()
+        if max_workers is not None:
+            print(
+                "note: --trace builds traces from in-process result series; "
+                "ignoring --max-workers",
+                file=sys.stderr,
+            )
+            max_workers = None
+
     spec = StreamSpec(
         label=args.scenario,
         scenario=args.scenario,
@@ -675,19 +797,33 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         arrivals=args.arrival_process,
         sizes=args.sizes,
     )
-    result = run_stream_sweep(
-        spec,
-        policies,
-        rhos=rhos,
-        max_arrivals=args.arrivals,
-        warmup_fraction=args.warmup,
-        num_batches=args.batches,
-        max_active=args.max_active,
-        max_workers=args.max_workers,
-        store=args.store,
-        resume=args.resume,
-        run_label=args.run_label,
-    )
+    profiler = PhaseProfiler()
+    snapshot = None
+    with profiler.phase("sweep"):
+
+        def run():
+            return run_stream_sweep(
+                spec,
+                policies,
+                rhos=rhos,
+                max_arrivals=args.arrivals,
+                warmup_fraction=args.warmup,
+                num_batches=args.batches,
+                max_active=args.max_active,
+                max_workers=max_workers,
+                store=args.store,
+                resume=args.resume,
+                run_label=args.run_label,
+                collect_metrics=args.metrics,
+                tracer=tracer,
+            )
+
+        if args.metrics:
+            with collecting() as recorder:
+                result = run()
+            snapshot = recorder.snapshot()
+        else:
+            result = run()
     print(result.as_table())
     stats = result.stats
     if stats is not None:
@@ -701,23 +837,37 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         )
         if args.store:
             print(f"store {args.store}: run #{stats.store_run_id}")
+    if snapshot is not None:
+        print()
+        print(render_metrics(snapshot))
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
+        print(f"trace written to {args.trace} ({len(tracer)} events)")
     if args.output:
+        cells = []
+        for record in result.records:
+            cell = {
+                "workload": record.workload,
+                "policy": record.policy,
+                "rho": record.rho,
+                "report": record.report.as_dict(),
+            }
+            if record.metrics is not None:
+                cell["metrics"] = record.metrics
+            cells.append(cell)
         payload = {
-            "cells": [
-                {
-                    "workload": record.workload,
-                    "policy": record.policy,
-                    "rho": record.rho,
-                    "report": record.report.as_dict(),
-                }
-                for record in result.records
-            ],
+            "cells": cells,
             "stats": stats.as_dict() if stats is not None else None,
         }
+        if snapshot is not None:
+            payload["metrics"] = snapshot
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"sweep written to {args.output}")
+    if args.profile:
+        print()
+        print(profiler.render())
     return 0
 
 
@@ -875,6 +1025,195 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _load_obs_artefact(path: str):
+    """Load an obs artefact file: ``(json_value, None)`` or ``(None, events)``.
+
+    A whole-file JSON document comes back as the first element; a
+    JSON-lines trace (or a single trace event, which is both) comes back
+    as a list of event dicts in the second.
+    """
+    with open(path) as handle:
+        text = handle.read()
+    stripped = text.strip()
+    if not stripped:
+        raise ReproError(f"{path} is empty")
+    try:
+        value = json.loads(stripped)
+    except json.JSONDecodeError:
+        value = None
+    if value is not None and not (isinstance(value, dict) and "ph" in value):
+        return value, None
+    return None, [json.loads(line) for line in stripped.splitlines()]
+
+
+def _render_trace_summary(events, *, source: str, chrome: bool = False) -> str:
+    """Per-track event counts and simulated time span of a trace file."""
+    thread_names: dict = {}
+    per_track: dict = {}
+    total = 0
+    for event in events:
+        phase = event.get("ph")
+        if chrome and phase == "M":
+            if event.get("name") == "thread_name":
+                thread_names[event.get("tid")] = event.get("args", {}).get("name")
+            continue
+        total += 1
+        if chrome:
+            time = float(event.get("ts", 0.0)) / 1e6
+            duration = float(event.get("dur", 0.0)) / 1e6
+            track = thread_names.get(event.get("tid"), f"tid-{event.get('tid')}")
+        else:
+            time = float(event.get("time", 0.0))
+            duration = float(event.get("duration", 0.0))
+            track = event.get("track", "main")
+        stats = per_track.get(track)
+        if stats is None:
+            stats = per_track[track] = {
+                "X": 0, "I": 0, "C": 0,
+                "start": float("inf"), "end": float("-inf"),
+            }
+        stats[phase] = stats.get(phase, 0) + 1
+        stats["start"] = min(stats["start"], time)
+        stats["end"] = max(stats["end"], time + (duration if phase == "X" else 0.0))
+    rows = [
+        (track, stats["X"], stats["I"], stats["C"], stats["start"], stats["end"])
+        for track, stats in per_track.items()
+    ]
+    form = "Chrome trace-event" if chrome else "JSON-lines"
+    header = f"trace {source}: {total} event(s) on {len(per_track)} track(s) ({form})"
+    table = format_table(
+        ["track", "spans", "instants", "counters", "t0 [s]", "t1 [s]"],
+        rows,
+        float_format=".4g",
+    )
+    return header + "\n\n" + table
+
+
+def _render_sweep_report(data, *, trajectories: bool = False) -> int:
+    """Render a ``stream --output`` JSON: the MSER-5 evidence per cell."""
+    from .analysis import ascii_series
+    from .obs import render_metrics
+
+    cells = data.get("cells", [])
+    rows = []
+    for cell in cells:
+        report = cell.get("report", {})
+        trajectory = report.get("occupancy_trajectory") or []
+        truncation = report.get("mser_truncation")
+        rows.append(
+            (
+                cell.get("workload", "?"),
+                cell.get("policy", "?"),
+                report.get("mean_stretch", {}).get("mean", float("nan")),
+                report.get("utilisation", float("nan")),
+                "SATURATED" if report.get("saturated") else "ok",
+                "-" if truncation is None else f"{truncation}/{len(trajectory)}",
+                f"{trajectory[0]:.1f}->{trajectory[-1]:.1f}" if trajectory else "-",
+                "yes" if cell.get("metrics") else "-",
+            )
+        )
+    print(
+        format_table(
+            ["workload", "policy", "mean stretch", "util", "state",
+             "MSER-5 cut", "occupancy", "obs"],
+            rows,
+            title="Stream sweep report (MSER-5 saturation evidence per cell)",
+            float_format=".3f",
+        )
+    )
+    stats = data.get("stats")
+    if stats:
+        print()
+        print(
+            f"{stats.get('cells', 0)} cells, {stats.get('arrivals', 0)} arrivals, "
+            f"{stats.get('saturated_cells', 0)} saturated, "
+            f"{stats.get('elapsed_seconds', 0.0):.2f}s"
+        )
+    if trajectories:
+        for cell in cells:
+            report = cell.get("report", {})
+            trajectory = report.get("occupancy_trajectory") or []
+            if len(trajectory) < 2:
+                continue
+            print()
+            print(
+                ascii_series(
+                    range(len(trajectory)),
+                    {"occupancy": trajectory},
+                    title=f"{cell.get('workload', '?')} {cell.get('policy', '?')}: "
+                    f"queue-occupancy batch means (MSER-5 scan evidence)",
+                    x_label="batch",
+                    height=12,
+                )
+            )
+    snapshot = data.get("metrics")
+    if snapshot:
+        print()
+        print(render_metrics(snapshot))
+    return 0
+
+
+def _render_campaign_report(data) -> int:
+    """Render a ``campaign --output`` JSON: records plus any obs snapshot."""
+    from .obs import render_metrics
+
+    rows = [
+        (
+            record.get("workload", "?"),
+            record.get("policy", "?"),
+            record.get("max_weighted_flow", float("nan")),
+            record.get("normalised", float("nan")),
+            record.get("makespan", float("nan")),
+            record.get("preemptions", 0),
+        )
+        for record in data.get("records", [])
+    ]
+    print(
+        format_table(
+            ["workload", "policy", "max w-flow", "vs optimum", "makespan", "preempt"],
+            rows,
+            title="Campaign report",
+            float_format=".4g",
+        )
+    )
+    stats = data.get("stats")
+    if stats:
+        print()
+        print(
+            f"{stats.get('workloads', 0)} workloads, {stats.get('records', 0)} "
+            f"records, {stats.get('elapsed_seconds', 0.0):.2f}s"
+        )
+    snapshot = data.get("metrics")
+    if snapshot:
+        print()
+        print(render_metrics(snapshot))
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs import render_metrics
+
+    value, events = _load_obs_artefact(args.path)
+    if events is not None:
+        print(_render_trace_summary(events, source=args.path))
+        return 0
+    if isinstance(value, dict) and "traceEvents" in value:
+        print(_render_trace_summary(value["traceEvents"], source=args.path, chrome=True))
+        return 0
+    if isinstance(value, dict) and {"counters", "gauges", "histograms"} <= value.keys():
+        print(render_metrics(value))
+        return 0
+    if isinstance(value, dict) and "cells" in value:
+        return _render_sweep_report(value, trajectories=args.trajectories)
+    if isinstance(value, dict) and "records" in value:
+        return _render_campaign_report(value)
+    raise ReproError(
+        f"{args.path}: unrecognised observability artefact (expected a metrics "
+        "snapshot, a trace in either export format, or a stream/campaign "
+        "--output JSON)"
+    )
+
+
 def _cmd_divisibility(args: argparse.Namespace) -> int:
     if args.dimension == "sequences":
         study = sequence_divisibility_experiment(repetitions=args.repetitions)
@@ -921,6 +1260,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_store(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
         if args.command == "divisibility":
             return _cmd_divisibility(args)
     except (ReproError, FileNotFoundError, json.JSONDecodeError, KeyError) as error:

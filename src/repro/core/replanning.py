@@ -53,6 +53,7 @@ import scipy.sparse as sp
 
 from ..exceptions import InvalidInstanceError
 from ..lp import MatrixForm, to_matrix_form
+from ..obs.metrics import Recorder, get_recorder
 from ..lp.scipy_backend import solve_matrix_form as _scipy_solve_form
 from ..lp.simplex import solve_matrix_form as _simplex_solve_form
 from .deadline import _BACKEND_LABELS, DeadlineFeasibility
@@ -181,6 +182,7 @@ class ReplanProbe:
         backend: str = "scipy",
         max_cached_models: int = 64,
         rank_keyed: bool = False,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         if max_cached_models < 1:
             raise ValueError("max_cached_models must be at least 1")
@@ -191,6 +193,10 @@ class ReplanProbe:
         self._sparse = _BACKEND_LABELS[backend] == "scipy-highs"
         self._max_cached_models = max_cached_models
         self._rank_keyed = rank_keyed
+        # Injected metrics sink (None resolves to the process default at
+        # probe time; the obs-recorder-default lint rule forbids concrete
+        # recorders here).
+        self.recorder = recorder
         self._templates: "OrderedDict[Tuple, _ModelTemplate]" = OrderedDict()
         # Event-scoped refresh cache: coefficients are constant while the
         # same (sub-)instance object is probed repeatedly (one replanning
@@ -227,6 +233,16 @@ class ReplanProbe:
         (and the witness schedule) is identical to the from-scratch path.
         """
         self.probes += 1
+        recorder = self.recorder if self.recorder is not None else get_recorder()
+        if recorder.enabled:
+            recorder.count("replan.probes")
+            counters_before = (
+                self.model_constructions,
+                self.cache_hits,
+                self.rank_canonicalisations,
+                self.coefficient_refreshes,
+                self.event_refresh_reuses,
+            )
         if len(deadlines) != instance.num_jobs:
             raise InvalidInstanceError(
                 f"expected {instance.num_jobs} deadlines, got {len(deadlines)}"
@@ -291,6 +307,26 @@ class ReplanProbe:
         solution = (
             _scipy_solve_form(form) if self._sparse else _simplex_solve_form(form)
         )
+        if recorder.enabled:
+            # One delta emission per probe (the per-counter increments are
+            # spread over the template/refresh helpers above).
+            recorder.count("replan.lp_solves")
+            recorder.count(
+                "replan.template_builds", float(self.model_constructions - counters_before[0])
+            )
+            recorder.count("replan.cache_hits", float(self.cache_hits - counters_before[1]))
+            recorder.count(
+                "replan.rank_canonicalisations",
+                float(self.rank_canonicalisations - counters_before[2]),
+            )
+            recorder.count(
+                "replan.coefficient_refreshes",
+                float(self.coefficient_refreshes - counters_before[3]),
+            )
+            recorder.count(
+                "replan.event_refresh_reuses",
+                float(self.event_refresh_reuses - counters_before[4]),
+            )
 
         alloc = template.alloc
         if not solution.is_optimal:

@@ -17,13 +17,13 @@ This module is the reproduction's stand-in for the real GriPPS deployment:
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..exceptions import WorkloadError
+from ..obs.clock import wall_clock
 from .cost_model import REFERENCE_MODEL, GrippsCostModel
 from .matching import ScanReport, scan_databank
 from .motifs import MotifSet
@@ -124,9 +124,9 @@ class GrippsApplication:
         Only used by examples and tests on small databanks; the Figure 1
         benches use the calibrated virtual timings.
         """
-        start = _time.perf_counter()
+        start = wall_clock()
         report: ScanReport = scan_databank(motifs, databank)
-        elapsed = _time.perf_counter() - start
+        elapsed = wall_clock() - start
         return elapsed, report
 
 

@@ -15,7 +15,11 @@ statically, over every module, on every run:
   bump ``CODE_EPOCH``;
 * **policy-protocol conformance** (:mod:`repro.lint.protocol`) — every
   registered policy defines its streaming hooks, honours its ``array_aware``
-  promise, and declares a parameter schema its constructor accepts.
+  promise, and declares a parameter schema its constructor accepts;
+* **observability defaults** (:mod:`repro.lint.observability`) — runtime
+  modules never construct or install concrete metrics recorders, so the
+  disabled-mode zero-overhead contract of :mod:`repro.obs` cannot silently
+  regress.
 
 Rules live in a registry mirroring ``heuristics.registry``
 (:mod:`repro.lint.registry`); intentional violations are allowlisted, with
@@ -44,6 +48,7 @@ from .typecheck import TypecheckResult, mypy_available, run_typecheck
 # Importing the rule modules registers the built-in rules.
 from . import determinism as _determinism  # noqa: F401  (registration side effect)
 from . import epoch as _epoch  # noqa: F401
+from . import observability as _observability  # noqa: F401
 from . import protocol as _protocol  # noqa: F401
 from .epoch import DIGEST_MODULE, SEMANTIC_MANIFEST, changed_semantic_paths
 

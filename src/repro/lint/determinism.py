@@ -155,10 +155,23 @@ def _call_target(node: ast.Call) -> Tuple[List[str], ast.AST]:
     return [], func
 
 
+#: The single module allowed to read the host clock: every other site goes
+#: through its ``wall_clock()`` / ``utc_now()`` accessors (PR 8).
+_SANCTIONED_CLOCK_MODULE = "src/repro/obs/clock.py"
+
+
 class WallClockRule(Rule):
-    """Flag host-clock reads (``time.time()``, ``datetime.now()``, …)."""
+    """Flag host-clock reads (``time.time()``, ``datetime.now()``, …).
+
+    ``repro.obs.clock`` is the one sanctioned exemption — it *is* the
+    accessor every legitimate wall-clock consumer (throughput stats,
+    provenance timestamps, the phase profiler) must call, so the baseline
+    carries no wall-clock entries at all.
+    """
 
     def check_module(self, module, project) -> Iterable[Finding]:
+        if module.relpath == _SANCTIONED_CLOCK_MODULE:
+            return
         imports = _ImportTable(module.tree)
         time_aliases = imports.aliases_of("time")
         datetime_module_aliases = imports.aliases_of("datetime")
@@ -202,7 +215,8 @@ class WallClockRule(Rule):
                     node.lineno,
                     f"wall-clock read {flagged}: results must be pure functions "
                     "of (content, seed, epoch) — derive times from simulation "
-                    "state, or baseline this site with a justification",
+                    "state, or go through repro.obs.clock (wall_clock() for "
+                    "throughput stats, utc_now() for provenance timestamps)",
                     context=module.line_context(node.lineno),
                 )
 
@@ -400,7 +414,7 @@ register_rule(
         scope="module",
         factory=WallClockRule,
         severity="error",
-        description="no host-clock reads outside justified, baselined timing sites",
+        description="no host-clock reads outside the repro.obs.clock accessors",
     )
 )
 register_rule(

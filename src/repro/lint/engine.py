@@ -9,11 +9,11 @@ registered rules, collects findings, subtracts the baseline, and returns a
 from __future__ import annotations
 
 import json
-import time as _time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
+from ..obs.clock import wall_clock
 from .baseline import DEFAULT_BASELINE_NAME, Baseline, load_baseline
 from .findings import ERROR, Finding, severity_rank
 from .registry import available_rules, rule_spec
@@ -130,7 +130,7 @@ def run_lint(
         Git range handed to diff-aware rules (the epoch guard); default is
         the working tree vs ``HEAD``.
     """
-    started = _time.perf_counter()
+    started = wall_clock()
     if root is None:
         root = find_project_root()
     root = Path(root)
@@ -168,6 +168,6 @@ def run_lint(
         baselined_findings=suppressed,
         rules_run=selected,
         modules_analyzed=len(project.modules),
-        elapsed_seconds=_time.perf_counter() - started,
+        elapsed_seconds=wall_clock() - started,
     )
     return report

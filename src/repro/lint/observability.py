@@ -1,0 +1,98 @@
+"""Observability rule: concrete recorders are injected, never constructed.
+
+The zero-overhead-when-disabled contract of :mod:`repro.obs` rests on one
+convention: instrumented runtime modules (simulation, core, lp, analysis,
+store, gripps) take their metrics sink by *injection* — a constructor
+argument defaulting to ``None`` resolved against
+:func:`repro.obs.metrics.get_recorder`, or a scoped
+:func:`repro.obs.metrics.collecting` installed by the driver.  The moment
+an instrumented module constructs a :class:`~repro.obs.metrics.MetricsRecorder`
+(or installs one process-wide) itself, metrics silently turn on for every
+caller and the disabled-mode ≤ 3 % overhead bound of
+``benchmarks/bench_obs_overhead.py`` can regress without any test noticing.
+
+``obs-recorder-default`` therefore flags, inside the instrumented subtrees:
+
+* any call constructing ``MetricsRecorder`` (however imported — the check
+  is on the resolved *or* literal dotted tail, so relative imports and
+  aliases are covered), and
+* any call to ``install_recorder`` (drivers outside the runtime subtrees —
+  the CLI, benches, ``repro.obs`` itself — are the legal installers).
+
+``NullRecorder`` / ``NULL_RECORDER`` remain freely usable: a no-op default
+cannot regress the disabled path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from .findings import Finding
+from .registry import Rule, RuleSpec, register_rule
+
+__all__ = ["ObsRecorderDefaultRule"]
+
+#: Call-target tails that turn metrics on when reached from runtime code.
+_FORBIDDEN_TAILS = frozenset({"MetricsRecorder", "install_recorder"})
+
+
+class ObsRecorderDefaultRule(Rule):
+    """Flag concrete-recorder construction/installation in runtime modules."""
+
+    def check_module(self, module, project) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            tail = None
+            if isinstance(func, ast.Name):
+                tail = func.id
+            elif isinstance(func, ast.Attribute):
+                tail = func.attr
+            if tail not in _FORBIDDEN_TAILS:
+                continue
+            if tail == "MetricsRecorder":
+                message = (
+                    "concrete recorder constructed in an instrumented module: "
+                    "recorders are injected (constructor argument, "
+                    "obs.metrics.collecting(), or the process default) — "
+                    "NullRecorder is the only legal module-level default"
+                )
+            else:
+                message = (
+                    "install_recorder() called from an instrumented module: "
+                    "only drivers (CLI, benches, repro.obs scopes) may switch "
+                    "the process-wide recorder — accept an injected recorder "
+                    "or use obs.metrics.collecting() at the call boundary"
+                )
+            yield self.finding(
+                module.relpath,
+                node.lineno,
+                message,
+                context=module.line_context(node.lineno),
+            )
+
+
+register_rule(
+    RuleSpec(
+        name="obs-recorder-default",
+        scope="module",
+        factory=ObsRecorderDefaultRule,
+        severity="error",
+        description=(
+            "instrumented modules never construct or install concrete "
+            "recorders (NullRecorder is the only default)"
+        ),
+        applies_to=(
+            "src/repro/analysis/",
+            "src/repro/core/",
+            "src/repro/gripps/",
+            "src/repro/heuristics/",
+            "src/repro/lp/",
+            "src/repro/simulation/",
+            "src/repro/store/",
+            "src/repro/workload/",
+        ),
+    )
+)

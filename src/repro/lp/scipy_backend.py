@@ -23,6 +23,7 @@ from typing import Dict
 
 from scipy.optimize import linprog
 
+from ..obs.metrics import get_recorder
 from .model import LinearProgram
 from .solution import LPSolution, LPStatus
 from .standard_form import MatrixForm, solve_constant_form, to_matrix_form
@@ -82,6 +83,12 @@ def solve_matrix_form(form: MatrixForm, method: str = "highs", **options) -> LPS
             iterations = int(nit)
         except (TypeError, ValueError):
             iterations = None
+
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.count("lp.solves")
+        if iterations is not None:
+            recorder.observe("lp.iterations", float(iterations))
 
     return LPSolution(
         status=status,

@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.metrics import get_recorder
 from .model import LinearProgram
 from .solution import LPSolution, LPStatus
 from .standard_form import MatrixForm, solve_constant_form, to_matrix_form
@@ -367,6 +368,11 @@ def solve_matrix_form(form: MatrixForm, max_iterations: int = 20000) -> LPSoluti
 
     c, a_ub, b_ub, a_eq, b_eq, mappings, objective_shift = _remove_bounds(form)
     raw = _solve_nonnegative(c, a_ub, b_ub, a_eq, b_eq, max_iterations)
+
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.count("lp.solves")
+        recorder.observe("lp.iterations", float(raw.iterations))
 
     if raw.status is not LPStatus.OPTIMAL:
         return LPSolution(status=raw.status, backend="simplex",

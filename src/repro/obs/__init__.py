@@ -1,0 +1,55 @@
+"""Observability: deterministic tracing, metrics and profiling (PR 8).
+
+Three pillars, all zero-overhead when disabled:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms behind the
+  :class:`~repro.obs.metrics.Recorder` protocol; the process default is
+  the no-op :data:`~repro.obs.metrics.NULL_RECORDER` and concrete
+  recorders are only ever *injected* (``obs-recorder-default`` lint rule).
+* :mod:`repro.obs.trace` — span/event records on the simulated clock,
+  byte-identical across runs and engines; JSON-lines and Chrome
+  trace-event (Perfetto) exports.
+* :mod:`repro.obs.clock` / :mod:`repro.obs.profile` — the only sanctioned
+  wall-clock accessors in ``src/repro`` (enforced by the ``wall-clock``
+  lint rule) and the phase profiler built on them.
+
+Metrics and traces are reporting artefacts: they live *outside* record
+digests and fingerprints, so adding a counter never bumps ``CODE_EPOCH``
+(ROADMAP, "Architecture: the observability layer").
+"""
+
+from .clock import utc_now, utc_timestamp, wall_clock
+from .metrics import (
+    NULL_RECORDER,
+    HistogramSummary,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    collecting,
+    get_recorder,
+    install_recorder,
+    render_metrics,
+)
+from .profile import PhaseProfiler, PhaseStat
+from .trace import TraceEvent, Tracer, trace_campaign_records, trace_stream_result
+
+__all__ = [
+    "wall_clock",
+    "utc_now",
+    "utc_timestamp",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "MetricsRecorder",
+    "HistogramSummary",
+    "get_recorder",
+    "install_recorder",
+    "collecting",
+    "render_metrics",
+    "Tracer",
+    "TraceEvent",
+    "trace_stream_result",
+    "trace_campaign_records",
+    "PhaseProfiler",
+    "PhaseStat",
+]

@@ -1,0 +1,80 @@
+"""Phase profiler: coarse wall-clock accounting for benches and the CLI.
+
+A :class:`PhaseProfiler` times named phases (``with profiler.phase("lp")``)
+through the sanctioned :func:`repro.obs.clock.wall_clock` accessor.  It is
+a *reporting* tool: phase timings never enter digests, fingerprints or
+metrics, only stdout tables and bench rows.  The clock is injectable so
+tests can drive it deterministically.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator
+
+from .clock import wall_clock
+
+__all__ = ["PhaseProfiler", "PhaseStat"]
+
+
+@dataclass
+class PhaseStat:
+    """Aggregate timing of one named phase."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "min_seconds": self.minimum if self.count else 0.0,
+            "max_seconds": self.maximum if self.count else 0.0,
+        }
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock time per named phase, in first-entry order."""
+
+    def __init__(self, clock: Callable[[], float] = wall_clock) -> None:
+        self._clock = clock
+        self.phases: Dict[str, PhaseStat] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - start
+            stat = self.phases.get(name)
+            if stat is None:
+                stat = self.phases[name] = PhaseStat()
+            stat.add(elapsed)
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        return {name: stat.as_dict() for name, stat in self.phases.items()}
+
+    def render(self) -> str:
+        if not self.phases:
+            return "(no phases profiled)"
+        width = max(len(name) for name in self.phases)
+        total = sum(stat.total for stat in self.phases.values())
+        lines = [f"{'phase':<{width}}  {'total':>9}  {'share':>6}  {'calls':>5}"]
+        for name, stat in self.phases.items():
+            share = stat.total / total if total > 0 else 0.0
+            lines.append(
+                f"{name:<{width}}  {stat.total:>8.3f}s  {share:>5.1%}  {stat.count:>5d}"
+            )
+        return "\n".join(lines)

@@ -22,7 +22,6 @@ Do not optimise this file.  It is selected with
 from __future__ import annotations
 
 import math
-import time as _time
 from bisect import insort
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -31,6 +30,7 @@ import numpy as np
 from ..core.instance import Instance
 from ..core.job import Job
 from ..exceptions import SimulationError
+from ..obs.clock import wall_clock
 from ..workload.streams import ArrivalEvent, WorkloadStream
 from .kernel import SimulationKernel, _COMPLETION_DUST, _EXCLUSIVE_SHARE, _MIN_STEP
 from .state import AllocationDecision, SimulationState
@@ -160,13 +160,13 @@ def run_rebuild(
         label=label,
         num_machines=stream.num_machines,
     )
-    started = _time.perf_counter()
+    started = wall_clock()
 
     window = _Window(simulator.kernel, stream.machines)
     arrivals: Iterator[ArrivalEvent] = stream.jobs()
     pending: Optional[ArrivalEvent] = next(arrivals, None)
     if pending is None:
-        result.elapsed_seconds = _time.perf_counter() - started
+        result.elapsed_seconds = wall_clock() - started
         return result
     budget = max_arrivals if max_arrivals is not None else math.inf
 
@@ -409,7 +409,7 @@ def run_rebuild(
                     f"{stall_events} events; it may be cycling"
                 )
 
-    result.elapsed_seconds = _time.perf_counter() - started
+    result.elapsed_seconds = wall_clock() - started
     if record_jobs:
         result.completed_jobs = np.asarray(finished_ids, dtype=np.int64)
         result.flows = np.asarray(flows)

@@ -40,6 +40,7 @@ import numpy as np
 from ..core.instance import Instance
 from ..core.schedule import Schedule
 from ..exceptions import SimulationError
+from ..obs.metrics import get_recorder
 from .result import EventRecord, SimulationResult
 from .state import AllocationDecision, JobProgress, SimulationState
 
@@ -373,6 +374,16 @@ class SimulationKernel:
                 f"simulation ended with unfinished jobs: "
                 f"{[instance.jobs[j].name for j in unfinished]}"
             )
+
+        # Aggregate instrumentation after the loop: O(1) recorder calls per
+        # run, nothing on the per-event path (injected via the process
+        # default; NullRecorder makes this a single dead branch).
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.count("kernel.runs")
+            recorder.count("kernel.decisions", float(num_calls))
+            recorder.count("kernel.preemptions", float(num_preemptions))
+            recorder.observe("kernel.jobs", float(n))
 
         return SimulationResult(
             scheduler_name=getattr(scheduler, "name", scheduler.__class__.__name__),

@@ -57,13 +57,14 @@ and the queue/busy-time aggregates the steady-state estimators consume.
 from __future__ import annotations
 
 import math
-import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
 from ..exceptions import SimulationError
+from ..obs.clock import wall_clock
+from ..obs.metrics import Recorder, get_recorder
 from ..workload.streams import ArrivalEvent, WorkloadStream
 from . import _compiled
 from .kernel import SimulationKernel, _COMPLETION_DUST, _EXCLUSIVE_SHARE, _MIN_STEP
@@ -248,6 +249,7 @@ class StreamingSimulator:
         compact_min: int = _COMPACT_MIN,
         engine: str = "view",
         use_compiled: Optional[bool] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         if max_active < 1:
             raise SimulationError("max_active must be at least 1")
@@ -269,6 +271,10 @@ class StreamingSimulator:
         self.compact_min = compact_min
         self.engine = engine
         self.use_compiled = use_compiled
+        # Metrics are injected (or resolved from the process default at run
+        # time); instrumented code never constructs a concrete recorder —
+        # the obs-recorder-default lint rule enforces this.
+        self.recorder = recorder
         enable_compiled = use_compiled is not False and _compiled.COMPILED_AVAILABLE
         self._advance = _compiled.advance_pairs if enable_compiled else None
         self._progress = _compiled.apply_progress if enable_compiled else None
@@ -299,12 +305,15 @@ class StreamingSimulator:
             Record the per-completion metric series (flows, stretches);
             disable to shed even that O(completions) output buffer.
         """
+        recorder = self.recorder if self.recorder is not None else get_recorder()
         if self.engine == "rebuild":
             from ._stream_legacy import run_rebuild
 
-            return run_rebuild(
+            result = run_rebuild(
                 self, stream, scheduler, max_arrivals=max_arrivals, record_jobs=record_jobs
             )
+            self._record_result(recorder, result)
+            return result
         if max_arrivals is None and stream.length is None:
             raise SimulationError(
                 "an open-ended stream needs max_arrivals (or a finite trace stream)"
@@ -315,14 +324,15 @@ class StreamingSimulator:
             label=label,
             num_machines=stream.num_machines,
         )
-        started = _time.perf_counter()
+        started = wall_clock()
 
         window = StreamWindow(self.kernel, stream.machines)
         view = window.view
         arrivals: Iterator[ArrivalEvent] = stream.jobs()
         pending: Optional[ArrivalEvent] = next(arrivals, None)
         if pending is None:
-            result.elapsed_seconds = _time.perf_counter() - started
+            result.elapsed_seconds = wall_clock() - started
+            self._record_result(recorder, result)
             return result
         budget = max_arrivals if max_arrivals is not None else math.inf
 
@@ -405,6 +415,10 @@ class StreamingSimulator:
         max_active_cap = self.max_active
         compact_min = self.compact_min
         validate = self.validate_decisions
+        # Hoisted once: under the NullRecorder default the loop pays one
+        # dead boolean test per admission batch — the zero-overhead
+        # contract benchmarks/bench_obs_overhead.py asserts.
+        observe_batches = recorder.enabled
 
         while True:
             n_events += 1
@@ -434,6 +448,8 @@ class StreamingSimulator:
                         pending = next(arrivals, None)
                     first_slot = window.admit_batch(due)
                     count = len(due)
+                    if observe_batches:
+                        recorder.observe("stream.batch_size", float(count))
                     active.extend(range(first_slot, first_slot + count))
                     if pure:
                         rate_list.extend([0.0] * count)
@@ -764,7 +780,7 @@ class StreamingSimulator:
         result.busy_machine_seconds = busy
         result.peak_active = peak_active
         result.peak_window = peak_window
-        result.elapsed_seconds = _time.perf_counter() - started
+        result.elapsed_seconds = wall_clock() - started
         if record_jobs:
             result.completed_jobs = np.asarray(finished_ids, dtype=np.int64)
             result.flows = np.asarray(flows)
@@ -773,4 +789,23 @@ class StreamingSimulator:
             result.release_dates = np.asarray(releases)
         result.queue_times = np.asarray(queue_times)
         result.queue_lengths = np.asarray(queue_lengths, dtype=np.int64)
+        self._record_result(recorder, result)
         return result
+
+    @staticmethod
+    def _record_result(recorder: Recorder, result: StreamResult) -> None:
+        """Emit the run's aggregate counters: O(1) calls per run, after the
+        hot loop, so the instrumented path is the measured path."""
+        if not recorder.enabled:
+            return
+        recorder.count("stream.runs")
+        recorder.count("stream.events", float(result.events))
+        recorder.count("stream.arrivals", float(result.arrivals))
+        recorder.count("stream.decisions", float(result.decisions))
+        recorder.count("stream.completions", float(result.completions))
+        recorder.count("stream.preemptions", float(result.preemptions))
+        recorder.count("stream.compactions", float(result.compactions))
+        if result.saturated:
+            recorder.count("stream.saturated_runs")
+        recorder.gauge("stream.peak_active", float(result.peak_active))
+        recorder.gauge("stream.peak_window", float(result.peak_window))

@@ -38,13 +38,14 @@ import json
 import math
 import sqlite3
 from dataclasses import dataclass, field
-from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.campaign import CampaignRecord
 from ..analysis.regression import CellDiff, CrossRunDiff, cross_run_cell_diff, cross_run_diff
 from ..exceptions import StoreError
+from ..obs.clock import utc_now, utc_timestamp
+from ..obs.metrics import get_recorder
 from .digest import CODE_EPOCH
 
 __all__ = [
@@ -280,7 +281,7 @@ class ExperimentStore:
     # ------------------------------------------------------------------ #
     def begin_run(self, label: str, meta: Optional[Dict] = None) -> int:
         """Open a new run and return its id."""
-        created = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        created = utc_timestamp()
         cursor = self.connection.execute(
             "INSERT INTO runs (label, created_at, completed, meta) VALUES (?, ?, 0, ?)",
             (label, created, json.dumps(meta or {}, sort_keys=True)),
@@ -479,9 +480,9 @@ class ExperimentStore:
         if older_than_days is not None:
             from datetime import timedelta
 
-            cutoff = (
-                datetime.now(timezone.utc) - timedelta(days=older_than_days)
-            ).isoformat(timespec="seconds")
+            cutoff = (utc_now() - timedelta(days=older_than_days)).isoformat(
+                timespec="seconds"
+            )
 
         # Stale-epoch records (joined to their provenance run for the age filter).
         epoch_clause = "r.code_epoch = ?" if epoch is not None else "r.code_epoch != ?"
@@ -636,6 +637,7 @@ class BulkWriter:
     def flush(self) -> None:
         """Write and commit the pending batch."""
         conn = self.store.connection
+        recorder = get_recorder()
         if self._record_batch:
             before = conn.total_changes
             conn.executemany(
@@ -648,6 +650,11 @@ class BulkWriter:
             written = conn.total_changes - before
             self.inserted += written
             self.reused += len(self._record_batch) - written
+            if recorder.enabled:
+                recorder.count("store.records_inserted", float(written))
+                recorder.count(
+                    "store.records_deduplicated", float(len(self._record_batch) - written)
+                )
             self._record_batch.clear()
         if self._member_batch:
             conn.executemany(
@@ -655,12 +662,21 @@ class BulkWriter:
                 "VALUES (?, ?, ?)",
                 self._member_batch,
             )
+            if recorder.enabled:
+                recorder.count("store.cells_added", float(len(self._member_batch)))
             self._member_batch.clear()
         conn.commit()
+        if recorder.enabled:
+            recorder.count("store.batch_commits")
 
     def close(self) -> None:
         """Flush the final batch."""
         self.flush()
+        recorder = get_recorder()
+        if recorder.enabled and self.added:
+            # Resume skip rate: the fraction of cells answered from the
+            # content-addressed store instead of recomputed.
+            recorder.gauge("store.skip_rate", self.reused / self.added)
 
     def __enter__(self) -> "BulkWriter":
         return self

@@ -5,7 +5,12 @@ import math
 import numpy as np
 import pytest
 
-from repro.analysis import analyse_stream, batch_means, detect_saturation
+from repro.analysis import (
+    analyse_stream,
+    batch_means,
+    detect_saturation,
+    saturation_scan,
+)
 from repro.analysis.steady_state import SteadyStateEstimate, SteadyStateReport
 from repro.exceptions import WorkloadError
 from repro.heuristics import make_scheduler
@@ -122,6 +127,78 @@ class TestSaturationDetection:
         # Tightening the slack flips the verdict: the cut point was already
         # late, only the occupancy guard was holding it back.
         assert detect_saturation(drift, occupancy_slack=0.1)
+
+
+class TestSaturationScan:
+    """PR 8 satellite: the scan exposes the MSER-5 evidence behind the verdict."""
+
+    def test_scan_verdict_always_equals_detect_saturation(self):
+        # detect_saturation is now a projection of saturation_scan; sweep a
+        # seeded zoo of trajectories (flat, ramps, humps, noise) to pin the
+        # byte-identity of the verdict refactor.
+        rng = np.random.default_rng(2005)
+        series = [
+            rng.poisson(5.0, size=400),
+            np.linspace(0, 300, 400),
+            np.concatenate([np.linspace(0, 30, 100), np.full(300, 30.0)]),
+            np.concatenate([np.full(200, 4.0), np.linspace(4, 40, 200)]),
+            rng.normal(10.0, 2.0, size=400).clip(min=0.0),
+            np.zeros(400),
+            np.linspace(0, 400, 10),
+        ]
+        for lengths in series:
+            scan = saturation_scan(lengths)
+            assert scan.saturated == detect_saturation(lengths)
+
+    def test_scan_carries_the_evidence(self):
+        scan = saturation_scan(np.linspace(0, 400, 500))
+        assert scan.saturated
+        assert scan.num_batches == 100
+        assert scan.batch_size == 5
+        assert scan.truncation is not None and scan.truncation > scan.num_batches // 2
+        assert len(scan.trajectory) == scan.num_batches
+        assert scan.final_occupancy > scan.early_occupancy
+        # The trajectory is the batch-means series itself.
+        assert scan.trajectory[0] == pytest.approx(np.linspace(0, 400, 500)[:5].mean())
+
+    def test_short_series_scan_is_empty(self):
+        scan = saturation_scan(np.linspace(0, 400, 10))
+        assert not scan.saturated
+        assert scan.truncation is None
+        assert scan.trajectory == ()
+
+    def test_long_trajectories_are_decimated_deterministically(self):
+        lengths = np.linspace(0, 1000, 5000)  # 1000 batches
+        first = saturation_scan(lengths)
+        second = saturation_scan(lengths)
+        assert len(first.trajectory) <= 160
+        assert first == second
+
+    def test_analyse_stream_surfaces_the_scan(self):
+        spec = StreamSpec(label="a", scenario="small-cluster", seed=6).with_utilisation(0.6)
+        result = StreamingSimulator().run(
+            open_stream(spec), make_scheduler("srpt"), max_arrivals=1200
+        )
+        report = analyse_stream(result)
+        scan = saturation_scan(result.queue_lengths)
+        assert report.mser_truncation == scan.truncation
+        assert report.occupancy_trajectory == scan.trajectory
+        # Evidence only: the verdict bytes are unchanged by the fields.
+        assert report.saturated == (result.saturated or scan.saturated)
+
+    def test_pre_pr8_payloads_still_round_trip(self):
+        spec = StreamSpec(label="a", scenario="small-cluster", seed=6).with_utilisation(0.6)
+        result = StreamingSimulator().run(
+            open_stream(spec), make_scheduler("srpt"), max_arrivals=600
+        )
+        report = analyse_stream(result)
+        payload = report.as_dict()
+        del payload["mser_truncation"]
+        del payload["occupancy_trajectory"]
+        old = SteadyStateReport.from_dict(payload)
+        assert old.mser_truncation is None
+        assert old.occupancy_trajectory == ()
+        assert old.saturated == report.saturated
 
 
 class TestAnalyseStream:

@@ -137,6 +137,68 @@ def test_rank_keyed_probe_smoke():
     )
 
 
+def test_obs_overhead_smoke():
+    """bench_obs_overhead: the structural zero-overhead contract at toy size.
+
+    The wall-clock ≤ 3 % bound stays in tier-2 (bench_smoke never asserts
+    timing); what this twin pins down is the *structure* that bound rests
+    on: a disabled sink is never called at all, aggregate recorder traffic
+    is constant in the arrival count, and results and traces are identical
+    with obs on or off.
+    """
+    from repro.heuristics import make_scheduler
+    from repro.obs import NullRecorder, collecting, trace_stream_result
+    from repro.simulation import StreamingSimulator
+    from repro.workload import StreamSpec, open_stream
+
+    class Spy(NullRecorder):
+        def __init__(self, enabled):
+            self.enabled = enabled
+            self.aggregate_calls = 0
+            self.observe_calls = 0
+
+        def count(self, name, value=1.0):
+            self.aggregate_calls += 1
+
+        def gauge(self, name, value):
+            self.aggregate_calls += 1
+
+        def observe(self, name, value):
+            self.observe_calls += 1
+
+    spec = StreamSpec(label="obs", scenario="small-cluster", seed=1).with_utilisation(0.6)
+
+    # A disabled sink sees zero calls, regardless of the stream's length.
+    aggregates = {}
+    for arrivals in (100, 400):
+        off_spy = Spy(enabled=False)
+        StreamingSimulator(recorder=off_spy).run(
+            open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals
+        )
+        assert off_spy.aggregate_calls == 0
+        assert off_spy.observe_calls == 0
+
+        on_spy = Spy(enabled=True)
+        StreamingSimulator(recorder=on_spy).run(
+            open_stream(spec), make_scheduler("srpt"), max_arrivals=arrivals
+        )
+        aggregates[arrivals] = on_spy.aggregate_calls
+    # O(1) aggregate traffic: same count/gauge calls at 4x the stream.
+    assert aggregates[100] == aggregates[400] > 0
+
+    # Results and traces are identical with obs off and on.
+    plain = StreamingSimulator().run(
+        open_stream(spec), make_scheduler("srpt"), max_arrivals=400
+    )
+    with collecting() as recorder:
+        observed = StreamingSimulator().run(
+            open_stream(spec), make_scheduler("srpt"), max_arrivals=400
+        )
+    assert observed.fingerprint() == plain.fingerprint()
+    assert trace_stream_result(observed).to_jsonl() == trace_stream_result(plain).to_jsonl()
+    assert recorder.snapshot()["counters"]["stream.arrivals"] == 400.0
+
+
 def test_quick_bench_stream_row_smoke():
     """run_quick_bench.bench_stream: the streaming row's asserts hold at toy size.
 

@@ -222,6 +222,109 @@ class TestFloatEquality:
         assert found(report, "float-equality") == []
 
 
+class TestObsRecorderDefault:
+    def test_flags_concrete_recorder_construction_and_installation(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "src/repro/simulation/snippet.py",
+            """
+            from repro.obs.metrics import MetricsRecorder, install_recorder
+
+            from repro.obs import metrics
+
+            def engine_setup():
+                sink = MetricsRecorder()
+                install_recorder(sink)
+                other = metrics.MetricsRecorder()
+                return sink, other
+            """,
+            rules=["obs-recorder-default"],
+        )
+        findings = found(report, "obs-recorder-default")
+        assert [f.line for f in findings] == [7, 8, 9]
+        assert all(f.severity == "error" for f in findings)
+        assert any("injected" in f.message for f in findings)
+
+    def test_injection_and_null_defaults_are_legal(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "src/repro/simulation/snippet.py",
+            """
+            from repro.obs.metrics import NULL_RECORDER, NullRecorder, get_recorder
+
+            class Engine:
+                def __init__(self, recorder=None):
+                    self.recorder = recorder  # resolved at run() time
+
+                def run(self):
+                    recorder = self.recorder or get_recorder()
+                    fallback = NullRecorder()
+                    return recorder, fallback, NULL_RECORDER
+            """,
+            rules=["obs-recorder-default"],
+        )
+        assert found(report, "obs-recorder-default") == []
+
+    def test_drivers_outside_the_runtime_subtrees_may_install(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "src/repro/cli_helper.py",
+            """
+            from repro.obs.metrics import MetricsRecorder, install_recorder
+
+            def enable_metrics():
+                install_recorder(MetricsRecorder())
+            """,
+            rules=["obs-recorder-default"],
+        )
+        assert found(report, "obs-recorder-default") == []
+
+    def test_baseline_suppresses_a_grandfathered_site(self, tmp_path):
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule="obs-recorder-default",
+                    path="src/repro/store/snippet.py",
+                    context="sink = MetricsRecorder()",
+                    justification="grandfathered local sink; removal tracked",
+                )
+            ]
+        )
+        report = lint_snippet(
+            tmp_path,
+            "src/repro/store/snippet.py",
+            """
+            from repro.obs.metrics import MetricsRecorder
+
+            def legacy():
+                sink = MetricsRecorder()
+                return sink
+            """,
+            rules=["obs-recorder-default"],
+            baseline=baseline,
+        )
+        assert found(report, "obs-recorder-default") == []
+        assert len(report.baselined_findings) == 1
+
+
+class TestWallClockSanctionedModule:
+    def test_obs_clock_is_the_only_exempt_module(self, tmp_path):
+        source = """
+        import time
+
+        def wall_clock():
+            return time.perf_counter()
+        """
+        exempt = lint_snippet(
+            tmp_path, "src/repro/obs/clock.py", source, rules=["wall-clock"]
+        )
+        assert found(exempt, "wall-clock") == []
+        elsewhere = lint_snippet(
+            tmp_path, "src/repro/obs/trace.py", source, rules=["wall-clock"]
+        )
+        assert len(found(elsewhere, "wall-clock")) == 1
+
+
 class TestEngineAndBaselineHygiene:
     def test_unjustified_baseline_entry_is_an_error(self, tmp_path):
         baseline = Baseline(
@@ -295,6 +398,7 @@ class TestEngineAndBaselineHygiene:
             "set-iteration",
             "float-equality",
             "epoch-guard",
+            "obs-recorder-default",
             "policy-explicit-hooks",
             "policy-array-aware",
             "policy-param-schema",

@@ -1,0 +1,136 @@
+"""Tests for the metrics recorders (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    HistogramSummary,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    collecting,
+    get_recorder,
+    install_recorder,
+    render_metrics,
+)
+
+
+class TestNullRecorder:
+    def test_is_disabled_and_silent(self):
+        recorder = NullRecorder()
+        assert recorder.enabled is False
+        # Every sink method is a no-op returning None.
+        assert recorder.count("a") is None
+        assert recorder.count("a", 3.0) is None
+        assert recorder.gauge("b", 1.0) is None
+        assert recorder.observe("c", 2.0) is None
+
+    def test_shared_singleton_is_the_default(self):
+        assert isinstance(NULL_RECORDER, NullRecorder)
+        assert get_recorder() is NULL_RECORDER
+
+    def test_satisfies_the_protocol(self):
+        assert isinstance(NULL_RECORDER, Recorder)
+        assert isinstance(MetricsRecorder(), Recorder)
+
+
+class TestMetricsRecorder:
+    def test_counters_accumulate(self):
+        recorder = MetricsRecorder()
+        recorder.count("events")
+        recorder.count("events")
+        recorder.count("events", 3.0)
+        assert recorder.snapshot()["counters"] == {"events": 5.0}
+
+    def test_gauges_keep_last_and_peak(self):
+        recorder = MetricsRecorder()
+        for value in (2.0, 9.0, 4.0):
+            recorder.gauge("active", value)
+        assert recorder.snapshot()["gauges"]["active"] == {"last": 4.0, "peak": 9.0}
+
+    def test_histograms_summarise_without_keeping_samples(self):
+        recorder = MetricsRecorder()
+        for value in (1.0, 3.0, 8.0):
+            recorder.observe("batch", value)
+        summary = recorder.snapshot()["histograms"]["batch"]
+        assert summary == {"count": 3, "total": 12.0, "min": 1.0, "max": 8.0, "mean": 4.0}
+
+    def test_snapshot_is_deterministically_ordered(self):
+        def build(order):
+            recorder = MetricsRecorder()
+            for name in order:
+                recorder.count(name)
+                recorder.gauge(name, 1.0)
+                recorder.observe(name, 1.0)
+            return recorder.snapshot()
+
+        a = json.dumps(build(["zeta", "alpha", "mid"]), sort_keys=False)
+        b = json.dumps(build(["mid", "zeta", "alpha"]), sort_keys=False)
+        assert a == b  # insertion order already sorted
+
+    def test_empty_histogram_summary_renders_zeroes(self):
+        summary = HistogramSummary()
+        assert summary.mean == 0.0
+        assert summary.as_dict() == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+
+class TestInstallAndCollect:
+    def test_install_returns_the_previous_recorder(self):
+        mine = MetricsRecorder()
+        previous = install_recorder(mine)
+        try:
+            assert get_recorder() is mine
+        finally:
+            assert install_recorder(previous) is mine
+        assert get_recorder() is previous
+
+    def test_collecting_scopes_the_installation(self):
+        before = get_recorder()
+        with collecting() as recorder:
+            assert get_recorder() is recorder
+            assert recorder.enabled
+        assert get_recorder() is before
+
+    def test_collecting_restores_on_error(self):
+        before = get_recorder()
+        with pytest.raises(RuntimeError):
+            with collecting():
+                raise RuntimeError("boom")
+        assert get_recorder() is before
+
+    def test_collecting_accepts_an_existing_recorder(self):
+        recorder = MetricsRecorder()
+        recorder.count("pre", 2.0)
+        with collecting(recorder) as active:
+            assert active is recorder
+            active.count("pre")
+        assert recorder.snapshot()["counters"] == {"pre": 3.0}
+
+
+class TestRenderMetrics:
+    def test_empty_snapshot_has_a_placeholder(self):
+        assert render_metrics(MetricsRecorder().snapshot()) == "(no metrics recorded)"
+
+    def test_sections_appear_only_when_populated(self):
+        recorder = MetricsRecorder()
+        recorder.count("stream.arrivals", 42.0)
+        text = render_metrics(recorder.snapshot())
+        assert "counters:" in text
+        assert "stream.arrivals" in text and "42" in text
+        assert "gauges:" not in text and "histograms:" not in text
+
+    def test_full_snapshot_renders_every_section(self):
+        recorder = MetricsRecorder()
+        recorder.count("c", 1.0)
+        recorder.gauge("g", 7.0)
+        recorder.observe("h", 2.0)
+        text = render_metrics(recorder.snapshot())
+        assert "counters:" in text and "gauges:" in text and "histograms:" in text
+        assert "last=7 peak=7" in text
+        assert "n=1" in text

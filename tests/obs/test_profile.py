@@ -1,0 +1,95 @@
+"""Tests for the phase profiler and clock discipline (repro.obs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import PhaseProfiler, PhaseStat, utc_now, utc_timestamp, wall_clock
+
+
+class FakeClock:
+    """Deterministic injectable clock: each read advances by the next step."""
+
+    def __init__(self, *steps: float) -> None:
+        self.now = 0.0
+        self.steps = list(steps)
+
+    def __call__(self) -> float:
+        value = self.now
+        if self.steps:
+            self.now += self.steps.pop(0)
+        return value
+
+
+class TestPhaseProfiler:
+    def test_phases_accumulate_with_an_injected_clock(self):
+        clock = FakeClock(2.0, 1.0, 3.0, 1.0)  # lp:2.0s then lp:3.0s
+        profiler = PhaseProfiler(clock=clock)
+        with profiler.phase("lp"):
+            pass
+        with profiler.phase("lp"):
+            pass
+        stat = profiler.phases["lp"]
+        assert stat.count == 2
+        assert stat.total == 5.0
+        assert stat.minimum == 2.0 and stat.maximum == 3.0
+
+    def test_report_is_json_friendly(self):
+        profiler = PhaseProfiler(clock=FakeClock(1.5, 0.0))
+        with profiler.phase("solve"):
+            pass
+        assert profiler.report() == {
+            "solve": {
+                "count": 1,
+                "total_seconds": 1.5,
+                "min_seconds": 1.5,
+                "max_seconds": 1.5,
+            }
+        }
+
+    def test_phase_records_even_when_the_body_raises(self):
+        profiler = PhaseProfiler(clock=FakeClock(4.0, 0.0))
+        with pytest.raises(ValueError):
+            with profiler.phase("broken"):
+                raise ValueError("boom")
+        assert profiler.phases["broken"].total == 4.0
+
+    def test_render_lists_phases_with_shares(self):
+        profiler = PhaseProfiler(clock=FakeClock(3.0, 0.0, 1.0, 0.0))
+        with profiler.phase("campaign"):
+            pass
+        with profiler.phase("trace"):
+            pass
+        text = profiler.render()
+        assert "campaign" in text and "trace" in text
+        assert "75.0%" in text and "25.0%" in text
+
+    def test_empty_profiler_renders_a_placeholder(self):
+        assert PhaseProfiler().render() == "(no phases profiled)"
+
+    def test_empty_stat_reports_zeroes(self):
+        assert PhaseStat().as_dict() == {
+            "count": 0, "total_seconds": 0.0, "min_seconds": 0.0, "max_seconds": 0.0,
+        }
+
+    def test_default_clock_is_the_sanctioned_wall_clock(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("real"):
+            pass
+        assert profiler.phases["real"].total >= 0.0
+
+
+class TestClock:
+    def test_wall_clock_is_monotone(self):
+        first = wall_clock()
+        second = wall_clock()
+        assert second >= first
+
+    def test_utc_now_is_timezone_aware(self):
+        now = utc_now()
+        assert now.tzinfo is not None
+        assert now.utcoffset().total_seconds() == 0.0
+
+    def test_utc_timestamp_is_iso8601(self):
+        stamp = utc_timestamp()
+        assert "T" in stamp and stamp.endswith("+00:00")

@@ -102,6 +102,54 @@ class TestBatchedAdvancement:
         _assert_identical(view, rebuild, f"{policy} seed={seed} rho={rho}")
 
 
+class TestTraceByteIdentity:
+    """PR 8: traces join the engine contract.
+
+    A trace is built from the finished :class:`StreamResult` (the frozen
+    legacy engine carries no instrumentation), so trace byte-identity
+    must hold wherever result byte-identity does: across repeated runs,
+    and across the ``view``/``rebuild`` engines — on open streams and on
+    replayed finite workloads, for every registered policy.
+    """
+
+    @pytest.mark.parametrize("policy", available_schedulers())
+    def test_traces_identical_across_engines_and_repeats(self, policy):
+        from repro.obs import trace_stream_result
+
+        arrivals = 30 if policy in LP_BACKED else 150
+        texts = {}
+        for engine in ("view", "rebuild"):
+            result = _run(policy, engine, arrivals=arrivals)
+            texts[engine] = trace_stream_result(result).to_jsonl()
+        assert texts["view"], policy  # non-trivial trace
+        assert texts["view"] == texts["rebuild"], policy
+        repeat = _run(policy, "view", arrivals=arrivals)
+        assert trace_stream_result(repeat).to_jsonl() == texts["view"], policy
+
+    @pytest.mark.parametrize("policy", available_schedulers())
+    def test_replayed_stream_traces_identical_across_engines(self, policy):
+        from repro.obs import trace_stream_result
+
+        num_jobs = 10 if policy in LP_BACKED else 25
+        instance = random_unrelated_instance(num_jobs, 3, seed=9)
+        texts = {}
+        for engine in ("view", "rebuild"):
+            result = StreamingSimulator(engine=engine).run(
+                replay_stream(instance), make_scheduler(policy)
+            )
+            texts[engine] = trace_stream_result(result).to_jsonl()
+        assert texts["view"] == texts["rebuild"], policy
+
+    def test_chrome_export_identical_across_engines(self):
+        from repro.obs import trace_stream_result
+
+        chromes = {
+            engine: trace_stream_result(_run("srpt", engine)).to_chrome()
+            for engine in ("view", "rebuild")
+        }
+        assert chromes["view"] == chromes["rebuild"]
+
+
 class TestCompiledKernels:
     def test_use_compiled_true_requires_numba(self):
         if _compiled.COMPILED_AVAILABLE:
