@@ -91,6 +91,69 @@ def _largest_bench_lp(num_jobs: int, num_machines: int):
     return alloc.model
 
 
+def test_revised_simplex_beats_dense_tableau_without_densifying(monkeypatch):
+    """ISSUE 9 acceptance: the revised simplex wins on the big lowering LP.
+
+    The 774x13225 mid-milestone System (3) program (num_jobs=60,
+    num_machines=6).  The revised simplex must consume the sparse lowering
+    directly — ``MatrixForm.densified`` is poisoned for the duration — agree
+    with HiGHS on the objective, and beat the frozen dense tableau so
+    decisively that a full revised solve (~1100 pivots) finishes before the
+    tableau clears even 25 of its own pivots (each tableau pivot rewrites the
+    full rows x cols array, ~10M entries here).
+    """
+    from repro.lp.revised_simplex import solve_matrix_form_revised
+    from repro.lp.simplex import solve_matrix_form_tableau
+    from repro.lp.standard_form import MatrixForm
+
+    model = _largest_bench_lp(60, 6)
+    assert (model.num_constraints, model.num_variables) == (774, 13225)
+    sparse_form = to_matrix_form(model, sparse=True)
+    dense_form = to_matrix_form(model, sparse=False)
+    reference = solve_matrix_form(to_matrix_form(model, sparse=True))
+
+    monkeypatch.setattr(
+        MatrixForm,
+        "densified",
+        lambda self: (_ for _ in ()).throw(
+            AssertionError("the revised simplex must not densify")
+        ),
+    )
+    start = time.perf_counter()
+    revised = solve_matrix_form_revised(sparse_form)
+    revised_seconds = time.perf_counter() - start
+    monkeypatch.undo()
+
+    start = time.perf_counter()
+    partial = solve_matrix_form_tableau(dense_form, max_iterations=25)
+    tableau_25_pivots_seconds = time.perf_counter() - start
+
+    print()
+    print(
+        format_table(
+            ["solver", "seconds", "outcome"],
+            [
+                ("revised (full solve)", revised_seconds,
+                 f"optimal, {revised.solution.iterations} pivots"),
+                ("tableau (25 pivots)", tableau_25_pivots_seconds,
+                 str(partial.status)),
+            ],
+            title="Revised simplex vs dense tableau on the 774x13225 bench LP",
+            float_format=".3g",
+        )
+    )
+
+    assert revised.solution.is_optimal
+    assert abs(revised.solution.objective_value - reference.objective_value) <= 1e-6 * (
+        1.0 + abs(reference.objective_value)
+    )
+    assert not partial.is_optimal  # 25 pivots are nowhere near enough
+    assert revised_seconds < tableau_25_pivots_seconds, (
+        f"revised full solve {revised_seconds:.2f}s vs tableau 25-pivot "
+        f"partial {tableau_25_pivots_seconds:.2f}s"
+    )
+
+
 def _best_lowering_time(model, sparse: bool, repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):

@@ -2,7 +2,10 @@
 """Quick perf smoke for the LP, milestone-search, campaign and store hot paths.
 
 Runs miniature versions of ``bench_lp_backends`` and
-``bench_milestone_search`` and writes the measurements to ``BENCH_lp.json``,
+``bench_milestone_search`` — plus an **LP warm-start row** (warm/cold solve
+counts, warm-hit rate, pivot totals and per-phase timings of the revised
+fast path under the replanning load, diffed against the previous
+invocation's row) — and writes the measurements to ``BENCH_lp.json``,
 plus a campaign-throughput trajectory (scenarios/sec, peak in-flight items,
 probe constructions, off-line solves, engine timings) to
 ``BENCH_campaign.json``, so successive PRs accumulate perf trajectories to
@@ -94,6 +97,54 @@ def bench_lowering(num_jobs: int = 60, num_machines: int = 6, repeats: int = 5) 
     }
 
 
+def bench_lp_warm_start(num_jobs: int = 16, num_machines: int = 3) -> dict:
+    """LP fast-path row: warm-start economy of the revised backend.
+
+    One fast-configuration replanning simulation (parametric probe + the
+    in-house revised simplex with kept-alive programs) under a metrics
+    recorder.  The row carries the solve counts the obs subsystem exposes
+    — ``lp.solves`` / ``lp.cold_solves`` / ``lp.warm_start_hits`` — plus
+    the total pivot count and the per-phase solver wall-clock, so the
+    PR-over-PR trajectory tracks the warm-hit rate and pivot economy, not
+    just end-to-end seconds.  Diffed against the previous invocation's row
+    in ``main`` the way the stream and obs rows are.
+    """
+    from repro.obs import collecting
+
+    instance = random_unrelated_instance(
+        num_jobs, num_machines, cost_range=(2.0, 12.0), forbidden_probability=0.0, seed=7
+    )
+    scheduler = OnlineOfflineAdaptationScheduler(parametric=True, backend="revised")
+    start = time.perf_counter()
+    with collecting() as recorder:
+        simulate(instance, scheduler)
+    elapsed = time.perf_counter() - start
+    snapshot = recorder.snapshot()
+    counters = snapshot["counters"]
+    histograms = snapshot["histograms"]
+    warm = counters.get("lp.warm_start_hits", 0.0)
+    cold = counters.get("lp.cold_solves", 0.0)
+    # The kept-alive fast path must dominate: most probe re-solves rebind
+    # the persisted program instead of rebuilding it.
+    assert warm > cold > 0, (warm, cold)
+    return {
+        "num_jobs": num_jobs,
+        "num_machines": num_machines,
+        "backend": "simplex-revised",
+        "lp_solves": counters.get("lp.solves", 0.0),
+        "cold_solves": cold,
+        "warm_start_hits": warm,
+        "warm_hit_rate": warm / (warm + cold),
+        "pivots": histograms.get("lp.iterations", {}).get("total", 0.0),
+        "phase_seconds": {
+            name.removeprefix("lp.time."): summary["total"]
+            for name, summary in histograms.items()
+            if name.startswith("lp.time.")
+        },
+        "simulation_seconds": elapsed,
+    }
+
+
 def bench_milestone_search(num_jobs: int = 30, num_machines: int = 4, seeds=(0, 1)) -> dict:
     """Probe-reuse metrics and wall time of the milestone search."""
     per_seed = []
@@ -147,19 +198,32 @@ def bench_engine(num_jobs: int = 150, num_machines: int = 6, repeats: int = 5) -
 def bench_replanning(num_jobs: int = 16, num_machines: int = 3) -> dict:
     """Parametric-replanning speedup of the on-line LP adaptation.
 
-    One simulation per path: the probe-backed default against the
-    from-scratch rebuild.  Schedules must be byte-identical; the record
-    carries the feasibility-check/model-build counts and the wall-clock
-    speedup for the PR-over-PR trajectory.
+    Three configurations on one instance: the from-scratch rebuild (the
+    pre-refactor reference), the probe-backed scipy path (the byte-identity
+    contract), and the ISSUE 9 fast path — probe plus the in-house revised
+    simplex with kept-alive, warm-started programs.  The scipy probe must
+    stay byte-identical to the reference; the fast path picks different
+    optimal vertices on the degenerate feasibility programs (the CODE_EPOCH
+    2005.6 bump), so its recorded identity check is on the objective: the
+    final max stretch must never be meaningfully worse than the reference's.
+    ``replanning_speedup`` is the fast path's wall-clock gain — the number
+    the ISSUE 9 acceptance tracks (1.02x before the fast path existed).
     """
+    from repro.analysis import fairness_report
+
     instance = random_unrelated_instance(
         num_jobs, num_machines, cost_range=(2.0, 12.0), forbidden_probability=0.0, seed=7
     )
+    configs = {
+        "from_scratch": {"parametric": False},
+        "parametric": {"parametric": True},
+        "fast": {"parametric": True, "backend": "revised"},
+    }
     timings = {}
     results = {}
     schedulers = {}
-    for label, parametric in (("from_scratch", False), ("parametric", True)):
-        scheduler = OnlineOfflineAdaptationScheduler(parametric=parametric)
+    for label, kwargs in configs.items():
+        scheduler = OnlineOfflineAdaptationScheduler(**kwargs)
         start = time.perf_counter()
         results[label] = simulate(instance, scheduler)
         timings[label] = time.perf_counter() - start
@@ -167,6 +231,11 @@ def bench_replanning(num_jobs: int = 16, num_machines: int = 3) -> dict:
     assert results["parametric"].schedule.pieces == results["from_scratch"].schedule.pieces
     probe = schedulers["parametric"].replan_probe
     assert probe.model_constructions < probe.probes
+    reference_stretch = fairness_report(results["from_scratch"].schedule).max_stretch
+    fast_stretch = fairness_report(results["fast"].schedule).max_stretch
+    assert fast_stretch <= reference_stretch * 1.02, (
+        f"fast-path max stretch {fast_stretch} vs reference {reference_stretch}"
+    )
     return {
         "num_jobs": num_jobs,
         "num_machines": num_machines,
@@ -176,8 +245,13 @@ def bench_replanning(num_jobs: int = 16, num_machines: int = 3) -> dict:
         "model_builds_from_scratch": schedulers["from_scratch"].replanning_model_builds,
         "from_scratch_seconds": timings["from_scratch"],
         "parametric_seconds": timings["parametric"],
-        "replanning_speedup": timings["from_scratch"] / max(timings["parametric"], 1e-12),
-        "schedules_identical": True,
+        "fast_seconds": timings["fast"],
+        "probe_speedup_scipy": timings["from_scratch"] / max(timings["parametric"], 1e-12),
+        "replanning_speedup": timings["from_scratch"] / max(timings["fast"], 1e-12),
+        "schedules_identical": True,  # scipy probe vs reference, asserted above
+        "reference_max_stretch": reference_stretch,
+        "fast_max_stretch": fast_stretch,
+        "objective_identity_tolerance": 0.02,
     }
 
 
@@ -509,14 +583,43 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # The LP warm-start row is diffed against the previous invocation's:
+    # read the old record before overwriting it.
+    output = os.path.abspath(args.output)
+    previous_lp = None
+    if os.path.exists(output):
+        try:
+            with open(output) as handle:
+                previous_lp = json.load(handle).get("lp")
+        except (json.JSONDecodeError, OSError):
+            previous_lp = None
+
     start = time.perf_counter()
     record = {
         "python": platform.python_version(),
         "machine": platform.machine(),
         "lowering": bench_lowering(),
         "milestone_search": bench_milestone_search(),
+        "lp": bench_lp_warm_start(),
     }
     record["total_seconds"] = time.perf_counter() - start
+
+    lp_row = record["lp"]
+    if previous_lp and previous_lp.get("simulation_seconds"):
+        lp_row["diff_vs_previous"] = {
+            "warm_hit_rate": previous_lp.get("warm_hit_rate"),
+            "warm_hit_rate_delta": lp_row["warm_hit_rate"]
+            - previous_lp.get("warm_hit_rate", lp_row["warm_hit_rate"]),
+            "speed_ratio": previous_lp["simulation_seconds"]
+            / max(lp_row["simulation_seconds"], 1e-12),
+        }
+        # Same policy as the stream/obs rows: wobble is tolerated, a 2x
+        # slowdown of the warm-started simulation vs the previously
+        # committed row is a fast-path regression.
+        assert lp_row["diff_vs_previous"]["speed_ratio"] >= 0.5, (
+            "LP warm-start simulation regressed more than 2x vs the previous "
+            f"BENCH_lp.json row: {lp_row['diff_vs_previous']}"
+        )
 
     # The streaming row is diffed against the previous invocation's, like the
     # campaign rows are diffed through the store: read before overwriting.
@@ -592,7 +695,6 @@ def main(argv=None) -> int:
         json.dump(campaign_record, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
-    output = os.path.abspath(args.output)
     with open(output, "w") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -611,6 +713,18 @@ def main(argv=None) -> int:
             f"{run['exact_seconds']:.2f}s; bisection reused the probe with "
             f"{run['bisection_extra_lp_solves']} extra solves"
         )
+    print(
+        f"lp fast path: {lp_row['warm_start_hits']:.0f} warm / "
+        f"{lp_row['cold_solves']:.0f} cold revised solves "
+        f"({lp_row['warm_hit_rate']:.0%} warm-hit rate, "
+        f"{lp_row['pivots']:.0f} pivots) in {lp_row['simulation_seconds']:.2f}s"
+    )
+    if "diff_vs_previous" in lp_row:
+        diff = lp_row["diff_vs_previous"]
+        print(
+            f"  vs previous invocation: {diff['speed_ratio']:.2f}x, "
+            f"warm-hit rate delta {diff['warm_hit_rate_delta']:+.3f}"
+        )
     engine = campaign_record["engine"]
     campaign = campaign_record["campaign"]
     print(
@@ -622,7 +736,10 @@ def main(argv=None) -> int:
         f"replanning: {replanning['feasibility_checks']} checks -> "
         f"{replanning['model_builds_parametric']} models built "
         f"(from-scratch {replanning['model_builds_from_scratch']}), "
-        f"{replanning['replanning_speedup']:.2f}x faster, schedules identical"
+        f"fast path {replanning['replanning_speedup']:.2f}x "
+        f"(scipy probe {replanning['probe_speedup_scipy']:.2f}x, byte-identical; "
+        f"fast max stretch {replanning['fast_max_stretch']:.4f} vs "
+        f"reference {replanning['reference_max_stretch']:.4f})"
     )
     for label, run in campaign["runs"].items():
         print(

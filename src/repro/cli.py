@@ -110,7 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     # info ------------------------------------------------------------------
-    subparsers.add_parser("info", help="show version, policies and scenarios")
+    info = subparsers.add_parser("info", help="show version, policies and scenarios")
+    info.add_argument(
+        "--lp-backends",
+        action="store_true",
+        help="list LP solver backends with availability and warm-start support",
+    )
 
     # scenario ---------------------------------------------------------------
     scenario = subparsers.add_parser("scenario", help="inspect or build named scenarios")
@@ -135,7 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the preemptive (non-divisible) model of Section 4.4",
     )
-    solve.add_argument("--backend", choices=("scipy", "simplex"), default="scipy")
+    solve.add_argument(
+        "--backend",
+        choices=("scipy", "simplex", "revised", "tableau", "highspy"),
+        default="scipy",
+        help="LP backend (see 'info --lp-backends'); default: scipy",
+    )
     solve.add_argument("--output", help="write the optimal schedule to this JSON file")
     solve.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
 
@@ -498,7 +508,9 @@ def build_parser() -> argparse.ArgumentParser:
 # --------------------------------------------------------------------------- #
 # Command implementations                                                      #
 # --------------------------------------------------------------------------- #
-def _cmd_info() -> int:
+def _cmd_info(args: Optional[argparse.Namespace] = None) -> int:
+    if args is not None and getattr(args, "lp_backends", False):
+        return _cmd_info_lp_backends()
     print(f"repro {__version__} — reproduction of Legrand, Su & Vivien (IPPS 2005)")
     print()
     print("on-line policies:  " + ", ".join(available_schedulers()))
@@ -518,6 +530,25 @@ def _cmd_info() -> int:
                 for param in params
             )
             print(f"  {name}: {listing}")
+    return 0
+
+
+def _cmd_info_lp_backends() -> int:
+    """Render the LP backend inventory (mirrors the numba/mypy gating rows)."""
+    from .lp.backends import backend_inventory
+
+    rows = backend_inventory()
+    label_w = max(len(info.label) for info in rows)
+    alias_w = max(len(", ".join(info.aliases)) for info in rows)
+    print("LP backends (request any alias via --backend / backend= policy params):")
+    for info in rows:
+        availability = "available" if info.available else "unavailable"
+        warm = "warm-start" if info.warm_start else "cold only"
+        aliases = ", ".join(info.aliases)
+        print(
+            f"  {info.label:<{label_w}}  [{aliases:<{alias_w}}]  "
+            f"{availability:<11}  {warm:<10}  {info.description}"
+        )
     return 0
 
 
@@ -1245,7 +1276,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(list(argv) if argv is not None else None)
     try:
         if args.command == "info":
-            return _cmd_info()
+            return _cmd_info(args)
         if args.command == "scenario":
             return _cmd_scenario(args)
         if args.command == "solve":

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..exceptions import InvalidInstanceError
+from ..lp.backends import BACKEND_LABELS
 from .affine import Affine
 from .formulations import (
     build_allocation_model,
@@ -31,13 +32,9 @@ __all__ = ["DeadlineFeasibility", "check_deadline_feasibility"]
 
 #: Canonical solution-backend labels per requested backend name, so records
 #: produced without reaching a solver match the label a solve would report.
-_BACKEND_LABELS = {
-    "scipy": "scipy-highs",
-    "highs": "scipy-highs",
-    "scipy-highs": "scipy-highs",
-    "simplex": "simplex",
-    "pure-python": "simplex",
-}
+#: Sourced from the LP backend registry (ISSUE 9 added revised/tableau/
+#: highspy); kept under its historical name for the probe modules.
+_BACKEND_LABELS = BACKEND_LABELS
 
 
 @dataclass(frozen=True)
@@ -91,7 +88,8 @@ def check_deadline_feasibility(
         When ``False`` no witness schedule is materialised even if the system
         is feasible (cheaper; used by the milestone binary search).
     backend:
-        LP backend (``"scipy"`` or ``"simplex"``).
+        LP backend (any alias accepted by
+        :func:`repro.lp.backends.canonical_backend`).
 
     Returns
     -------

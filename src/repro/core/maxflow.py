@@ -67,8 +67,10 @@ import numpy as np
 
 from ..exceptions import InfeasibleProblemError, InvalidInstanceError, SolverError
 from ..lp import LPSolution, MatrixForm, to_matrix_form
+from ..lp.backends import canonical_backend
+from ..lp.revised_simplex import BasisState, solve_matrix_form_revised
 from ..lp.scipy_backend import solve_matrix_form as _scipy_solve_form
-from ..lp.simplex import solve_matrix_form as _simplex_solve_form
+from ..lp.simplex import solve_matrix_form_tableau as _tableau_solve_form
 from .affine import Affine
 from .formulations import (
     AllocationModel,
@@ -145,7 +147,14 @@ class MaxWeightedFlowResult:
 # --------------------------------------------------------------------------- #
 @dataclass
 class _RangeModel:
-    """Parametric allocation model of one milestone range ``(low, high]``."""
+    """Parametric allocation model of one milestone range ``(low, high]``.
+
+    ``basis`` (in-house revised backend) and ``highs_model`` (highspy
+    backend) carry the persistent solver state of the previous solve of this
+    range: every re-probe only moves the objective variable's bounds, which
+    preserves dual feasibility, so the next solve warm-starts from the last
+    basis instead of starting from scratch (ISSUE 9).
+    """
 
     index: int
     low: float
@@ -153,6 +162,8 @@ class _RangeModel:
     alloc: AllocationModel
     form: MatrixForm
     objective_column: int
+    basis: Optional[BasisState] = None
+    highs_model: Optional[object] = None
 
 
 class FeasibilityProbe:
@@ -276,7 +287,7 @@ class FeasibilityProbe:
             low,
             high if high is not None else np.inf,
         )
-        solution = self._solve_form(range_model.form.with_bounds(bounds))
+        solution = self._solve_form(range_model.form.with_bounds(bounds), range_model)
         self.lp_solves += 1
         if not solution.is_optimal:
             if solution.is_infeasible:
@@ -321,7 +332,7 @@ class FeasibilityProbe:
         range_model = self._range_for(objective)
         bounds = range_model.form.bounds.copy()
         bounds[range_model.objective_column] = (range_model.low, objective)
-        solution = self._solve_form(range_model.form.with_bounds(bounds))
+        solution = self._solve_form(range_model.form.with_bounds(bounds), range_model)
         self.lp_solves += 1
 
         if solution.is_optimal:
@@ -375,7 +386,8 @@ class FeasibilityProbe:
             preemptive=self.preemptive,
             name=f"probe-range{k}" + ("-preemptive" if self.preemptive else ""),
         )
-        form = to_matrix_form(alloc.model, sparse=self._backend_kind == "scipy")
+        # Every backend except the frozen dense tableau consumes CSR blocks.
+        form = to_matrix_form(alloc.model, sparse=self._backend_kind != "tableau")
         self.model_constructions += 1
         range_model = _RangeModel(
             index=k,
@@ -395,10 +407,34 @@ class FeasibilityProbe:
         """Number of parametric range models currently held in the LRU cache."""
         return len(self._ranges)
 
-    def _solve_form(self, form: MatrixForm) -> LPSolution:
+    def _solve_form(
+        self, form: MatrixForm, range_model: Optional[_RangeModel] = None
+    ) -> LPSolution:
         if self._backend_kind == "scipy":
             return _scipy_solve_form(form)
-        return _simplex_solve_form(form)
+        if self._backend_kind == "tableau":
+            return _tableau_solve_form(form)
+        if self._backend_kind == "highspy":  # pragma: no cover - needs highspy
+            from ..lp.highs_backend import HighsWarmModel
+
+            if range_model is None:
+                from ..lp.highs_backend import solve_matrix_form as _highs_solve
+
+                return _highs_solve(form)
+            if range_model.highs_model is None:
+                range_model.highs_model = HighsWarmModel(form)
+            else:
+                range_model.highs_model.update_bounds(form.bounds)
+            return range_model.highs_model.solve()
+        # In-house revised simplex: warm-start from (and refresh) the range's
+        # persistent basis.  The re-solve sequence is deterministic per
+        # probe, so the warm-started vertices are reproducible run to run.
+        result = solve_matrix_form_revised(
+            form, warm_basis=range_model.basis if range_model is not None else None
+        )
+        if range_model is not None and result.basis is not None:
+            range_model.basis = result.basis
+        return result.solution
 
 
 def _check_probe_matches(
@@ -424,12 +460,17 @@ def _check_probe_matches(
         )
 
 
+_BACKEND_KINDS = {
+    "scipy-highs": "scipy",
+    "simplex-revised": "revised",
+    "simplex": "tableau",
+    "highspy": "highspy",
+}
+
+
 def _normalise_backend(backend: str) -> str:
-    if backend in ("scipy", "highs", "scipy-highs"):
-        return "scipy"
-    if backend in ("simplex", "pure-python"):
-        return "simplex"
-    raise ValueError(f"unknown LP backend {backend!r}")
+    """Resolve any accepted backend alias to the probe's dispatch kind."""
+    return _BACKEND_KINDS[canonical_backend(backend)]
 
 
 def _range_sample(low: float, high: Optional[float]) -> float:

@@ -52,11 +52,13 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..exceptions import InvalidInstanceError
-from ..lp import MatrixForm, to_matrix_form
+from ..lp import LPSolution, MatrixForm, to_matrix_form
 from ..obs.metrics import Recorder, get_recorder
+from ..lp.revised_simplex import BasisState, ProgramHandle, solve_matrix_form_revised
 from ..lp.scipy_backend import solve_matrix_form as _scipy_solve_form
-from ..lp.simplex import solve_matrix_form as _simplex_solve_form
+from ..lp.simplex import solve_matrix_form_tableau as _tableau_solve_form
 from .deadline import _BACKEND_LABELS, DeadlineFeasibility
+from .maxflow import _normalise_backend
 from .formulations import (
     AllocationModel,
     build_allocation_model,
@@ -125,9 +127,16 @@ class _ModelTemplate:
     coef_jobs: np.ndarray
     #: Interval index feeding each inequality row's right-hand side.
     row_intervals: np.ndarray
-    #: Dense refresh targets (simplex backend): (row, col) per coefficient.
+    #: Dense refresh targets (tableau backend): (row, col) per coefficient.
     coef_rows: Optional[np.ndarray] = None
     coef_cols: Optional[np.ndarray] = None
+    #: Persistent solver state for warm re-solves (ISSUE 9): the last usable
+    #: basis of the in-house revised backend, the kept-alive assembled
+    #: program (rhs-only re-solves within one event skip assembly and
+    #: refactorisation entirely), and the kept-alive highspy model.
+    basis: Optional[BasisState] = None
+    solver_handle: Optional[ProgramHandle] = None
+    highs_model: Optional[object] = None
 
 
 class ReplanProbe:
@@ -186,11 +195,11 @@ class ReplanProbe:
     ) -> None:
         if max_cached_models < 1:
             raise ValueError("max_cached_models must be at least 1")
-        if backend not in _BACKEND_LABELS:
-            raise ValueError(f"unknown LP backend {backend!r}")
         self.preemptive = preemptive
         self.backend = backend
-        self._sparse = _BACKEND_LABELS[backend] == "scipy-highs"
+        self._backend_kind = _normalise_backend(backend)  # raises on unknown
+        # Every backend except the frozen dense tableau consumes CSR blocks.
+        self._sparse = self._backend_kind != "tableau"
         self._max_cached_models = max_cached_models
         self._rank_keyed = rank_keyed
         # Injected metrics sink (None resolves to the process default at
@@ -304,9 +313,7 @@ class ReplanProbe:
         form = self._refresh(template, instance, cuts, event_key=event_key)
 
         self.lp_solves += 1
-        solution = (
-            _scipy_solve_form(form) if self._sparse else _simplex_solve_form(form)
-        )
+        solution = self._solve_template(template, form)
         if recorder.enabled:
             # One delta emission per probe (the per-counter increments are
             # spread over the template/refresh helpers above).
@@ -365,6 +372,45 @@ class ReplanProbe:
             lp_constraints=alloc.model.num_constraints,
             backend=solution.backend,
         )
+
+    # ------------------------------------------------------------------ #
+    def _solve_template(self, template: _ModelTemplate, form: MatrixForm) -> LPSolution:
+        """Solve one refreshed probe LP with the configured backend.
+
+        The in-house revised backend warm-starts every probe from the
+        template's persisted basis: the probe LPs have a zero objective, so
+        any basis stays dual feasible across the deadline/coefficient
+        refreshes and a re-solve is a few dual-simplex pivots.  Warm-started
+        vertices depend on the basis *history*, so witness schedules built
+        from them are a deterministic function of the probe's solve sequence
+        rather than of each LP in isolation — a CODE_EPOCH-gated semantic
+        (2005.6); within a run the sequence is deterministic, so results and
+        digests stay reproducible.  Every solve refreshes the stored basis
+        for the probes after it.
+        """
+        kind = self._backend_kind
+        if kind == "scipy":
+            return _scipy_solve_form(form)
+        if kind == "tableau":
+            return _tableau_solve_form(form)
+        if kind == "highspy":  # pragma: no cover - needs the repro[highs] extra
+            from ..lp.highs_backend import HighsWarmModel
+
+            model = template.highs_model
+            if isinstance(model, HighsWarmModel):
+                model.update_rows(form)
+            else:
+                model = HighsWarmModel(form)
+                template.highs_model = model
+            return model.solve()
+        if template.solver_handle is None:
+            template.solver_handle = ProgramHandle()
+        result = solve_matrix_form_revised(
+            form, warm_basis=template.basis, handle=template.solver_handle
+        )
+        if result.basis is not None:
+            template.basis = result.basis
+        return result.solution
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -107,8 +107,14 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
         self.parametric = parametric
         self.name = "online-offline" + ("-preemptive" if preemptive else "")
         self.divisible = not preemptive
+        # Rank-keyed: the verdict-only bisection probes collapse onto shared
+        # skeletons across events (same deadline-rank pattern), so the
+        # template's persisted basis warm-starts re-solves event-to-event,
+        # not just within one bisection.
         self._probe: Optional[ReplanProbe] = (
-            ReplanProbe(preemptive=preemptive, backend=backend) if parametric else None
+            ReplanProbe(preemptive=preemptive, backend=backend, rank_keyed=True)
+            if parametric
+            else None
         )
         self._plan: Optional[List[Tuple[int, int, float, float]]] = None
         self._plan_active: Optional[frozenset] = None
@@ -198,7 +204,12 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
         return remaining_subinstance(state.instance, state.time, active, remaining)
 
     def _feasible(
-        self, sub_instance: Instance, active: List[int], state: SimulationState, objective: float
+        self,
+        sub_instance: Instance,
+        active: List[int],
+        state: SimulationState,
+        objective: float,
+        build_schedule: bool = True,
     ):
         """Deadline-feasibility probe at objective value ``objective``."""
         instance = state.instance
@@ -209,13 +220,13 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
         if any(deadline < state.time for deadline in deadlines):
             return None
         if self._probe is not None:
-            return self._probe.check(sub_instance, deadlines, build_schedule=True)
+            return self._probe.check(sub_instance, deadlines, build_schedule=build_schedule)
         self._scratch_builds += 1
         return check_deadline_feasibility(
             sub_instance,
             deadlines,
             preemptive=self.preemptive,
-            build_schedule=True,
+            build_schedule=build_schedule,
             backend=self.backend,
         )
 
@@ -244,7 +255,14 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
             upper = max(upper, original.weight * (cursor - original.release_date))
         upper = max(upper, lower * (1.0 + self.relative_precision) + 1e-9)
 
-        best = self._feasible(sub_instance, active, state, upper)
+        # Verdict-only bisection: no witness schedule is materialised while
+        # narrowing the objective (on warm-start-capable backends these
+        # re-solves run a few dual-simplex pivots from the previous basis).
+        # One final solve at the accepted objective rebuilds the witness —
+        # the identical LP the last feasible probe answered, so the executed
+        # schedule is byte-identical to solving with witnesses throughout.
+        best = self._feasible(sub_instance, active, state, upper, build_schedule=False)
+        best_objective = upper
         steps = 0
         low, high = lower, upper
         while (
@@ -253,17 +271,22 @@ class OnlineOfflineAdaptationScheduler(OnlineScheduler):
             and steps < self.max_bisection_steps
         ):
             mid = 0.5 * (low + high)
-            probe = self._feasible(sub_instance, active, state, mid)
+            probe = self._feasible(sub_instance, active, state, mid, build_schedule=False)
             if probe is not None and probe.feasible:
                 high = mid
                 best = probe
+                best_objective = mid
             else:
                 low = mid
             steps += 1
 
         plan: List[Tuple[int, int, float, float]] = []
-        if best is not None and best.feasible and best.schedule is not None:
-            plan = self._plan_from_schedule(best.schedule, active)
+        if best is not None and best.feasible:
+            witness = self._feasible(
+                sub_instance, active, state, best_objective, build_schedule=True
+            )
+            if witness is not None and witness.feasible and witness.schedule is not None:
+                plan = self._plan_from_schedule(witness.schedule, active)
         self._plan = plan
         self._plan_active = frozenset(active)
         self._plan_time = state.time

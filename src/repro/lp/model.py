@@ -199,8 +199,10 @@ class LinearProgram:
         ----------
         backend:
             ``"scipy"`` (HiGHS through :func:`scipy.optimize.linprog`, the
-            default) or ``"simplex"`` (the in-house dense two-phase simplex,
-            intended for small cross-validation problems).
+            default), ``"simplex"``/``"revised"`` (the in-house sparse
+            revised simplex), ``"tableau"`` (the frozen dense tableau
+            reference) or ``"highspy"`` (native HiGHS, requires the
+            ``repro[highs]`` extra).
         kwargs:
             Passed through to the backend.
         """
@@ -208,10 +210,18 @@ class LinearProgram:
             from .scipy_backend import solve_with_scipy
 
             return solve_with_scipy(self, **kwargs)
-        if backend in ("simplex", "pure-python"):
+        if backend in ("simplex", "pure-python", "revised", "simplex-revised"):
             from .simplex import solve_with_simplex
 
             return solve_with_simplex(self, **kwargs)
+        if backend in ("tableau", "simplex-tableau"):
+            from .simplex import solve_with_tableau
+
+            return solve_with_tableau(self, **kwargs)
+        if backend == "highspy":
+            from .highs_backend import solve_with_highspy
+
+            return solve_with_highspy(self, **kwargs)
         raise ValueError(f"unknown LP backend {backend!r}")
 
     def solve_or_raise(self, backend: str = "scipy", **kwargs) -> LPSolution:

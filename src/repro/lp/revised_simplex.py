@@ -1,0 +1,977 @@
+"""Sparse revised simplex over :class:`MatrixForm` CSR blocks (ISSUE 9).
+
+The tableau backend (frozen in :mod:`repro.lp._tableau_legacy`) densifies the
+whole constraint matrix and rewrites every entry on every pivot — O(rows ×
+cols) per iteration and O(rows × cols) memory.  This module is the in-house
+fast path: a **revised** simplex that keeps the constraint matrix in the
+sparse blocks the lowering produced and maintains only a dense ``m × m``
+basis inverse.
+
+Differences from the legacy tableau (this is a *semantic* change — the
+optimal vertex reported for degenerate programs may differ — shipped with the
+``CODE_EPOCH`` 2005.5 → 2005.6 bump):
+
+* **Bounded variables are native.**  General ``lo <= x <= hi`` bounds are
+  handled by nonbasic-at-lower/at-upper statuses instead of the legacy
+  shift/reflect/split rewriting, so box bounds never become rows.
+* **Phase 1 only pays for what is infeasible.**  Artificials are introduced
+  only for equality rows and for inequality rows whose slack starts out of
+  bounds; in the replanning LPs (all capacity rows, non-negative lengths)
+  the slack basis is immediately feasible and phase 1 is skipped entirely.
+* **Deterministic Dantzig/Bland pivoting.**  Entering variables are picked
+  by most-negative reduced cost with ties broken towards the smallest
+  column index; after a long degenerate stall the rule permanently drops to
+  Bland's (smallest eligible index), which guarantees termination.
+* **Warm re-solves.**  :func:`solve_matrix_form_revised` accepts the
+  :class:`BasisState` of a previous solve of the *same skeleton* (possibly
+  with new bounds, right-hand sides or refreshed coefficient values) and
+  runs **dual simplex** iterations from that basis.  The probe LPs this is
+  built for stay dual feasible by construction — the System (2) feasibility
+  programs have a zero objective (any basis is dual feasible) and the
+  System (3) re-solves only move the objective variable's bounds — so a
+  refresh typically needs a handful of pivots instead of a full solve.
+  Anything that invalidates the warm start (singular refactorisation, dual
+  infeasibility, stalling) falls back to the cold path; the answer never
+  depends on whether the fast path was available.
+
+Like the tableau, constraint coefficients below :data:`_COEFF_DROP` are
+dropped before the solve (the PR 5 near-zero-pivot regression class), so the
+two in-house backends and HiGHS agree on which coefficients exist at all.
+
+Witness discipline: warm-started vertices depend on the *history* of bases,
+so a warm witness is a deterministic function of the caller's solve sequence
+rather than of each LP in isolation.  That is part of the CODE_EPOCH 2005.6
+semantics: within a run the sequence is deterministic, so schedules and
+digests reproduce exactly, but byte-identity against a history-free reference
+holds only for the verdict and objective, not the vertex.  Callers that need
+a history-free vertex must solve cold (omit ``warm_basis``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..obs.clock import wall_clock
+from ..obs.metrics import Recorder, get_recorder
+from .solution import LPSolution, LPStatus
+from .standard_form import MatrixForm, solve_constant_form
+
+__all__ = [
+    "BasisState",
+    "ProgramHandle",
+    "RevisedSolve",
+    "solve_matrix_form",
+    "solve_matrix_form_revised",
+]
+
+_EPS = 1e-9
+#: See the module docstring (and ``_tableau_legacy._COEFF_DROP``): keep the
+#: drop threshold byte-identical across the in-house backends.
+_COEFF_DROP = 1e-9
+#: Phase-1 infeasibility threshold, matching the legacy tableau.
+_FEAS_TOL = 1e-7
+#: Pivot elements smaller than this trigger a refactorisation (and a cold
+#: fallback on warm paths) instead of an unstable basis update.
+_PIVOT_TOL = 1e-11
+#: Pivots between full refactorisations of the basis inverse.
+_REFACTOR_EVERY = 100
+
+_BACKEND = "simplex-revised"
+
+# Nonbasic/basic variable statuses.
+_BASIC = 0
+_AT_LOWER = 1
+_AT_UPPER = 2
+_FREE = 3
+
+
+@dataclass
+class BasisState:
+    """Persistable optimal-basis snapshot of one revised-simplex solve.
+
+    ``basis`` holds the ``m`` basic column indices (structural columns first,
+    then one slack per inequality row); ``vstatus`` holds the
+    basic/at-lower/at-upper/free status of all ``n + m_ub`` columns.  A state
+    is only emitted when no artificial column remained basic, so it can be
+    refactorised against any refresh of the same skeleton.
+    """
+
+    basis: np.ndarray
+    vstatus: np.ndarray
+
+
+@dataclass
+class RevisedSolve:
+    """A solve plus the reusable basis (``None`` when not reusable)."""
+
+    solution: LPSolution
+    basis: Optional[BasisState]
+    warm_used: bool = False
+
+
+@dataclass
+class ProgramHandle:
+    """Opaque kept-alive solver state for repeated re-solves of one program.
+
+    When the caller presents a form whose matrix blocks, costs and bounds are
+    the *same objects* the cached program was assembled from — the
+    :class:`~repro.core.replanning.ReplanProbe` event cache guarantees exactly
+    that within one replanning event — only the right-hand sides can have
+    changed, so the previous factorisation is still exact: the re-solve skips
+    assembly and refactorisation entirely and goes straight to dual pivots.
+    Any mismatch silently falls back to the ``warm_basis``/cold paths.  The
+    handle holds strong references to the blocks, so object identity is sound.
+    """
+
+    program: Optional["_Program"] = None
+    blocks: Optional[Tuple[object, object, object, object]] = None
+
+    def matches(self, form: MatrixForm) -> bool:
+        blocks = self.blocks
+        return (
+            self.program is not None
+            and blocks is not None
+            and form.a_ub is blocks[0]
+            and form.a_eq is blocks[1]
+            and form.c is blocks[2]
+            and form.bounds is blocks[3]
+        )
+
+    def stash(self, program: "_Program", form: MatrixForm) -> None:
+        """Keep ``program`` for the next re-solve, if its basis is clean."""
+        if program.basis.size and bool((program.basis < program.n_total).all()):
+            self.program = program
+            self.blocks = (form.a_ub, form.a_eq, form.c, form.bounds)
+        else:
+            self.program = None
+            self.blocks = None
+
+
+class _Numerics(Exception):
+    """Internal: unrecoverable numerical trouble on the current basis."""
+
+
+def _csr_block(block: object, num_cols: int) -> sp.csr_matrix:
+    """Coerce a lowered block to CSR with sub-:data:`_COEFF_DROP` entries removed.
+
+    The input block is only copied when a sub-tolerance entry actually has to
+    be dropped — the hot re-solve path shares the caller's arrays.
+    """
+    if sp.issparse(block):
+        mat = block.tocsr()  # type: ignore[union-attr]
+    else:
+        arr = np.asarray(block, dtype=float)
+        if arr.size == 0:
+            return sp.csr_matrix((arr.shape[0], num_cols))
+        mat = sp.csr_matrix(arr)
+    if mat.nnz:
+        keep = np.abs(mat.data) >= _COEFF_DROP
+        if not keep.all():
+            mat = mat.copy()
+            mat.data = np.where(keep, mat.data, 0.0)
+            mat.eliminate_zeros()
+    return mat
+
+
+class _Program:
+    """The bounded standard form ``min c.x  s.t.  A x = b, lo <= x <= hi``.
+
+    ``A`` is the combined ``[[A_ub, I], [A_eq, 0]]`` system in CSC (column
+    access drives every FTRAN/pricing step); slacks are ordinary bounded
+    columns ``[0, inf)``.  Artificial columns are virtual — identity columns
+    addressed past ``n_total`` — so cold and warm solves share one matrix.
+    """
+
+    def __init__(self, form: MatrixForm, max_iterations: int) -> None:
+        n = form.num_variables
+        a_ub = _csr_block(form.a_ub, n)
+        a_eq = _csr_block(form.a_eq, n)
+        m_ub = a_ub.shape[0]
+        m_eq = a_eq.shape[0]
+        # Assemble [[A_ub, I], [A_eq, 0]] directly in CSC: stack the
+        # structural columns, then append one single-entry identity column
+        # per slack — far cheaper than hstack/eye/vstack block algebra on
+        # the per-re-solve path.
+        if m_ub and m_eq:
+            structural = sp.vstack([a_ub, a_eq], format="csc")
+        elif m_ub:
+            structural = a_ub.tocsc()
+        elif m_eq:
+            structural = a_eq.tocsc()
+        else:
+            structural = sp.csc_matrix((0, n))
+        nnz = structural.indptr[-1] if structural.indptr.size else 0
+        indptr = np.concatenate(
+            [structural.indptr, nnz + np.arange(1, m_ub + 1, dtype=structural.indptr.dtype)]
+        )
+        indices = np.concatenate(
+            [structural.indices, np.arange(m_ub, dtype=structural.indices.dtype)]
+        )
+        data = np.concatenate([structural.data, np.ones(m_ub)])
+        self.A = sp.csc_matrix(
+            (data, indices, indptr), shape=(m_ub + m_eq, n + m_ub)
+        )
+        #: Cached row-major transpose for pricing (``A.T @ y`` every
+        #: iteration); scipy would otherwise rebuild the transpose object on
+        #: each call, which dominated the warm re-solve profile.
+        self.AT = self.A.T.tocsr()
+        self.n = n
+        self.m_ub = m_ub
+        self.m = m_ub + m_eq
+        self.n_total = n + m_ub
+        self.b = np.concatenate([np.asarray(form.b_ub, dtype=float),
+                                 np.asarray(form.b_eq, dtype=float)])
+        self.c = np.concatenate([np.asarray(form.c, dtype=float), np.zeros(m_ub)])
+        bounds = np.asarray(form.bounds, dtype=float)
+        self.lo = np.concatenate([bounds[:, 0], np.zeros(m_ub)])
+        self.hi = np.concatenate([bounds[:, 1], np.full(m_ub, np.inf)])
+        self.max_iterations = max_iterations
+
+        # Artificial columns (cold solves only): column n_total + k is
+        # sign[k] * e_{row[k]}.
+        self.art_rows: np.ndarray = np.empty(0, dtype=np.intp)
+        self.art_signs: np.ndarray = np.empty(0, dtype=float)
+
+        # Mutable solver state, set up by _cold_start / _warm_start.
+        self.basis = np.empty(0, dtype=np.intp)
+        self.vstatus = np.empty(0, dtype=np.int8)
+        self.x = np.empty(0, dtype=float)
+        self.b_inv = np.empty((0, 0), dtype=float)
+        self.iterations = 0
+        #: Product-form updates applied since the last full refactorisation —
+        #: persists across re-solves of a kept-alive program, so drift cannot
+        #: accumulate unboundedly over a long refresh sequence.
+        self.updates_since = 0
+
+    # ------------------------------------------------------------------ #
+    # Column access (structural/slack from CSC, artificials virtual)     #
+    # ------------------------------------------------------------------ #
+    def _column(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        if j < self.n_total:
+            a = self.A
+            start, end = a.indptr[j], a.indptr[j + 1]
+            return a.indices[start:end], a.data[start:end]
+        k = j - self.n_total
+        return (
+            np.asarray([self.art_rows[k]], dtype=np.intp),
+            np.asarray([self.art_signs[k]], dtype=float),
+        )
+
+    def _ftran(self, j: int) -> np.ndarray:
+        idx, val = self._column(j)
+        if idx.size == 0:
+            return np.zeros(self.m)
+        return self.b_inv[:, idx] @ val
+
+    def _row_prices(self, vector: np.ndarray) -> np.ndarray:
+        """``A^T vector`` extended over the artificial columns."""
+        if not self.art_rows.size:
+            return self.AT @ vector
+        out = np.empty(self.n_total + self.art_rows.size)
+        out[: self.n_total] = self.AT @ vector
+        out[self.n_total:] = self.art_signs * vector[self.art_rows]
+        return out
+
+    def _nonbasic_values(self) -> np.ndarray:
+        """Full-length value vector with basic entries zeroed (for residuals)."""
+        v = self.x[: self.n_total].copy()
+        v[self.vstatus[: self.n_total] == _BASIC] = 0.0
+        return v
+
+    def _refactor(self) -> None:
+        cols = np.zeros((self.m, self.m))
+        structural = self.basis < self.n_total
+        if structural.any():
+            cols[:, structural] = self.A[:, self.basis[structural]].toarray()
+        for k in np.nonzero(~structural)[0]:
+            a = self.basis[k] - self.n_total
+            cols[self.art_rows[a], k] = self.art_signs[a]
+        try:
+            self.b_inv = np.linalg.inv(cols)
+        except np.linalg.LinAlgError as exc:
+            raise _Numerics("singular basis") from exc
+        self.updates_since = 0
+        residual = self.b - self.A @ self._nonbasic_values()
+        x_b = self.b_inv @ residual
+        self.x[self.basis] = x_b
+
+    def _update_inverse(self, r: int, w: np.ndarray) -> None:
+        """Product-form update after pivoting column with FTRAN ``w`` into row ``r``."""
+        pivot = w[r]
+        self.b_inv[r, :] /= pivot
+        scale = w.copy()
+        scale[r] = 0.0
+        self.b_inv -= np.outer(scale, self.b_inv[r, :])
+        self.updates_since += 1
+
+    def _rebind(self, form: MatrixForm) -> None:
+        """Install new right-hand sides, keeping the current factorisation.
+
+        Only valid when every matrix block, cost and bound of ``form`` is the
+        very object this program was assembled from (see
+        :class:`ProgramHandle`) — then the basis inverse stays exact and only
+        the basic values need recomputing.
+        """
+        self.b = np.concatenate(
+            [np.asarray(form.b_ub, dtype=float), np.asarray(form.b_eq, dtype=float)]
+        )
+        self.iterations = 0
+        if self.updates_since >= _REFACTOR_EVERY:
+            self._refactor()
+        else:
+            self.x[self.basis] = self.b_inv @ (self.b - self.A @ self._nonbasic_values())
+
+    # ------------------------------------------------------------------ #
+    # Primal simplex (cold phases)                                       #
+    # ------------------------------------------------------------------ #
+    def _primal(self, costs: np.ndarray, allow_enter: np.ndarray) -> str:
+        """Iterate to primal optimality.  Returns ``optimal``/``unbounded``/``limit``."""
+        m = self.m
+        bland = False
+        stall = 0
+        stall_limit = 3 * m + 100
+        since_refactor = 0
+        iters = 0
+        lo, hi = self.lo_ext, self.hi_ext
+        while iters < self.max_iterations:
+            c_b = costs[self.basis]
+            y = self.b_inv.T @ c_b
+            d = costs - self._row_prices(y)
+            status = self.vstatus
+            score = np.zeros_like(d)
+            at_lower = (status == _AT_LOWER) & allow_enter
+            at_upper = (status == _AT_UPPER) & allow_enter
+            free = (status == _FREE) & allow_enter
+            score[at_lower] = -d[at_lower]
+            score[at_upper] = d[at_upper]
+            score[free] = np.abs(d[free])
+            eligible = np.nonzero(score > _EPS)[0]
+            if eligible.size == 0:
+                self.iterations += iters
+                return "optimal"
+            if bland:
+                enter = int(eligible[0])
+            else:
+                enter = int(eligible[np.argmax(score[eligible])])
+            sigma = 1.0
+            if status[enter] == _AT_UPPER or (status[enter] == _FREE and d[enter] > 0):
+                sigma = -1.0
+
+            w = self._ftran(enter)
+            delta = sigma * w
+            x_b = self.x[self.basis]
+            ratios = np.full(m, np.inf)
+            up = delta > _EPS
+            if up.any():
+                room = np.maximum(x_b[up] - lo[self.basis[up]], 0.0)
+                ratios[up] = room / delta[up]
+            down = delta < -_EPS
+            if down.any():
+                room = np.maximum(hi[self.basis[down]] - x_b[down], 0.0)
+                ratios[down] = room / (-delta[down])
+            t_flip = hi[enter] - lo[enter]
+            min_ratio = ratios.min() if m else np.inf
+            if not np.isfinite(min_ratio) and not np.isfinite(t_flip):
+                self.iterations += iters
+                return "unbounded"
+
+            iters += 1
+            if t_flip < min_ratio:
+                # Bound flip: the entering variable crosses its whole range
+                # before any basic variable blocks — no basis change.
+                self.x[self.basis] = x_b - t_flip * delta
+                self.x[enter] = hi[enter] if sigma > 0 else lo[enter]
+                self.vstatus[enter] = _AT_UPPER if sigma > 0 else _AT_LOWER
+                continue
+
+            tie = np.nonzero(ratios <= min_ratio + _EPS)[0]
+            leave = int(tie[np.argmin(self.basis[tie])])
+            if abs(w[leave]) < _PIVOT_TOL:
+                # Unstable pivot: refactorise and retry once, then force
+                # Bland's rule so the stall cannot repeat forever.
+                self._refactor()
+                since_refactor = 0
+                if bland:
+                    self.iterations += iters
+                    return "limit"
+                bland = True
+                continue
+
+            t = min_ratio
+            leaving = int(self.basis[leave])
+            self.x[self.basis] = x_b - t * delta
+            self.x[enter] = self.x[enter] + sigma * t
+            bound = lo[leaving] if delta[leave] > 0 else hi[leaving]
+            self.x[leaving] = bound
+            self.vstatus[leaving] = _AT_LOWER if delta[leave] > 0 else _AT_UPPER
+            self._update_inverse(leave, w)
+            self.basis[leave] = enter
+            self.vstatus[enter] = _BASIC
+
+            if t <= _EPS:
+                stall += 1
+                if stall > stall_limit:
+                    bland = True
+            else:
+                stall = 0
+            since_refactor += 1
+            if since_refactor >= _REFACTOR_EVERY:
+                self._refactor()
+                since_refactor = 0
+        self.iterations += iters
+        return "limit"
+
+    # ------------------------------------------------------------------ #
+    # Cold start: slack basis + artificials, phase 1 / phase 2           #
+    # ------------------------------------------------------------------ #
+    def _cold_start(self) -> Optional[LPStatus]:
+        n_total, m = self.n_total, self.m
+        self.vstatus = np.empty(n_total, dtype=np.int8)
+        self.x = np.zeros(n_total)
+        for j in range(n_total):
+            lo, hi = self.lo[j], self.hi[j]
+            if np.isfinite(lo):
+                self.vstatus[j] = _AT_LOWER
+                self.x[j] = lo
+            elif np.isfinite(hi):
+                self.vstatus[j] = _AT_UPPER
+                self.x[j] = hi
+            else:
+                self.vstatus[j] = _FREE
+                self.x[j] = 0.0
+
+        # Residual once every column sits at its initial bound: inequality
+        # rows whose residual is a legal slack value take the slack into the
+        # basis; everything else gets an artificial.
+        residual = self.b - self.A @ self._structural_values()
+        basis: List[int] = []
+        art_rows: List[int] = []
+        art_signs: List[float] = []
+        art_values: List[float] = []
+        for i in range(m):
+            r = residual[i]
+            if i < self.m_ub and r >= 0.0:
+                basis.append(self.n + i)
+                self.vstatus[self.n + i] = _BASIC
+                self.x[self.n + i] = r
+            else:
+                sign = 1.0 if r >= 0 else -1.0
+                basis.append(n_total + len(art_rows))
+                art_rows.append(i)
+                art_signs.append(sign)
+                art_values.append(abs(r))
+        self.basis = np.asarray(basis, dtype=np.intp)
+        self.art_rows = np.asarray(art_rows, dtype=np.intp)
+        self.art_signs = np.asarray(art_signs, dtype=float)
+        n_art = self.art_rows.size
+
+        self.vstatus = np.concatenate(
+            [self.vstatus, np.full(n_art, _BASIC, dtype=np.int8)]
+        )
+        self.x = np.concatenate([self.x, np.asarray(art_values, dtype=float)])
+        self.lo_ext = np.concatenate([self.lo, np.zeros(n_art)])
+        self.hi_ext = np.concatenate([self.hi, np.full(n_art, np.inf)])
+        self._refactor()
+
+        if n_art:
+            phase1_costs = np.zeros(n_total + n_art)
+            phase1_costs[n_total:] = 1.0
+            allow = np.ones(n_total + n_art, dtype=bool)
+            allow[n_total:] = False  # artificials never re-enter
+            outcome = self._primal(phase1_costs, allow)
+            if outcome == "limit":
+                return LPStatus.ERROR
+            infeasibility = float(self.x[n_total:].sum())
+            if infeasibility > _FEAS_TOL:
+                return LPStatus.INFEASIBLE
+            self._drive_out_artificials()
+            # Pin every artificial (basic ones sit at zero on a redundant
+            # row; they may leave the basis but never move off zero).
+            self.hi_ext[n_total:] = 0.0
+            self.x[n_total:] = 0.0
+        else:
+            self.lo_ext = self.lo
+            self.hi_ext = self.hi
+        return None
+
+    def _structural_values(self) -> np.ndarray:
+        v = self.x[: self.n_total].copy()
+        v[self.vstatus[: self.n_total] == _BASIC] = 0.0
+        return v
+
+    def _drive_out_artificials(self) -> None:
+        for r in range(self.m):
+            if self.basis[r] < self.n_total:
+                continue
+            rho = self.b_inv[r, :]
+            alpha = self.A.T @ rho
+            nonbasic = self.vstatus[: self.n_total] != _BASIC
+            candidates = np.nonzero(nonbasic & (np.abs(alpha) > _FEAS_TOL))[0]
+            if candidates.size == 0:
+                continue  # redundant row: the artificial stays basic at zero
+            enter = int(candidates[0])
+            w = self._ftran(enter)
+            if abs(w[r]) < _PIVOT_TOL:
+                continue
+            leaving = int(self.basis[r])
+            self._update_inverse(r, w)
+            self.basis[r] = enter
+            self.vstatus[enter] = _BASIC
+            self.vstatus[leaving] = _AT_LOWER
+            # Degenerate exchange: the entering column joins the basis at its
+            # current (bound) value, the artificial leaves at zero.
+            self.x[leaving] = 0.0
+            self.iterations += 1
+
+    def _crash_start(self) -> bool:
+        """Deterministic slack/crash basis for zero-objective programs.
+
+        With an all-zero objective every basis is dual feasible, so a
+        feasibility program never needs phase 1: take the slack of every
+        inequality row and, for each equality row, the smallest-index
+        structural column with a usable coefficient (unused by other rows),
+        then run the dual simplex.  Returns ``False`` when no full crash
+        basis exists — the caller falls back to the classic two-phase path.
+        """
+        n_total, m = self.n_total, self.m
+        vstatus = np.empty(n_total, dtype=np.int8)
+        x = np.zeros(n_total)
+        for j in range(n_total):
+            lo, hi = self.lo[j], self.hi[j]
+            if np.isfinite(lo):
+                vstatus[j] = _AT_LOWER
+                x[j] = lo
+            elif np.isfinite(hi):
+                vstatus[j] = _AT_UPPER
+                x[j] = hi
+            else:
+                vstatus[j] = _FREE
+        basis = np.empty(m, dtype=np.intp)
+        used = np.zeros(n_total, dtype=bool)
+        for i in range(self.m_ub):
+            basis[i] = self.n + i
+            used[self.n + i] = True
+        if m > self.m_ub:
+            eq_rows = self.A.tocsr()[self.m_ub:]
+            eq_rows.sort_indices()  # smallest-column-first determinism
+            for r in range(self.m_ub, m):
+                start, end = eq_rows.indptr[r - self.m_ub], eq_rows.indptr[r - self.m_ub + 1]
+                chosen = -1
+                for j, a in zip(eq_rows.indices[start:end], eq_rows.data[start:end]):
+                    if not used[j] and abs(a) >= _FEAS_TOL:
+                        chosen = int(j)
+                        break
+                if chosen < 0:
+                    return False
+                basis[r] = chosen
+                used[chosen] = True
+        self.basis = basis
+        self.vstatus = vstatus
+        self.vstatus[basis] = _BASIC
+        self.x = x
+        self.lo_ext = self.lo
+        self.hi_ext = self.hi
+        self._refactor()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Warm start: dual simplex from a previous basis                     #
+    # ------------------------------------------------------------------ #
+    def _warm_start(self, state: BasisState) -> bool:
+        """Install ``state`` for this (possibly refreshed) program.
+
+        Returns ``False`` when the state cannot seed a dual solve (shape
+        mismatch, singular refactorisation, dual infeasibility) — the caller
+        then falls back to the cold path.
+        """
+        basis = np.asarray(state.basis, dtype=np.intp)
+        vstatus = np.asarray(state.vstatus, dtype=np.int8)
+        if basis.shape != (self.m,) or vstatus.shape != (self.n_total,):
+            return False
+        if basis.size and (basis.min() < 0 or basis.max() >= self.n_total):
+            return False
+        self.basis = basis.copy()
+        self.vstatus = vstatus.copy()
+        self.lo_ext = self.lo
+        self.hi_ext = self.hi
+        self.x = np.zeros(self.n_total)
+        nonbasic = self.vstatus != _BASIC
+        for j in np.nonzero(nonbasic)[0]:
+            lo, hi = self.lo[j], self.hi[j]
+            if self.vstatus[j] == _AT_LOWER and not np.isfinite(lo):
+                self.vstatus[j] = _AT_UPPER if np.isfinite(hi) else _FREE
+            elif self.vstatus[j] == _AT_UPPER and not np.isfinite(hi):
+                self.vstatus[j] = _AT_LOWER if np.isfinite(lo) else _FREE
+            if self.vstatus[j] == _AT_LOWER:
+                self.x[j] = lo
+            elif self.vstatus[j] == _AT_UPPER:
+                self.x[j] = hi
+        try:
+            self._refactor()
+        except _Numerics:
+            return False
+        y = self.b_inv.T @ self.c[self.basis]
+        d = self.c - self._row_prices(y)
+        lower_ok = (self.vstatus != _AT_LOWER) | (d >= -_FEAS_TOL)
+        upper_ok = (self.vstatus != _AT_UPPER) | (d <= _FEAS_TOL)
+        free_ok = (self.vstatus != _FREE) | (np.abs(d) <= _FEAS_TOL)
+        return bool((lower_ok & upper_ok & free_ok).all())
+
+    def _dual(self) -> str:
+        """Dual simplex to primal feasibility.  ``optimal``/``infeasible``/``limit``."""
+        m = self.m
+        iters = 0
+        since_refactor = 0
+        cap = min(self.max_iterations, 3 * m + 200)
+        # The System (2) feasibility programs have an all-zero objective:
+        # every reduced cost is exactly zero, so the dual ratio test
+        # degenerates to "first eligible column" — skip the pricing solve.
+        zero_costs = not self.c.any()
+        while iters < cap:
+            x_b = self.x[self.basis]
+            lo_b = self.lo[self.basis]
+            hi_b = self.hi[self.basis]
+            below = lo_b - x_b
+            above = x_b - hi_b
+            violation = np.maximum(below, above)
+            r = int(np.argmax(violation))
+            if violation[r] <= _FEAS_TOL:
+                self.iterations += iters
+                return "optimal"
+            is_below = below[r] >= above[r]
+
+            rho = self.b_inv[r, :]
+            alpha = self._row_prices(rho)
+            a2 = alpha if is_below else -alpha
+            status = self.vstatus
+            nonbasic_lower = status == _AT_LOWER
+            nonbasic_upper = status == _AT_UPPER
+            nonbasic_free = status == _FREE
+            if zero_costs:
+                eligible = (
+                    (nonbasic_lower & (a2 < -_EPS))
+                    | (nonbasic_upper & (a2 > _EPS))
+                    | (nonbasic_free & (np.abs(a2) > _EPS))
+                )
+                if not eligible.any():
+                    self.iterations += iters
+                    return "infeasible"
+                # Any entering column keeps dual feasibility when c == 0, so
+                # the choice is free: take the largest |pivot| (first index on
+                # ties).  First-eligible would be Bland's rule, which stalls
+                # for ~m near-degenerate pivots on these programs.
+                enter = int(np.argmax(np.where(eligible, np.abs(a2), -1.0)))
+            else:
+                y = self.b_inv.T @ self.c[self.basis]
+                d = self.c - self._row_prices(y)
+                ratios = np.full(self.n_total, np.inf)
+                sel = nonbasic_lower & (a2 < -_EPS)
+                ratios[sel] = np.maximum(d[sel], 0.0) / (-a2[sel])
+                sel = nonbasic_upper & (a2 > _EPS)
+                ratios[sel] = np.maximum(-d[sel], 0.0) / a2[sel]
+                sel = nonbasic_free & (np.abs(a2) > _EPS)
+                ratios[sel] = np.abs(d[sel]) / np.abs(a2[sel])
+                enter = int(np.argmin(ratios))
+                if not np.isfinite(ratios[enter]):
+                    self.iterations += iters
+                    return "infeasible"
+
+            target = lo_b[r] if is_below else hi_b[r]
+            t = (x_b[r] - target) / alpha[enter]
+            w = self._ftran(enter)
+            if abs(w[r]) < _PIVOT_TOL:
+                raise _Numerics("dual pivot below tolerance")
+            leaving = int(self.basis[r])
+            self.x[self.basis] = x_b - t * w
+            self.x[enter] = self.x[enter] + t
+            self.x[leaving] = target
+            self.vstatus[leaving] = _AT_LOWER if is_below else _AT_UPPER
+            self._update_inverse(r, w)
+            self.basis[r] = enter
+            self.vstatus[enter] = _BASIC
+            self.x[self.basis[r]] = self.x[enter]
+
+            iters += 1
+            since_refactor += 1
+            if since_refactor >= _REFACTOR_EVERY:
+                self._refactor()
+                since_refactor = 0
+        self.iterations += iters
+        return "limit"
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Optional[BasisState]:
+        """The reusable basis, or ``None`` when an artificial is still basic."""
+        if (self.basis >= self.n_total).any():
+            return None
+        return BasisState(
+            basis=self.basis.copy(), vstatus=self.vstatus[: self.n_total].copy()
+        )
+
+
+def _solve_boxed(form: MatrixForm) -> LPSolution:
+    """The constraint-free case: minimise ``c.x`` over the box alone."""
+    c = np.asarray(form.c, dtype=float)
+    bounds = np.asarray(form.bounds, dtype=float)
+    x = np.zeros(c.shape[0])
+    for j, cost in enumerate(c):
+        lo, hi = bounds[j]
+        if cost > _EPS:
+            if not np.isfinite(lo):
+                return LPSolution(status=LPStatus.UNBOUNDED, backend=_BACKEND)
+            x[j] = lo
+        elif cost < -_EPS:
+            if not np.isfinite(hi):
+                return LPSolution(status=LPStatus.UNBOUNDED, backend=_BACKEND)
+            x[j] = hi
+        elif np.isfinite(lo):
+            x[j] = lo
+        elif np.isfinite(hi):
+            x[j] = hi
+    if (bounds[:, 0] > bounds[:, 1] + _EPS).any():
+        return LPSolution(status=LPStatus.INFEASIBLE, backend=_BACKEND)
+    minimised = float(c @ x)
+    return LPSolution(
+        status=LPStatus.OPTIMAL,
+        objective_value=form.restore_objective(minimised),
+        values={j: float(v) for j, v in enumerate(x)},
+        backend=_BACKEND,
+        iterations=0,
+    )
+
+
+def _extract(program: _Program, form: MatrixForm) -> LPSolution:
+    x = program.x[: program.n]
+    minimised = float(np.asarray(form.c, dtype=float) @ x)
+    return LPSolution(
+        status=LPStatus.OPTIMAL,
+        objective_value=form.restore_objective(minimised),
+        values={j: float(v) for j, v in enumerate(x)},
+        backend=_BACKEND,
+        iterations=program.iterations,
+    )
+
+
+def _cold_solve(
+    program: _Program, form: MatrixForm, recorder: Recorder
+) -> Tuple[LPSolution, Optional[BasisState]]:
+    if not program.c.any():
+        # Zero-objective (pure feasibility) program: any basis is dual
+        # feasible, so crash a deterministic slack basis and dual-solve —
+        # no artificials, no phase 1.  Anything unusable about the crash
+        # (no candidate columns, singular basis, dual stall) falls through
+        # to the classic two-phase path below.
+        started = wall_clock() if recorder.enabled else 0.0
+        outcome = "limit"
+        try:
+            if program._crash_start():
+                outcome = program._dual()
+        except _Numerics:
+            outcome = "limit"
+        if recorder.enabled:
+            recorder.observe("lp.time.revised.crash", wall_clock() - started)
+        if outcome == "infeasible":
+            return (
+                LPSolution(
+                    status=LPStatus.INFEASIBLE,
+                    backend=_BACKEND,
+                    iterations=program.iterations,
+                ),
+                program.snapshot(),
+            )
+        if outcome == "optimal":
+            try:
+                program._refactor()
+                return _extract(program, form), program.snapshot()
+            except _Numerics:
+                pass
+        # "limit"/numerics: _cold_start rebuilds every piece of state, so the
+        # two-phase fallback below starts pristine.
+        program.iterations = 0
+
+    started = wall_clock() if recorder.enabled else 0.0
+    status = program._cold_start()
+    if status is LPStatus.ERROR:
+        return (
+            LPSolution(
+                status=LPStatus.ERROR,
+                backend=_BACKEND,
+                iterations=program.iterations,
+                message="phase-1 iteration limit",
+            ),
+            None,
+        )
+    if recorder.enabled:
+        recorder.observe("lp.time.revised.phase1", wall_clock() - started)
+    if status is LPStatus.INFEASIBLE:
+        return (
+            LPSolution(
+                status=LPStatus.INFEASIBLE,
+                backend=_BACKEND,
+                iterations=program.iterations,
+            ),
+            program.snapshot(),
+        )
+
+    started = wall_clock() if recorder.enabled else 0.0
+    costs = np.concatenate([program.c, np.zeros(program.art_rows.size)])
+    allow = np.ones(costs.shape[0], dtype=bool)
+    allow[program.n_total:] = False
+    outcome = program._primal(costs, allow)
+    if recorder.enabled:
+        recorder.observe("lp.time.revised.phase2", wall_clock() - started)
+    if outcome == "limit":
+        return (
+            LPSolution(
+                status=LPStatus.ERROR,
+                backend=_BACKEND,
+                iterations=program.iterations,
+                message="phase-2 iteration limit",
+            ),
+            None,
+        )
+    if outcome == "unbounded":
+        return (
+            LPSolution(
+                status=LPStatus.UNBOUNDED,
+                backend=_BACKEND,
+                iterations=program.iterations,
+            ),
+            None,
+        )
+    program._refactor()  # flush accumulated update dirt before reading x
+    return _extract(program, form), program.snapshot()
+
+
+def solve_matrix_form_revised(
+    form: MatrixForm,
+    max_iterations: int = 20000,
+    *,
+    warm_basis: Optional[BasisState] = None,
+    handle: Optional[ProgramHandle] = None,
+    recorder: Optional[Recorder] = None,
+) -> RevisedSolve:
+    """Solve a lowered :class:`MatrixForm`, optionally warm-starting.
+
+    With ``warm_basis`` (the :class:`RevisedSolve.basis` of a previous solve
+    of the same skeleton) the solver refactorises that basis against the
+    current coefficients and runs dual-simplex iterations; when anything
+    about the warm start is unusable it silently falls back to the cold
+    two-phase solve, so the verdict never depends on the fast path.
+
+    With ``handle`` the assembled program itself is kept alive between calls:
+    when the presented form shares every matrix block with the cached program
+    (rhs-only refresh, see :class:`ProgramHandle`) the re-solve skips assembly
+    *and* refactorisation; otherwise the handle is refilled from this solve.
+    """
+    rec = recorder if recorder is not None else get_recorder()
+    if form.num_variables == 0:
+        return RevisedSolve(solve_constant_form(form, _BACKEND), None)
+    if (np.asarray(form.bounds)[:, 0] > np.asarray(form.bounds)[:, 1] + _EPS).any():
+        return RevisedSolve(
+            LPSolution(status=LPStatus.INFEASIBLE, backend=_BACKEND), None
+        )
+
+    if handle is not None and handle.matches(form):
+        program = handle.program
+        assert program is not None  # matches() guarantees it
+        started = wall_clock() if rec.enabled else 0.0
+        outcome = "limit"
+        try:
+            program._rebind(form)
+            outcome = program._dual()
+        except _Numerics:
+            outcome = "limit"
+        if outcome != "limit":
+            if rec.enabled:
+                rec.count("lp.solves")
+                rec.count("lp.warm_start_hits")
+                rec.observe("lp.iterations", float(program.iterations))
+                rec.observe("lp.time.revised.dual", wall_clock() - started)
+            if outcome == "infeasible":
+                return RevisedSolve(
+                    LPSolution(
+                        status=LPStatus.INFEASIBLE,
+                        backend=_BACKEND,
+                        iterations=program.iterations,
+                    ),
+                    program.snapshot(),
+                    warm_used=True,
+                )
+            if program.updates_since:
+                program._refactor()
+            return RevisedSolve(
+                _extract(program, form), program.snapshot(), warm_used=True
+            )
+        # Poisoned kept-alive state: drop it and rebuild from scratch below.
+        handle.program = None
+        handle.blocks = None
+
+    program = _Program(form, max_iterations)
+    if program.m == 0:
+        return RevisedSolve(_solve_boxed(form), None)
+
+    warm_used = False
+    if warm_basis is not None:
+        started = wall_clock() if rec.enabled else 0.0
+        try:
+            if program._warm_start(warm_basis):
+                outcome = program._dual()
+                if outcome != "limit":
+                    warm_used = True
+                    if rec.enabled:
+                        rec.count("lp.solves")
+                        rec.count("lp.warm_start_hits")
+                        rec.observe("lp.iterations", float(program.iterations))
+                        rec.observe("lp.time.revised.dual", wall_clock() - started)
+                    if outcome == "infeasible":
+                        if handle is not None:
+                            handle.stash(program, form)
+                        return RevisedSolve(
+                            LPSolution(
+                                status=LPStatus.INFEASIBLE,
+                                backend=_BACKEND,
+                                iterations=program.iterations,
+                            ),
+                            program.snapshot(),
+                            warm_used=True,
+                        )
+                    if program.updates_since:
+                        program._refactor()
+                    if handle is not None:
+                        handle.stash(program, form)
+                    return RevisedSolve(
+                        _extract(program, form), program.snapshot(), warm_used=True
+                    )
+        except _Numerics:
+            pass
+        # Fall through: rebuild untouched state for the cold solve.
+        program = _Program(form, max_iterations)
+
+    try:
+        solution, basis = _cold_solve(program, form, rec)
+    except _Numerics as exc:
+        solution, basis = (
+            LPSolution(status=LPStatus.ERROR, backend=_BACKEND, message=str(exc)),
+            None,
+        )
+    if rec.enabled:
+        rec.count("lp.solves")
+        rec.count("lp.cold_solves")
+        rec.observe("lp.iterations", float(solution.iterations or 0))
+    if handle is not None:
+        if basis is not None:
+            handle.stash(program, form)
+        else:
+            handle.program = None
+            handle.blocks = None
+    return RevisedSolve(solution, basis, warm_used=warm_used)
+
+
+def solve_matrix_form(form: MatrixForm, max_iterations: int = 20000) -> LPSolution:
+    """Cold revised-simplex solve of ``form`` (the in-house fast path)."""
+    return solve_matrix_form_revised(form, max_iterations).solution

@@ -19,6 +19,7 @@ Two entry points are exposed:
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict
 
 from scipy.optimize import linprog
@@ -29,6 +30,10 @@ from .solution import LPSolution, LPStatus
 from .standard_form import MatrixForm, solve_constant_form, to_matrix_form
 
 __all__ = ["solve_with_scipy", "solve_matrix_form"]
+
+#: Set once the dense fallback for non-HiGHS methods has been reported, so a
+#: probe loop re-solving thousands of forms warns exactly once per process.
+_densify_warned = False
 
 #: Mapping from scipy ``OptimizeResult.status`` codes to our statuses.
 _SCIPY_STATUS = {
@@ -43,9 +48,13 @@ _SCIPY_STATUS = {
 def solve_matrix_form(form: MatrixForm, method: str = "highs", **options) -> LPSolution:
     """Solve a lowered :class:`MatrixForm` with :func:`scipy.optimize.linprog`.
 
-    ``form`` may hold dense or CSR constraint blocks; only the HiGHS family of
-    methods consumes CSR directly, so the form is densified for legacy
-    methods.
+    ``form`` may hold dense or CSR constraint blocks.  Only the HiGHS family
+    of methods consumes CSR directly; legacy methods (``"simplex"``,
+    ``"revised simplex"``, ``"interior-point"``) force a dense copy of every
+    constraint block, which on the lowering-bench LPs multiplies memory by the
+    fill-in factor.  That fallback used to happen silently — it now emits a
+    one-time :class:`RuntimeWarning` so callers know they lost the sparse
+    path.
     """
     if form.num_variables == 0:
         # linprog rejects an empty cost vector; a variable-free program is
@@ -53,6 +62,17 @@ def solve_matrix_form(form: MatrixForm, method: str = "highs", **options) -> LPS
         return solve_constant_form(form, "scipy-highs")
 
     if form.is_sparse and not method.startswith("highs"):
+        global _densify_warned
+        if not _densify_warned:
+            _densify_warned = True
+            warnings.warn(
+                f"scipy method {method!r} cannot consume sparse constraint "
+                "blocks; densifying the lowered form (only HiGHS methods "
+                "keep the CSR lowering). This warning is emitted once per "
+                "process.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         form = form.densified()
 
     result = linprog(

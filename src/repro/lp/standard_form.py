@@ -10,14 +10,20 @@ problem over the model's original variables with
 The constraint blocks come in two flavours selected by the ``sparse`` flag of
 :func:`to_matrix_form`:
 
-* **dense** (`numpy.ndarray`) — the historical representation, required by the
-  in-house tableau simplex and convenient for small cross-validation LPs;
+* **dense** (`numpy.ndarray`) — the historical representation, still required
+  by the frozen reference tableau simplex
+  (:mod:`repro.lp._tableau_legacy`) and convenient for small
+  cross-validation LPs;
 * **sparse** (`scipy.sparse.csr_matrix`) — the production representation.  The
   allocation LPs of the scheduling modules have a few non-zeros per row but
   thousands of columns, so dense lowering wastes O(rows x cols) work and
-  memory where the sparse path is O(nnz).  HiGHS (the production backend)
-  consumes CSR blocks directly; :meth:`MatrixForm.densified` converts back for
-  the simplex backend.
+  memory where the sparse path is O(nnz).  Both production solvers consume
+  CSR blocks directly: HiGHS via :mod:`repro.lp.scipy_backend` (HiGHS
+  methods only — legacy scipy methods densify with a one-time warning) and
+  the in-house revised simplex of :mod:`repro.lp.revised_simplex`, which
+  works on the CSR/CSC blocks without ever materialising a dense tableau.
+  :meth:`MatrixForm.densified` converts back for the frozen tableau
+  reference.
 
 Assembly is vectorised in both flavours: coefficients are collected as COO
 triplets in flat Python lists and scattered into the target matrix in one
@@ -101,9 +107,12 @@ class MatrixForm:
     def densified(self) -> "MatrixForm":
         """Return an equivalent form with dense constraint blocks.
 
-        Returns ``self`` when the form is already dense; the vectors and the
-        bounds list are shared either way (they are never mutated by the
-        backends).
+        Only the frozen tableau reference (:mod:`repro.lp._tableau_legacy`)
+        and scipy's legacy non-HiGHS methods need this; the production
+        solvers (HiGHS, the in-house revised simplex) consume the CSR blocks
+        directly.  Returns ``self`` when the form is already dense; the
+        vectors and the bounds list are shared either way (they are never
+        mutated by the backends).
         """
         if not self.is_sparse:
             return self

@@ -37,7 +37,7 @@ class _DigestableInstance(Protocol):
 #: modules whose edits require a bump is declared in
 #: :data:`repro.lint.epoch.SEMANTIC_MANIFEST` and enforced, git-diff-aware,
 #: by the ``epoch-guard`` lint rule (see ROADMAP.md, "Project invariants").
-CODE_EPOCH = "2005.5"  # MSER-5 saturation detection changes digested reports
+CODE_EPOCH = "2005.6"  # revised-simplex LP path changes degenerate-vertex choices
 
 
 def canonical_digest(payload: Mapping[str, Any]) -> str:

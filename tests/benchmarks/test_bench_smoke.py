@@ -137,6 +137,104 @@ def test_rank_keyed_probe_smoke():
     )
 
 
+def test_revised_simplex_smoke(monkeypatch):
+    """bench_lp_backends: the revised-simplex assertion path at toy size.
+
+    The tier-2 bench asserts the revised solver beats the dense tableau on
+    the big lowering LP; tier-1 never times anything, so this twin pins the
+    structural claims that speed rests on: the revised solve consumes the
+    sparse System (3) lowering *without densifying it* and agrees with both
+    scipy and the frozen tableau on the objective.
+    """
+    from bench_lp_backends import _largest_bench_lp
+
+    from repro.lp import to_matrix_form
+    from repro.lp.revised_simplex import solve_matrix_form_revised
+    from repro.lp.scipy_backend import solve_matrix_form as scipy_solve
+    from repro.lp.simplex import solve_matrix_form_tableau
+    from repro.lp.standard_form import MatrixForm
+
+    # (6, 3) lands on an infeasible milestone range, (12, 4) on a feasible
+    # one: both verdicts must agree with scipy before any timing means much.
+    infeasible_form = to_matrix_form(_largest_bench_lp(6, 3), sparse=True)
+    assert (
+        solve_matrix_form_revised(infeasible_form).solution.status
+        is scipy_solve(infeasible_form).status
+    )
+
+    model = _largest_bench_lp(12, 4)
+    sparse_form = to_matrix_form(model, sparse=True)
+    assert sparse_form.is_sparse
+    tableau = solve_matrix_form_tableau(to_matrix_form(model, sparse=False))
+    reference = scipy_solve(to_matrix_form(model, sparse=True))
+
+    monkeypatch.setattr(
+        MatrixForm,
+        "densified",
+        lambda self: (_ for _ in ()).throw(
+            AssertionError("revised simplex must not densify")
+        ),
+    )
+    revised = solve_matrix_form_revised(sparse_form)
+    assert revised.solution.is_optimal
+    for other in (tableau, reference):
+        assert abs(
+            revised.solution.objective_value - other.objective_value
+        ) <= 1e-6 * (1.0 + abs(other.objective_value))
+
+
+def test_lp_warm_start_smoke():
+    """bench_replanning warm-start identity: warm probes equal cold answers.
+
+    The tier-2 bench asserts the >= 2x replanning speedup; this twin pins
+    the identity contract underneath it: a ``revised``-backed probe re-solving
+    a drifting objective sequence must (a) actually hit the warm-start path
+    and (b) return the same verdicts as the scipy-backed from-scratch
+    reference at every step.
+    """
+    from repro.core import check_deadline_feasibility
+    from repro.core.replanning import ReplanProbe
+    from repro.obs.metrics import MetricsRecorder, install_recorder
+    from repro.workload import random_unrelated_instance
+
+    instance = random_unrelated_instance(6, 3, forbidden_probability=0.0, seed=5)
+    probe = ReplanProbe(backend="revised")
+    recorder = MetricsRecorder()
+    previous = install_recorder(recorder)
+    try:
+        for objective in (5.0, 8.0, 12.0, 20.0, 35.0, 60.0):
+            deadlines = [job.release_date + objective for job in instance.jobs]
+            warm = probe.check(instance, deadlines, build_schedule=False)
+            scratch = check_deadline_feasibility(
+                instance, deadlines, build_schedule=False, backend="scipy"
+            )
+            assert warm.feasible == scratch.feasible, objective
+    finally:
+        install_recorder(previous)
+    counters = recorder.snapshot()["counters"]
+    assert counters.get("lp.warm_start_hits", 0.0) > 0
+    assert counters["lp.solves"] > counters["lp.cold_solves"]
+
+
+def test_quick_bench_lp_row_smoke():
+    """run_quick_bench.bench_lp_warm_start: the LP row's asserts hold at toy size.
+
+    The tier-2 speedup floor stays in ``bench_replanning.py``; this twin
+    pins the row's structure: the kept-alive fast path dominates (more warm
+    hits than cold solves), the per-phase timings include the warm dual
+    re-solve, and the counters are mutually consistent.
+    """
+    import importlib
+
+    module = importlib.import_module("run_quick_bench")
+    row = module.bench_lp_warm_start(num_jobs=8)
+    assert row["warm_start_hits"] > row["cold_solves"] > 0
+    assert 0.0 < row["warm_hit_rate"] <= 1.0
+    assert row["pivots"] > 0
+    assert "revised.dual" in row["phase_seconds"]
+    assert row["lp_solves"] >= row["warm_start_hits"] + row["cold_solves"]
+
+
 def test_obs_overhead_smoke():
     """bench_obs_overhead: the structural zero-overhead contract at toy size.
 

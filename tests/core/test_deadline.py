@@ -37,7 +37,11 @@ class TestBasicFeasibility:
         # Bench records key on the backend name; the early exit used to
         # report an empty string.  The label must match what a real solve of
         # the same system would report.
-        for requested, label in (("scipy", "scipy-highs"), ("simplex", "simplex")):
+        for requested, label in (
+            ("scipy", "scipy-highs"),
+            ("simplex", "simplex-revised"),
+            ("tableau", "simplex"),
+        ):
             rejected = check_deadline_feasibility(
                 tiny_instance, [10.0, 0.5, 10.0], backend=requested
             )

@@ -57,7 +57,7 @@ class TestIdentityWithFromScratch:
         scratch = check_deadline_feasibility(sub, deadlines, backend="simplex")
         answer = probe.check(sub, deadlines)
         assert answer.feasible == scratch.feasible
-        assert answer.backend == scratch.backend == "simplex"
+        assert answer.backend == scratch.backend == "simplex-revised"
 
     def test_restricted_platforms_with_forbidden_pairs(self):
         probe = ReplanProbe()

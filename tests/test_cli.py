@@ -37,6 +37,22 @@ class TestInfoAndScenario:
         output = capsys.readouterr().out
         assert "mct" in output and "small-cluster" in output
 
+    def test_info_lp_backends_lists_the_inventory(self, capsys):
+        assert main(["info", "--lp-backends"]) == 0
+        output = capsys.readouterr().out
+        assert "scipy-highs" in output
+        assert "simplex-revised" in output
+        assert "warm-start" in output
+        # The highspy row reports availability instead of hiding the backend.
+        assert "highspy" in output
+        from repro.lp.highs_backend import HIGHSPY_AVAILABLE
+
+        expected = "available" if HIGHSPY_AVAILABLE else "unavailable"
+        highspy_line = next(
+            line for line in output.splitlines() if line.strip().startswith("highspy")
+        )
+        assert expected in highspy_line
+
     def test_scenario_list(self, capsys):
         assert main(["scenario", "list"]) == 0
         output = capsys.readouterr().out
