@@ -66,7 +66,8 @@ from ..core.instance import Instance
 from ..core.maxflow import FeasibilityProbe
 from ..exceptions import WorkloadError
 from ..obs.clock import wall_clock
-from ..obs.metrics import get_recorder
+from ..obs.journal import RunJournal
+from ..obs.metrics import collecting, get_recorder
 from ..heuristics import OnlinePolicy, PolicyOutcome, make_policy
 from ..heuristics.registry import (
     OFFLINE_OPTIMAL,
@@ -338,6 +339,10 @@ class _CampaignItem:
     emit_offline: bool
     scheduler_factory: Optional[Callable[[str], object]] = None
     pinned_optimum: Optional[float] = None
+    #: Run the item under a scoped recorder and ship the snapshot back, so
+    #: the parent can fold worker-side metrics deterministically (set when
+    #: the driver's ambient recorder supports ``merge_snapshot``).
+    collect_metrics: bool = False
 
 
 @dataclass
@@ -347,6 +352,10 @@ class _ItemResult:
     probe_constructions: int
     offline_solves: int = 0
     optimum: Optional[float] = None
+    #: Scoped-recorder snapshot of the item (``collect_metrics`` only).
+    snapshot: Optional[Dict[str, Dict[str, object]]] = None
+    worker_pid: int = 0
+    elapsed_seconds: float = 0.0
 
 
 #: Per-process LRU of workload contexts: (dispatch id, workload index) ->
@@ -496,11 +505,30 @@ def _compatible_probe(
 
 
 def _run_campaign_item(item: _CampaignItem) -> _ItemResult:
-    """Measure one item: (workload, policy chunk), sharing the workload context.
+    """Measure one item: (workload, policy chunk), with telemetry envelope.
 
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
-    pickle it; also the in-process execution path.
+    pickle it; also the in-process execution path.  When the item asks for
+    ``collect_metrics``, the measurement runs under a scoped recorder and
+    the snapshot ships back with the result — the parent folds it in
+    deterministic emission order, so sequential and parallel dispatch
+    build byte-identical merged snapshots.
     """
+    started = wall_clock()
+    if item.collect_metrics:
+        with collecting() as item_recorder:
+            result = _execute_campaign_item(item)
+            item_recorder.observe("campaign.chunk_seconds", wall_clock() - started)
+        result.snapshot = item_recorder.snapshot()
+    else:
+        result = _execute_campaign_item(item)
+    result.elapsed_seconds = wall_clock() - started
+    result.worker_pid = os.getpid()
+    return result
+
+
+def _execute_campaign_item(item: _CampaignItem) -> _ItemResult:
+    """The measurement itself: (workload, policy chunk) over a shared context."""
     instance, offline, optimum, probe, constructed, solved = _workload_context(item)
     records: List[CampaignRecord] = []
     if item.emit_offline:
@@ -619,6 +647,7 @@ def _plan_items(
     resume: bool,
     digester: Optional[Callable[..., str]],
     key_cache: Optional[Dict[int, str]] = None,
+    collect_metrics: bool = False,
 ) -> List[_ItemPlan]:
     """Consult the store for a batch of items and shrink each to its missing cells.
 
@@ -688,7 +717,11 @@ def _plan_items(
             reduced: Optional[_CampaignItem] = None
         else:
             reduced = replace(
-                item, policies=missing, emit_offline=offline_needed, pinned_optimum=pinned
+                item,
+                policies=missing,
+                emit_offline=offline_needed,
+                pinned_optimum=pinned,
+                collect_metrics=collect_metrics,
             )
         plans.append(
             _ItemPlan(
@@ -719,6 +752,7 @@ def stream_campaign(
     store: Optional[Union[str, Path, "ExperimentStore"]] = None,
     resume: bool = False,
     run_label: Optional[str] = None,
+    journal: Optional[Union[str, Path, RunJournal]] = None,
 ) -> Iterator[CampaignRecord]:
     """Yield campaign records incrementally, in deterministic order.
 
@@ -762,6 +796,13 @@ def stream_campaign(
         ``stats.resumed_records``) and only the missing cells are computed.
     run_label:
         Label of the run registered in the store (default ``"campaign"``).
+    journal:
+        Append lifecycle events (run started/finished, cell dispatched /
+        completed / skipped-by-resume, worker heartbeats, batch commits)
+        to this :class:`~repro.obs.journal.RunJournal` (a path opens — and
+        closes — one for the duration).  The journal is a reporting
+        artefact on the wall clock: records, digests and fingerprints are
+        byte-identical with journaling on or off.
 
     Yields
     ------
@@ -816,6 +857,29 @@ def stream_campaign(
         own_stats.store_run_id = run_id
         writer = store.writer(run_id)
 
+    own_journal: Optional[RunJournal] = None
+    if journal is not None:
+        if not isinstance(journal, RunJournal):
+            journal = own_journal = RunJournal(journal)
+        try:
+            spec_total: Optional[int] = len(specs)  # type: ignore[arg-type]
+        except TypeError:
+            spec_total = None  # generator sweep: cell count unknown up front
+        journal_config: Dict[str, object] = {
+            "policies": list(policies),
+            "include_offline": include_offline,
+            "chunk_size": chunk_size,
+            "max_workers": max_workers,
+            "resume": resume,
+        }
+        if spec_total is not None:
+            journal_config["total_cells"] = spec_total * (
+                len(policies) + (1 if include_offline else 0)
+            )
+        if run_id is not None:
+            journal_config["store_run_id"] = run_id
+        journal.begin_run("campaign", run_label or "campaign", journal_config)
+
     dispatch_id = next(_DISPATCH_COUNTER)
     items = _campaign_items(
         specs,
@@ -827,8 +891,54 @@ def stream_campaign(
     )
     start = wall_clock()
     recorder = get_recorder()
+    # Cross-process aggregation (ISSUE 10): when the ambient recorder can
+    # fold snapshots, EVERY item — in-process ones included — runs under a
+    # scoped recorder and is folded at deterministic emission order, so the
+    # merged driver snapshot is byte-identical at any worker count.
+    # Protocol recorders without ``merge_snapshot`` keep the pre-fold
+    # behaviour (in-process items record directly; worker-side telemetry
+    # stays per cell).
+    merge = getattr(recorder, "merge_snapshot", None) if recorder.enabled else None
     seen_workloads = -1
     workload_keys: Dict[int, str] = {}  # content_key memo, see _plan_item
+    worker_progress: Dict[str, int] = {}  # journal heartbeat item counts
+    last_commits = 0  # journalled batch-commit watermark
+
+    def journal_cell(event: str, plan: _ItemPlan, **fields: object) -> None:
+        if journal is None:
+            return
+        if plan.item is not None:
+            names = (
+                [OFFLINE_OPTIMAL] if plan.item.emit_offline else []
+            ) + list(plan.item.policies)
+        else:
+            names = [slot.policy for slot in plan.slots]
+        journal.record(
+            event,
+            cell=f"{plan.spec.label}#{plan.index}",
+            workload=plan.spec.label,
+            item=plan.index,
+            policies=names,
+            **fields,
+        )
+
+    def journal_completed(plan: _ItemPlan, result: _ItemResult) -> None:
+        journal_cell(
+            "cell-completed",
+            plan,
+            cells=len(result.records),
+            elapsed=result.elapsed_seconds,
+            worker=f"p{result.worker_pid}",
+        )
+
+    def journal_heartbeat(result: _ItemResult) -> None:
+        if journal is None:
+            return
+        worker = f"p{result.worker_pid}"
+        worker_progress[worker] = worker_progress.get(worker, 0) + 1
+        journal.record(
+            "worker-heartbeat", worker=worker, items=worker_progress[worker]
+        )
 
     def note_workload(workload_index: int) -> None:
         nonlocal seen_workloads
@@ -853,6 +963,7 @@ def stream_campaign(
     ) -> Iterator[CampaignRecord]:
         """Interleave stored and computed records in slot order, persisting
         each one as it streams out."""
+        nonlocal last_commits
         computed_iter = iter(computed)
         for slot in plan.slots:
             if slot.stored is not None:
@@ -872,6 +983,13 @@ def stream_campaign(
                     objective=optimum if slot.policy == OFFLINE_OPTIMAL else None,
                     computed=slot.stored is None,
                 )
+                if journal is not None and writer.commits > last_commits:
+                    last_commits = writer.commits
+                    journal.record(
+                        "batch-commit",
+                        commits=last_commits,
+                        records=own_stats.records,
+                    )
             yield record
 
     completed = False
@@ -881,12 +999,21 @@ def stream_campaign(
                 batch = list(itertools.islice(items, _PLAN_BATCH))
                 if not batch:
                     break
-                for plan in _plan_items(batch, store, resume, digester, workload_keys):
+                for plan in _plan_items(
+                    batch,
+                    store,
+                    resume,
+                    digester,
+                    workload_keys,
+                    collect_metrics=merge is not None,
+                ):
                     if plan.item is None:
                         note_workload(plan.workload_index)
+                        journal_cell("cell-skipped", plan, cells=len(plan.slots))
                         yield from emit_plan(plan, (), None)
                         continue
-                    if recorder.enabled:
+                    journal_cell("cell-dispatched", plan)
+                    if merge is None and recorder.enabled:
                         chunk_started = wall_clock()
                         result = _run_campaign_item(plan.item)
                         recorder.observe(
@@ -894,7 +1021,10 @@ def stream_campaign(
                         )
                     else:
                         result = _run_campaign_item(plan.item)
+                    if merge is not None and result.snapshot is not None:
+                        merge(result.snapshot)
                     account_result(result, plan.workload_index)
+                    journal_completed(plan, result)
                     yield from emit_plan(plan, result.records, result.optimum)
             completed = True
             return
@@ -915,9 +1045,10 @@ def stream_campaign(
 
         pending: Dict = {}  # future -> plan
         plans: Dict[int, _ItemPlan] = {}  # admitted, not yet emitted
-        #: completed or fully-resumed, waiting for emission order:
-        #: index -> (computed records, optimum)
-        ready: Dict[int, Tuple[List[CampaignRecord], Optional[float]]] = {}
+        #: completed or fully-resumed, waiting for emission order (snapshots
+        #: are folded at emission, never at completion, so the merge order is
+        #: the deterministic sequential order).
+        ready: Dict[int, _ItemResult] = {}
         deferred: Dict[int, List[_ItemPlan]] = {}  # workload -> gated plans
         release_queue: "deque[_ItemPlan]" = deque()
         known_optimum: Dict[int, float] = {}
@@ -928,6 +1059,7 @@ def stream_campaign(
         with ProcessPoolExecutor(max_workers=workers) as pool:
 
             def submit(plan: _ItemPlan) -> None:
+                journal_cell("cell-dispatched", plan)
                 pending[pool.submit(_run_campaign_item, plan.item)] = plan
                 own_stats.peak_in_flight = max(own_stats.peak_in_flight, len(pending))
                 if recorder.enabled:
@@ -943,7 +1075,10 @@ def stream_campaign(
                 plans[plan.index] = plan
                 if plan.item is None:
                     note_workload(plan.workload_index)
-                    ready[plan.index] = ([], None)
+                    journal_cell("cell-skipped", plan, cells=len(plan.slots))
+                    ready[plan.index] = _ItemResult(
+                        index=plan.index, records=[], probe_constructions=0
+                    )
                     return
                 workload = plan.workload_index
                 if plan.item.pinned_optimum is None and not plan.item.emit_offline:
@@ -985,15 +1120,24 @@ def stream_campaign(
                         exhausted = True
                     if not batch:
                         return
-                    for plan in _plan_items(batch, store, resume, digester, workload_keys):
+                    for plan in _plan_items(
+                        batch,
+                        store,
+                        resume,
+                        digester,
+                        workload_keys,
+                        collect_metrics=merge is not None,
+                    ):
                         admit(plan)
 
             fill()
             while pending or ready or release_queue or not exhausted:
                 while next_emit in ready:
-                    records, optimum = ready.pop(next_emit)
+                    result = ready.pop(next_emit)
                     plan = plans.pop(next_emit)
-                    yield from emit_plan(plan, records, optimum)
+                    if merge is not None and result.snapshot is not None:
+                        merge(result.snapshot)
+                    yield from emit_plan(plan, result.records, result.optimum)
                     next_emit += 1
                     fill()  # emission freed in-flight budget
                 fill()
@@ -1008,7 +1152,9 @@ def stream_campaign(
                     plan = pending.pop(future)
                     result = future.result()  # propagate worker exceptions
                     account_result(result, plan.workload_index)
-                    ready[plan.index] = (result.records, result.optimum)
+                    journal_completed(plan, result)
+                    journal_heartbeat(result)
+                    ready[plan.index] = result
                     workload = plan.workload_index
                     solving.discard(workload)
                     if result.optimum is not None and workload not in known_optimum:
@@ -1017,7 +1163,7 @@ def stream_campaign(
                         release_queue.extend(deferred.pop(workload))
                 own_stats.peak_pending_records = max(
                     own_stats.peak_pending_records,
-                    sum(len(records) for records, _ in ready.values()),
+                    sum(len(result.records) for result in ready.values()),
                 )
             # Emission order is dense, so nothing can remain buffered.
             assert not ready and not deferred, "streaming dispatcher lost an item"
@@ -1030,6 +1176,15 @@ def stream_campaign(
             store.finish_run(run_id, completed=completed, stats=own_stats.as_dict())
         if own_store is not None:
             own_store.close()
+        if journal is not None:
+            journal.record(
+                "run-finished",
+                status="completed" if completed else "aborted",
+                records=own_stats.records,
+                elapsed=own_stats.elapsed_seconds,
+            )
+            if own_journal is not None:
+                own_journal.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -1048,6 +1203,7 @@ def run_policy_campaign(
     store: Optional[Union[str, Path, "ExperimentStore"]] = None,
     resume: bool = False,
     run_label: Optional[str] = None,
+    journal: Optional[Union[str, Path, RunJournal]] = None,
 ) -> CampaignResult:
     """Run every policy on every instance and collect normalised metrics.
 
@@ -1075,8 +1231,9 @@ def run_policy_campaign(
         sequential path.
     chunk_size, max_inflight:
         Streaming-dispatch knobs, see :func:`stream_campaign`.
-    store, resume, run_label:
-        Experiment-store sink and resume mode, see :func:`stream_campaign`.
+    store, resume, run_label, journal:
+        Experiment-store sink, resume mode and run-journal sink, see
+        :func:`stream_campaign`.
     """
     instances = list(instances)
     if not instances:
@@ -1104,6 +1261,7 @@ def run_policy_campaign(
         store=store,
         resume=resume,
         run_label=run_label,
+        journal=journal,
     ):
         result.records.append(record)
     return result
@@ -1123,6 +1281,7 @@ def run_scenario_campaign(
     store: Optional[Union[str, Path, "ExperimentStore"]] = None,
     resume: bool = False,
     run_label: Optional[str] = None,
+    journal: Optional[Union[str, Path, RunJournal]] = None,
 ) -> CampaignResult:
     """Sweep named workload scenarios (optionally over several seeds).
 
@@ -1155,6 +1314,7 @@ def run_scenario_campaign(
         store=store,
         resume=resume,
         run_label=run_label,
+        journal=journal,
     ):
         result.records.append(record)
     return result

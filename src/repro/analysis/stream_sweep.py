@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 from ..exceptions import WorkloadError
 from ..heuristics import make_scheduler
 from ..obs.clock import wall_clock
+from ..obs.journal import RunJournal
 from ..obs.metrics import collecting, get_recorder
 from ..obs.trace import Tracer, trace_stream_result
 from ..heuristics.registry import resolve_policy_variant
@@ -259,7 +260,7 @@ def _run_stream_cell(
     confidence: float,
     max_active: int,
     collect_metrics: bool = False,
-) -> Tuple[str, SteadyStateReport, int, Optional[Dict]]:
+) -> Tuple[str, SteadyStateReport, int, Optional[Dict], int, float]:
     """Measure one (stream, policy) cell: the process-pool work unit.
 
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` can
@@ -270,8 +271,12 @@ def _run_stream_cell(
     fields aside).  With ``collect_metrics`` the cell runs under a scoped
     :class:`~repro.obs.metrics.MetricsRecorder` and returns its snapshot —
     the snapshot derives from simulation counters only, so it too is
-    identical across the pool and in-process paths.
+    identical across the pool and in-process paths.  The two trailing
+    fields (worker pid, elapsed wall-clock seconds) are the telemetry the
+    parent turns into journal heartbeats and ``sweep.cell_seconds``
+    observations — reporting data, never part of the snapshot or digest.
     """
+    started = wall_clock()
     scheduler = make_scheduler(variant_label)
     simulator = StreamingSimulator(SimulationKernel(), max_active=max_active)
 
@@ -292,7 +297,14 @@ def _run_stream_cell(
     else:
         sim, report = measure()
         snapshot = None
-    return scheduler.name, report, sim.arrivals, snapshot
+    return (
+        scheduler.name,
+        report,
+        sim.arrivals,
+        snapshot,
+        os.getpid(),
+        wall_clock() - started,
+    )
 
 
 def run_stream_sweep(
@@ -312,6 +324,7 @@ def run_stream_sweep(
     run_label: Optional[str] = None,
     collect_metrics: bool = False,
     tracer: Optional[Tracer] = None,
+    journal: Optional[Union[str, Path, RunJournal]] = None,
 ) -> StreamSweepResult:
     """Sweep offered load ρ × policy over one stream family.
 
@@ -358,6 +371,13 @@ def run_stream_sweep(
         parent never sees worker results' series): pass ``tracer`` only
         with the in-process path (``max_workers=None``).  Resumed cells
         are not traced — the store keeps reports, not result series.
+    journal:
+        Append lifecycle events (run started/finished, cell dispatched /
+        completed / skipped-by-resume, worker heartbeats) to this
+        :class:`~repro.obs.journal.RunJournal` (a path opens — and closes —
+        one for the duration).  Journal data lives on the wall clock,
+        strictly outside every digest: sweep results and stored bytes are
+        identical with journaling on or off.
     """
     if not policies:
         raise WorkloadError("a stream sweep needs at least one policy")
@@ -377,6 +397,13 @@ def run_stream_sweep(
     own_stats.max_workers = max_workers
     started = wall_clock()
     recorder = get_recorder()
+    # Cross-process aggregation (ISSUE 10): with a fold-capable ambient
+    # recorder, every computed cell runs under a scoped recorder — on the
+    # in-process path too — and the parent folds the snapshots in the
+    # deterministic cell order, so the merged driver snapshot is
+    # byte-identical at any worker count.
+    merge = getattr(recorder, "merge_snapshot", None) if recorder.enabled else None
+    capture = collect_metrics or merge is not None
 
     # Deferred imports: repro.store depends on repro.analysis.campaign.
     from ..store import ExperimentStore
@@ -431,6 +458,23 @@ def run_stream_sweep(
         own_stats.store_run_id = run_id
         writer = store.writer(run_id)
 
+    own_journal: Optional[RunJournal] = None
+    if journal is not None:
+        if not isinstance(journal, RunJournal):
+            journal = own_journal = RunJournal(journal)
+        journal_config: Dict[str, object] = {
+            "policies": [variant.label for variant in variants],
+            "rhos": [float(rho) for rho in rhos],
+            "max_arrivals": max_arrivals,
+            "max_workers": max_workers,
+            "resume": resume,
+            "total_cells": len(rhos) * len(variants),
+        }
+        if run_id is not None:
+            journal_config["store_run_id"] = run_id
+        journal.begin_run("stream-sweep", run_label or spec.label, journal_config)
+    worker_progress: Dict[str, int] = {}  # journal heartbeat item counts
+
     kernel = SimulationKernel()
     simulator = StreamingSimulator(kernel, max_active=max_active)
     result = StreamSweepResult(stats=own_stats)
@@ -449,6 +493,14 @@ def run_stream_sweep(
                 if stored is not None and StreamCellRecord.from_stored(stored) is not None:
                     continue
                 to_compute.append((index, variant.label, cell_spec))
+                if journal is not None:
+                    journal.record(
+                        "cell-dispatched",
+                        cell=f"{spec.label}@rho={rho:.2f}/{variant.label}",
+                        workload=f"{spec.label}@rho={rho:.2f}",
+                        item=index,
+                        policies=[variant.label],
+                    )
         if to_compute:
             workers = max_workers if max_workers > 0 else (os.cpu_count() or 1)
             pool = ProcessPoolExecutor(max_workers=max(1, min(workers, len(to_compute))))
@@ -462,7 +514,7 @@ def run_stream_sweep(
                     num_batches,
                     confidence,
                     max_active,
-                    collect_metrics,
+                    capture,
                 )
 
     completed = False
@@ -496,16 +548,41 @@ def run_stream_sweep(
                         )
                         own_stats.resumed_cells += 1
                         resumed = True
+                        if journal is not None:
+                            journal.record(
+                                "cell-skipped",
+                                cell=f"{label}/{variant.label}",
+                                workload=label,
+                                item=index,
+                                policies=[variant.label],
+                                cells=1,
+                            )
                 if cell is None:
+                    cell_name = f"{label}/{variant.label}"
                     future = futures.pop((index, variant.label), None)
                     if future is not None:
-                        policy_name, report, simulated, cell_metrics = future.result()
+                        (
+                            policy_name,
+                            report,
+                            simulated,
+                            snapshot,
+                            worker_pid,
+                            cell_elapsed,
+                        ) = future.result()
                     else:
+                        if journal is not None:
+                            journal.record(
+                                "cell-dispatched",
+                                cell=cell_name,
+                                workload=label,
+                                item=index,
+                                policies=[variant.label],
+                            )
                         if stream is None:
                             stream = open_stream(cell_spec)
                         scheduler = make_scheduler(variant.label)
                         cell_started = wall_clock()
-                        if collect_metrics:
+                        if capture:
                             # Scoped recorder: the cell's own counters land in
                             # its snapshot, not the ambient sink.
                             with collecting() as cell_recorder:
@@ -518,7 +595,7 @@ def run_stream_sweep(
                                     num_batches=num_batches,
                                     confidence=confidence,
                                 )
-                            cell_metrics = cell_recorder.snapshot()
+                            snapshot = cell_recorder.snapshot()
                         else:
                             sim = simulator.run(stream, scheduler, max_arrivals=max_arrivals)
                             report = analyse_stream(
@@ -527,22 +604,45 @@ def run_stream_sweep(
                                 num_batches=num_batches,
                                 confidence=confidence,
                             )
-                            cell_metrics = None
+                            snapshot = None
                         if tracer is not None:
                             trace_stream_result(
                                 sim, tracer, track=f"{label}/{scheduler.name}"
                             )
-                        if recorder.enabled:
-                            recorder.observe(
-                                "sweep.cell_seconds", wall_clock() - cell_started
-                            )
+                        cell_elapsed = wall_clock() - cell_started
                         policy_name, simulated = scheduler.name, sim.arrivals
+                        worker_pid = os.getpid()
+                    if recorder.enabled:
+                        recorder.observe("sweep.cell_seconds", cell_elapsed)
+                    # Fold at the deterministic cell order — the same order
+                    # on the sequential and parallel paths.
+                    if merge is not None and snapshot is not None:
+                        merge(snapshot)
+                    if journal is not None:
+                        worker = f"p{worker_pid}"
+                        journal.record(
+                            "cell-completed",
+                            cell=cell_name,
+                            workload=label,
+                            item=index,
+                            policies=[variant.label],
+                            cells=1,
+                            elapsed=cell_elapsed,
+                            worker=worker,
+                        )
+                        if future is not None:
+                            worker_progress[worker] = worker_progress.get(worker, 0) + 1
+                            journal.record(
+                                "worker-heartbeat",
+                                worker=worker,
+                                items=worker_progress[worker],
+                            )
                     cell = StreamCellRecord(
                         workload=label,
                         policy=policy_name,
                         rho=float(rho),
                         report=report,
-                        metrics=cell_metrics,
+                        metrics=snapshot if collect_metrics else None,
                     )
                     own_stats.computed_cells += 1
                     own_stats.arrivals += simulated
@@ -573,4 +673,13 @@ def run_stream_sweep(
             store.finish_run(run_id, completed=completed, stats=own_stats.as_dict())
         if own_store is not None:
             own_store.close()
+        if journal is not None:
+            journal.record(
+                "run-finished",
+                status="completed" if completed else "aborted",
+                records=own_stats.cells,
+                elapsed=own_stats.elapsed_seconds,
+            )
+            if own_journal is not None:
+                own_journal.close()
     return result

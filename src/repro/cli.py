@@ -32,9 +32,18 @@ The CLI exposes the library's main workflows without writing any Python:
     JSON when PATH ends in ``.json``).
 ``repro-sched obs report PATH``
     Render an observability artefact: a metrics snapshot, a trace file
-    (either export format), or a sweep/campaign ``--output`` JSON —
-    auto-detected by shape.  Sweep reports surface the MSER-5 saturation
-    evidence (truncation point, occupancy trajectory) per cell.
+    (either export format), a run journal, or a sweep/campaign
+    ``--output`` JSON — auto-detected by shape.  Sweep reports surface
+    the MSER-5 saturation evidence (truncation point, occupancy
+    trajectory) per cell; journal reports show the lifecycle timeline,
+    per-phase wall-clock totals and heartbeat gaps.
+``repro-sched obs export PATH --format prometheus|openmetrics``
+    Text exposition of a metrics snapshot for scrapers.
+``repro-sched watch JOURNAL``
+    Tail a ``--journal`` file (campaign/stream) while the run is live:
+    throughput, per-policy progress, ETA from the completed-cell
+    trajectory, straggler/stall detection against the rolling median
+    cell time.
 ``repro-sched store ls|show|diff|gc PATH ...``
     Query an experiment store: list runs, dump one run's records and
     headline metrics, diff two runs policy by policy (``--cells`` joins
@@ -243,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print a coarse wall-clock phase profile of the command",
     )
+    campaign.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="append run-lifecycle events (cells, heartbeats, commits) to "
+        "this JSONL journal; watch it live with 'repro-sched watch PATH'",
+    )
 
     # stream ---------------------------------------------------------------------
     stream = subparsers.add_parser(
@@ -343,6 +358,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print a coarse wall-clock phase profile of the command",
+    )
+    stream.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="append run-lifecycle events (cells, heartbeats) to this JSONL "
+        "journal; watch it live with 'repro-sched watch PATH'",
+    )
+
+    # watch ----------------------------------------------------------------------
+    watch = subparsers.add_parser(
+        "watch",
+        help="tail a run journal and render live fleet status "
+        "(throughput, per-policy progress, ETA, stragglers)",
+    )
+    watch.add_argument("journal", help="run journal written by --journal")
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2.0)",
+    )
+    watch.add_argument(
+        "--updates",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N status updates (default: until the run finishes)",
+    )
+    watch.add_argument(
+        "--stall-factor",
+        type=float,
+        default=4.0,
+        help="flag a dispatched cell as a straggler after this multiple of "
+        "the rolling median cell time (default 4.0)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current status once and exit (no polling)",
     )
 
     # store ----------------------------------------------------------------------
@@ -491,6 +545,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="for sweep reports: also plot each cell's occupancy "
         "trajectory (the MSER-5 scan evidence) as an ASCII series",
+    )
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="render a metrics snapshot (or a sweep/campaign --output "
+        "JSON carrying one) as Prometheus/OpenMetrics exposition text",
+    )
+    obs_export.add_argument("path", help="metrics snapshot (JSON) to export")
+    obs_export.add_argument(
+        "--format",
+        choices=("prometheus", "openmetrics"),
+        default="prometheus",
+        dest="export_format",
+        help="exposition format (default: prometheus)",
+    )
+    obs_export.add_argument(
+        "--output",
+        default=None,
+        help="write the exposition text to this file (default: stdout)",
     )
 
     # divisibility ---------------------------------------------------------------
@@ -705,6 +777,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 store=args.store,
                 resume=args.resume,
                 run_label=args.run_label,
+                journal=args.journal,
             )
 
         if args.metrics:
@@ -736,6 +809,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if snapshot is not None:
         print()
         print(render_metrics(snapshot))
+    if args.journal:
+        print(f"journal appended to {args.journal}")
     if args.trace:
         with profiler.phase("trace"):
             tracer = trace_campaign_records(result.records)
@@ -847,6 +922,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 run_label=args.run_label,
                 collect_metrics=args.metrics,
                 tracer=tracer,
+                journal=args.journal,
             )
 
         if args.metrics:
@@ -871,6 +947,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if snapshot is not None:
         print()
         print(render_metrics(snapshot))
+    if args.journal:
+        print(f"journal appended to {args.journal}")
     if tracer is not None:
         _write_trace(tracer, args.trace)
         print(f"trace written to {args.trace} ({len(tracer)} events)")
@@ -1060,8 +1138,11 @@ def _load_obs_artefact(path: str):
     """Load an obs artefact file: ``(json_value, None)`` or ``(None, events)``.
 
     A whole-file JSON document comes back as the first element; a
-    JSON-lines trace (or a single trace event, which is both) comes back
-    as a list of event dicts in the second.
+    JSON-lines artefact (a trace, a run journal, or a single trace event,
+    which is both) comes back as a list of event dicts in the second.
+    Unparseable lines are tolerated — a crash-truncated journal tail is a
+    skipped line, not a rendering failure — but a file with *no* parseable
+    line is still an error.
     """
     with open(path) as handle:
         text = handle.read()
@@ -1074,7 +1155,20 @@ def _load_obs_artefact(path: str):
         value = None
     if value is not None and not (isinstance(value, dict) and "ph" in value):
         return value, None
-    return None, [json.loads(line) for line in stripped.splitlines()]
+    events = []
+    for line in stripped.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn tail of a killed writer
+        if isinstance(event, dict):
+            events.append(event)
+    if not events:
+        raise ReproError(f"{path}: no parseable JSON lines")
+    return None, events
 
 
 def _render_trace_summary(events, *, source: str, chrome: bool = False) -> str:
@@ -1221,11 +1315,114 @@ def _render_campaign_report(data) -> int:
     return 0
 
 
+def _render_journal_report(events, *, source: str) -> int:
+    """Render a run journal: lifecycle timeline, phase totals, heartbeat gaps.
+
+    Phases live on the journal clock: *planning* spans run start to the
+    first dispatch, *compute* the first dispatch to the last completion,
+    *finalise* the last completion to the run-finished event.
+    """
+    from .obs import analyse_journal, render_fleet_status
+
+    runs: dict = {}
+    for event in events:
+        runs.setdefault(str(event.get("run", "?")), []).append(event)
+    print(f"journal {source}: {len(events)} event(s), {len(runs)} run(s)")
+    for run, run_events in runs.items():
+        counts: dict = {}
+        for event in run_events:
+            name = str(event.get("event", "?"))
+            counts[name] = counts.get(name, 0) + 1
+        stamps = [
+            float(e["ts"]) for e in run_events if isinstance(e.get("ts"), (int, float))
+        ]
+        span = (max(stamps) - min(stamps)) if stamps else 0.0
+        print()
+        timeline = ", ".join(f"{name} x{counts[name]}" for name in sorted(counts))
+        print(f"run {run}: {timeline} over {span:.2f}s")
+
+        def _times(name: str) -> list:
+            return [
+                float(e["ts"])
+                for e in run_events
+                if e.get("event") == name and isinstance(e.get("ts"), (int, float))
+            ]
+
+        started = _times("run-started")
+        dispatches = _times("cell-dispatched")
+        completions = _times("cell-completed")
+        finished = _times("run-finished")
+        rows = []
+        if started and dispatches:
+            rows.append(("planning", min(dispatches) - started[0]))
+        if dispatches and completions:
+            rows.append(("compute", max(completions) - min(dispatches)))
+        if completions and finished:
+            rows.append(("finalise", finished[0] - max(completions)))
+        if rows:
+            print(format_table(["phase", "wall-clock [s]"], rows, float_format=".3f"))
+
+        beats: dict = {}
+        for event in run_events:
+            if event.get("event") != "worker-heartbeat":
+                continue
+            if isinstance(event.get("ts"), (int, float)):
+                beats.setdefault(str(event.get("worker", "?")), []).append(
+                    float(event["ts"])
+                )
+        if beats:
+            rows = []
+            for worker in sorted(beats):
+                series = sorted(beats[worker])
+                gaps = [b - a for a, b in zip(series, series[1:])]
+                rows.append((worker, len(series), max(gaps) if gaps else 0.0))
+            print(
+                format_table(
+                    ["worker", "heartbeats", "max gap [s]"],
+                    rows,
+                    title="Heartbeat gaps",
+                    float_format=".3f",
+                )
+            )
+        print(render_fleet_status(analyse_journal(run_events, run=run)))
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    from .obs import render_prometheus
+
+    value, events = _load_obs_artefact(args.path)
+    snapshot = None
+    if isinstance(value, dict):
+        if {"counters", "gauges", "histograms"} <= value.keys():
+            snapshot = value
+        elif isinstance(value.get("metrics"), dict):
+            snapshot = value["metrics"]  # sweep/campaign --output carrier
+    if snapshot is None:
+        raise ReproError(
+            f"{args.path}: no metrics snapshot to export (expected a snapshot "
+            "JSON or a sweep/campaign --output JSON with a 'metrics' key)"
+        )
+    text = render_prometheus(snapshot, fmt=args.export_format)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"exposition written to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from .obs import render_metrics
 
+    if args.obs_command == "export":
+        return _cmd_obs_export(args)
+
     value, events = _load_obs_artefact(args.path)
     if events is not None:
+        if events and "event" in events[0]:
+            return _render_journal_report(events, source=args.path)
         print(_render_trace_summary(events, source=args.path))
         return 0
     if isinstance(value, dict) and "traceEvents" in value:
@@ -1240,9 +1437,23 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return _render_campaign_report(value)
     raise ReproError(
         f"{args.path}: unrecognised observability artefact (expected a metrics "
-        "snapshot, a trace in either export format, or a stream/campaign "
-        "--output JSON)"
+        "snapshot, a trace in either export format, a run journal, or a "
+        "stream/campaign --output JSON)"
     )
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .obs import watch_journal
+
+    status = watch_journal(
+        args.journal,
+        interval=args.interval,
+        max_updates=1 if args.once else args.updates,
+        stall_factor=args.stall_factor,
+    )
+    if status.started_ts is None:
+        print(f"note: {args.journal} has no run-started event yet", file=sys.stderr)
+    return 0
 
 
 def _cmd_divisibility(args: argparse.Namespace) -> int:
@@ -1293,6 +1504,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_lint(args)
         if args.command == "obs":
             return _cmd_obs(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
         if args.command == "divisibility":
             return _cmd_divisibility(args)
     except (ReproError, FileNotFoundError, json.JSONDecodeError, KeyError) as error:

@@ -53,8 +53,26 @@ _CLOCK_ATTRS = frozenset(
         "clock",
     }
 )
+#: ``time`` functions that read the host clock *only when called without a
+#: time argument* (``time.localtime()`` vs ``time.localtime(ts)``).
+_CLOCK_WHEN_NO_TIME_ARG = frozenset({"localtime", "gmtime", "ctime", "asctime"})
 #: ``datetime``/``date`` classmethods that read the host clock.
 _DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+def _implicit_clock_read(attr: str, node: ast.Call) -> bool:
+    """Whether calling ``time.<attr>`` with this arg shape reads the clock.
+
+    ``localtime``/``gmtime``/``ctime``/``asctime`` fall back to "now" when
+    given no time value; ``strftime(fmt)`` with only a format string does
+    the same.  With an explicit time tuple/seconds argument they are pure
+    conversions and stay unflagged.
+    """
+    if attr in _CLOCK_WHEN_NO_TIME_ARG:
+        return not node.args and not node.keywords
+    if attr == "strftime":
+        return len(node.args) == 1 and not node.keywords
+    return False
 
 #: Legacy global-state ``numpy.random`` functions (shared hidden RNG).
 _NP_GLOBAL_FNS = frozenset(
@@ -163,6 +181,12 @@ _SANCTIONED_CLOCK_MODULE = "src/repro/obs/clock.py"
 class WallClockRule(Rule):
     """Flag host-clock reads (``time.time()``, ``datetime.now()``, …).
 
+    Implicit reads count too: ``time.localtime()`` / ``gmtime()`` /
+    ``ctime()`` / ``asctime()`` with no time argument, and
+    ``time.strftime(fmt)`` with only a format string, all silently fall
+    back to "now" — journal timestamps must instead flow through
+    ``repro.obs.clock.unix_time()``.
+
     ``repro.obs.clock`` is the one sanctioned exemption — it *is* the
     accessor every legitimate wall-clock consumer (throughput stats,
     provenance timestamps, the phase profiler) must call, so the baseline
@@ -180,6 +204,11 @@ class WallClockRule(Rule):
             for local, attr in imports.names_from("time").items()
             if attr in _CLOCK_ATTRS
         }
+        time_implicit_fns = {
+            local: attr
+            for local, attr in imports.names_from("time").items()
+            if attr in _CLOCK_WHEN_NO_TIME_ARG or attr == "strftime"
+        }
         datetime_classes = {
             local
             for local, attr in imports.names_from("datetime").items()
@@ -194,8 +223,18 @@ class WallClockRule(Rule):
             flagged = None
             if len(chain) == 2 and chain[0] in time_aliases and chain[1] in _CLOCK_ATTRS:
                 flagged = f"{chain[0]}.{chain[1]}()"
+            elif (
+                len(chain) == 2
+                and chain[0] in time_aliases
+                and _implicit_clock_read(chain[1], node)
+            ):
+                flagged = f"{chain[0]}.{chain[1]}(...)"
             elif len(chain) == 1 and chain[0] in time_fns:
                 flagged = f"{chain[0]}()"
+            elif len(chain) == 1 and _implicit_clock_read(
+                time_implicit_fns.get(chain[0], ""), node
+            ):
+                flagged = f"{chain[0]}(...)"
             elif (
                 len(chain) == 2
                 and chain[0] in datetime_classes

@@ -1,6 +1,6 @@
-"""Observability: deterministic tracing, metrics and profiling (PR 8).
+"""Observability: tracing, metrics, profiling and the flight recorder.
 
-Three pillars, all zero-overhead when disabled:
+Pillars, all zero-overhead when disabled:
 
 * :mod:`repro.obs.metrics` — counters/gauges/histograms behind the
   :class:`~repro.obs.metrics.Recorder` protocol; the process default is
@@ -12,13 +12,35 @@ Three pillars, all zero-overhead when disabled:
 * :mod:`repro.obs.clock` / :mod:`repro.obs.profile` — the only sanctioned
   wall-clock accessors in ``src/repro`` (enforced by the ``wall-clock``
   lint rule) and the phase profiler built on them.
+* :mod:`repro.obs.journal` / :mod:`repro.obs.aggregate` /
+  :mod:`repro.obs.watch` / :mod:`repro.obs.export` — the flight
+  recorder (PR 10): a crash-tolerant JSONL run journal the drivers
+  write lifecycle events to, deterministic cross-process snapshot
+  merging, the live ``repro-sched watch`` monitor and Prometheus /
+  OpenMetrics exposition.
 
-Metrics and traces are reporting artefacts: they live *outside* record
-digests and fingerprints, so adding a counter never bumps ``CODE_EPOCH``
-(ROADMAP, "Architecture: the observability layer").
+Metrics, traces and journals are reporting artefacts: they live
+*outside* record digests and fingerprints, so adding a counter or a
+journal event never bumps ``CODE_EPOCH`` (ROADMAP, "Architecture: the
+observability layer" and "Architecture: the flight recorder").
 """
 
-from .clock import utc_now, utc_timestamp, wall_clock
+from .aggregate import (
+    VOLATILE_METRICS,
+    deterministic_snapshot,
+    is_volatile_metric,
+    merge_snapshots,
+    snapshot_bytes,
+)
+from .clock import unix_time, utc_now, utc_timestamp, wall_clock
+from .export import render_prometheus
+from .journal import (
+    JournalView,
+    RunJournal,
+    new_run_id,
+    read_journal,
+    tail_journal,
+)
 from .metrics import (
     NULL_RECORDER,
     HistogramSummary,
@@ -32,9 +54,17 @@ from .metrics import (
 )
 from .profile import PhaseProfiler, PhaseStat
 from .trace import TraceEvent, Tracer, trace_campaign_records, trace_stream_result
+from .watch import (
+    FleetStatus,
+    StragglerInfo,
+    analyse_journal,
+    render_fleet_status,
+    watch_journal,
+)
 
 __all__ = [
     "wall_clock",
+    "unix_time",
     "utc_now",
     "utc_timestamp",
     "Recorder",
@@ -46,6 +76,22 @@ __all__ = [
     "install_recorder",
     "collecting",
     "render_metrics",
+    "VOLATILE_METRICS",
+    "is_volatile_metric",
+    "merge_snapshots",
+    "deterministic_snapshot",
+    "snapshot_bytes",
+    "RunJournal",
+    "JournalView",
+    "new_run_id",
+    "read_journal",
+    "tail_journal",
+    "FleetStatus",
+    "StragglerInfo",
+    "analyse_journal",
+    "render_fleet_status",
+    "watch_journal",
+    "render_prometheus",
     "Tracer",
     "TraceEvent",
     "trace_stream_result",

@@ -21,7 +21,7 @@ from __future__ import annotations
 import time as _time
 from datetime import datetime, timezone
 
-__all__ = ["wall_clock", "utc_now", "utc_timestamp"]
+__all__ = ["wall_clock", "unix_time", "utc_now", "utc_timestamp"]
 
 
 def wall_clock() -> float:
@@ -32,6 +32,17 @@ def wall_clock() -> float:
     fingerprint or simulated-time series.
     """
     return _time.perf_counter()
+
+
+def unix_time() -> float:
+    """Epoch seconds, for run-journal timestamps (reporting channel only).
+
+    Unlike :func:`wall_clock` the value is comparable across processes —
+    that is what journal consumers (``repro-sched watch``, heartbeat-gap
+    reports) need — but it is still strictly outside every digest,
+    fingerprint and simulated-time series.
+    """
+    return _time.time()
 
 
 def utc_now() -> datetime:

@@ -1,0 +1,87 @@
+"""Prometheus / OpenMetrics text exposition of a metrics snapshot.
+
+``repro-sched obs export`` renders any saved ``MetricsRecorder``
+snapshot (the ``--metrics`` JSON artefact) in the text formats scrapers
+understand — the hook ROADMAP item 1's service endpoints will reuse.
+
+Mapping:
+
+* counters  → ``<prefix><name>_total`` (type ``counter``),
+* gauges    → ``<prefix><name>`` (last) and ``<prefix><name>_peak``,
+* histograms → a ``summary`` pair ``_count``/``_sum`` plus ``_min`` /
+  ``_max`` gauges (the streaming summaries keep no quantiles).
+
+OpenMetrics differs only in counter metadata naming (the ``# TYPE``
+line names the base family, samples carry ``_total``) and the required
+``# EOF`` terminator.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Mapping
+
+__all__ = ["render_prometheus"]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    sanitized = _INVALID_CHARS.sub("_", prefix + name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    snapshot: Mapping[str, Mapping[str, object]],
+    *,
+    fmt: str = "prometheus",
+    prefix: str = "repro_",
+) -> str:
+    """Render ``snapshot`` as Prometheus or OpenMetrics exposition text."""
+    if fmt not in ("prometheus", "openmetrics"):
+        raise ValueError(f"unknown exposition format: {fmt!r}")
+    openmetrics = fmt == "openmetrics"
+    lines: List[str] = []
+
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        base = _metric_name(name, prefix)
+        if openmetrics:
+            lines.append(f"# TYPE {base} counter")
+        else:
+            lines.append(f"# TYPE {base}_total counter")
+        lines.append(f"{base}_total {_format_value(counters[name])}")
+
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        entry = gauges[name]
+        base = _metric_name(name, prefix)
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_format_value(entry['last'])}")
+        lines.append(f"# TYPE {base}_peak gauge")
+        lines.append(f"{base}_peak {_format_value(entry['peak'])}")
+
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        entry = histograms[name]
+        base = _metric_name(name, prefix)
+        lines.append(f"# TYPE {base} summary")
+        lines.append(f"{base}_count {_format_value(entry['count'])}")
+        lines.append(f"{base}_sum {_format_value(entry['total'])}")
+        lines.append(f"# TYPE {base}_min gauge")
+        lines.append(f"{base}_min {_format_value(entry['min'])}")
+        lines.append(f"# TYPE {base}_max gauge")
+        lines.append(f"{base}_max {_format_value(entry['max'])}")
+
+    if openmetrics:
+        lines.append("# EOF")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,216 @@
+"""Durable run journal: crash-tolerant append-only JSONL lifecycle log.
+
+The journal is the flight recorder for long campaign/sweep runs: the
+driver appends one JSON object per line for every lifecycle event (run
+started, cell dispatched/completed/skipped, worker heartbeat, batch
+commit, run finished).  Consumers — ``repro-sched watch``, ``obs
+report`` — read it while the run is still in progress.
+
+Design constraints:
+
+* **Strictly outside every digest.**  Timestamps come from
+  :func:`repro.obs.clock.unix_time` (the reporting channel); nothing in
+  the journal ever feeds a record digest, fingerprint or simulated-time
+  series, so journaling on vs off is byte-identical in campaign output.
+* **Crash tolerance.**  Every event is flushed as its own line.  A
+  process killed mid-write leaves at most one truncated final line;
+  :meth:`RunJournal._repair_tail` seals it with a newline on reopen so
+  appended runs start on a fresh line, and readers skip unparseable
+  lines instead of failing.
+* **Multi-run files.**  Resumed runs append to the same journal under a
+  fresh run id (:func:`new_run_id`), so one file records the whole
+  history of a campaign across restarts.
+* **Parent-only writes.**  Worker processes never touch the journal;
+  they ship pid/elapsed telemetry back through the future plumbing and
+  the driver writes heartbeats on their behalf.  One writer means no
+  interleaving torn lines.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Dict, IO, Iterator, List, Optional, Tuple, Union
+
+from .clock import unix_time, utc_now
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "RunJournal",
+    "JournalView",
+    "new_run_id",
+    "read_journal",
+    "tail_journal",
+]
+
+JOURNAL_VERSION = 1
+
+_run_counter = itertools.count(1)
+
+
+def new_run_id(label: str) -> str:
+    """Fresh journal run id: label, UTC stamp, pid, per-process counter.
+
+    The id only needs to be unique *within one journal file*; pid plus a
+    process-local counter covers concurrent drivers appending to
+    distinct files and resumed runs appending to the same one.
+    """
+    stamp = utc_now().strftime("%Y%m%dT%H%M%SZ")
+    return f"{label}-{stamp}-p{os.getpid()}n{next(_run_counter)}"
+
+
+class RunJournal:
+    """Append-only JSONL writer for one journal file.
+
+    One instance is owned by one driver invocation; :meth:`begin_run`
+    rotates the run id so a resumed campaign appends to the same file as
+    a distinguishable new run.  Use as a context manager, or call
+    :meth:`close` explicitly.
+    """
+
+    def __init__(self, path: Union[str, Path], *, run_id: Optional[str] = None):
+        self.path = Path(path)
+        self.run_id = run_id or ""
+        self._seq = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair_tail()
+        self._handle: Optional[IO[str]] = open(
+            self.path, "a", encoding="utf-8"
+        )
+
+    def _repair_tail(self) -> None:
+        """Seal a truncated final line left by a killed writer.
+
+        Appending a newline is enough: the torn line becomes one
+        unparseable record (which readers skip) instead of corrupting
+        the first event of the next run.
+        """
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return
+        if size == 0:
+            return
+        with open(self.path, "rb+") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
+
+    def begin_run(
+        self,
+        kind: str,
+        label: str,
+        config: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Start a new run section: rotate the id, write ``run-started``."""
+        self.run_id = new_run_id(label)
+        fields: Dict[str, object] = {"kind": kind, "label": label}
+        if config is not None:
+            fields["config"] = config
+        self.record("run-started", **fields)
+        return self.run_id
+
+    def record(self, event: str, **fields: object) -> None:
+        """Append one event line and flush it to the OS immediately."""
+        if self._handle is None:
+            raise ValueError(f"journal {self.path} is closed")
+        self._seq += 1
+        entry: Dict[str, object] = {
+            "v": JOURNAL_VERSION,
+            "run": self.run_id,
+            "seq": self._seq,
+            "ts": unix_time(),
+            "event": event,
+        }
+        entry.update(fields)
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class JournalView:
+    """Parsed journal contents plus how many lines failed to parse."""
+
+    def __init__(self, events: List[Dict[str, object]], truncated: int):
+        self.events = events
+        self.truncated = truncated
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def runs(self) -> List[str]:
+        """Distinct run ids in first-seen order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            run = event.get("run")
+            if isinstance(run, str) and run not in seen:
+                seen[run] = None
+        return list(seen)
+
+
+def _parse_lines(lines: Iterator[str]) -> Tuple[List[Dict[str, object]], int]:
+    events: List[Dict[str, object]] = []
+    truncated = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            truncated += 1
+            continue
+        if isinstance(entry, dict):
+            events.append(entry)
+        else:
+            truncated += 1
+    return events, truncated
+
+
+def read_journal(path: Union[str, Path]) -> JournalView:
+    """Read a whole journal, tolerating torn/corrupt lines."""
+    with open(path, "r", encoding="utf-8") as handle:
+        events, truncated = _parse_lines(iter(handle))
+    return JournalView(events, truncated)
+
+
+def tail_journal(
+    path: Union[str, Path], offset: int = 0
+) -> Tuple[List[Dict[str, object]], int]:
+    """Incremental read from byte ``offset``; returns (events, new_offset).
+
+    Only newline-terminated lines are consumed — a partial final line
+    (the writer is mid-append) is left for the next poll, so ``watch``
+    never mis-parses an event it raced with.  Unparseable *complete*
+    lines are skipped.
+    """
+    try:
+        handle = open(path, "rb")
+    except FileNotFoundError:
+        return [], offset
+    with handle:
+        handle.seek(offset)
+        data = handle.read()
+    if not data:
+        return [], offset
+    last_newline = data.rfind(b"\n")
+    if last_newline < 0:
+        return [], offset
+    complete = data[: last_newline + 1]
+    events, _ = _parse_lines(iter(complete.decode("utf-8", "replace").splitlines()))
+    return events, offset + len(complete)

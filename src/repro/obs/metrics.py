@@ -131,6 +131,38 @@ class MetricsRecorder:
             summary = self.histograms[name] = HistogramSummary()
         summary.add(value)
 
+    def merge_snapshot(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
+        """Fold one :meth:`snapshot` payload into this recorder.
+
+        The merge semantics are the cross-process aggregation contract
+        (:mod:`repro.obs.aggregate`): counters sum, gauges keep the merge
+        order's last value and the running peak, histograms combine their
+        count/total/min/max summaries.  Folding worker snapshots in a
+        deterministic order therefore reproduces the recorder a single
+        process would have built by observing the same events directly —
+        up to float-addition grouping, which is why instrumented drivers
+        fold *every* scope (in-process ones included) instead of mixing
+        direct observation with merged snapshots.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, float(value))
+        for name, entry in snapshot.get("gauges", {}).items():
+            self.gauges[name] = float(entry["last"])
+            peak = float(entry["peak"])
+            previous = self.gauge_peaks.get(name)
+            if previous is None or peak > previous:
+                self.gauge_peaks[name] = peak
+        for name, entry in snapshot.get("histograms", {}).items():
+            summary = self.histograms.get(name)
+            if summary is None:
+                summary = self.histograms[name] = HistogramSummary()
+            count = int(entry["count"])
+            summary.count += count
+            summary.total += float(entry["total"])
+            if count:
+                summary.minimum = min(summary.minimum, float(entry["min"]))
+                summary.maximum = max(summary.maximum, float(entry["max"]))
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """JSON-friendly, deterministically ordered view of everything."""
         return {

@@ -583,6 +583,7 @@ class BulkWriter:
         self.inserted = 0  # new content rows actually written
         self.reused = 0  # cells already present under their digest
         self.added = 0  # membership rows (total cells of the run)
+        self.commits = 0  # batch commits performed (journalled by drivers)
         self._record_batch: List[Tuple] = []
         self._member_batch: List[Tuple] = []
         self._position = int(
@@ -666,6 +667,7 @@ class BulkWriter:
                 recorder.count("store.cells_added", float(len(self._member_batch)))
             self._member_batch.clear()
         conn.commit()
+        self.commits += 1
         if recorder.enabled:
             recorder.count("store.batch_commits")
 

@@ -286,3 +286,106 @@ class TestExplicitOfflinePolicy:
             ["unrelated-stress"], policies=("mct", "offline-optimal"), seeds=(1,),
         )
         assert result.stats.offline_solves == 1
+
+
+class TestFlightRecorder:
+    """ISSUE 10: run journaling and cross-process metrics aggregation."""
+
+    def _instances(self):
+        return [random_restricted_instance(4, 2, seed=seed) for seed in range(2)]
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_parallel_metrics_snapshot_is_byte_identical_to_sequential(self, workers):
+        import json
+
+        from repro.obs import collecting, snapshot_bytes
+
+        instances = self._instances()
+        with collecting() as recorder:
+            sequential = run_policy_campaign(instances, policies=("mct", "fifo"))
+        reference = snapshot_bytes(recorder.snapshot())
+        with collecting() as recorder:
+            parallel = run_policy_campaign(
+                instances, policies=("mct", "fifo"), max_workers=workers
+            )
+        assert parallel.records == sequential.records
+        assert snapshot_bytes(recorder.snapshot()) == reference
+        # The projection is not vacuous: the simulation counters are in it.
+        counters = json.loads(reference.decode("utf-8"))["counters"]
+        assert counters["campaign.items"] >= 1.0
+        assert counters["kernel.runs"] >= 1.0
+
+    def test_journal_does_not_change_records(self, tmp_path):
+        instances = self._instances()
+        plain = run_policy_campaign(instances, policies=("mct",))
+        journalled = run_policy_campaign(
+            instances, policies=("mct",), journal=tmp_path / "run.jsonl"
+        )
+        assert journalled.records == plain.records
+
+    def test_journal_records_the_run_lifecycle(self, tmp_path):
+        from repro.obs import analyse_journal, read_journal
+
+        path = tmp_path / "run.jsonl"
+        result = run_policy_campaign(
+            self._instances(), policies=("mct", "fifo"), journal=path
+        )
+        view = read_journal(path)
+        assert view.truncated == 0
+        names = [event["event"] for event in view]
+        assert names[0] == "run-started"
+        assert names[-1] == "run-finished"
+        assert "cell-dispatched" in names and "cell-completed" in names
+        status = analyse_journal(view.events)
+        assert status.kind == "campaign"
+        assert status.status == "completed"
+        assert status.total_cells == len(result.records)
+        assert status.done == len(result.records)
+        assert status.records == len(result.records)
+
+    def test_parallel_journal_carries_worker_heartbeats(self, tmp_path):
+        from repro.obs import analyse_journal, read_journal
+
+        path = tmp_path / "run.jsonl"
+        run_policy_campaign(
+            self._instances(),
+            policies=("mct", "fifo"),
+            max_workers=2,
+            journal=path,
+        )
+        view = read_journal(path)
+        heartbeats = [e for e in view if e["event"] == "worker-heartbeat"]
+        assert heartbeats
+        assert all(str(e["worker"]).startswith("p") for e in heartbeats)
+        status = analyse_journal(view.events)
+        assert status.workers
+        assert sum(w["items"] for w in status.workers.values()) == len(heartbeats)
+
+    def test_resume_appends_a_new_run_with_skips(self, tmp_path):
+        from repro.obs import analyse_journal, read_journal
+
+        path = tmp_path / "run.jsonl"
+        store = tmp_path / "store.sqlite"
+        instances = self._instances()
+        cold = run_policy_campaign(
+            instances, policies=("mct",), store=store, journal=path, run_label="cold"
+        )
+        run_policy_campaign(
+            instances,
+            policies=("mct",),
+            store=store,
+            resume=True,
+            journal=path,
+            run_label="warm",
+        )
+        view = read_journal(path)
+        assert view.truncated == 0
+        runs = view.runs()
+        assert len(runs) == 2
+        warm_events = [e for e in view if e["run"] == runs[1]]
+        assert any(e["event"] == "cell-skipped" for e in warm_events)
+        assert not any(e["event"] == "cell-completed" for e in warm_events)
+        # analyse_journal defaults to the newest run of a multi-run file.
+        status = analyse_journal(view.events)
+        assert status.completed == 0
+        assert status.skipped == len(cold.records)

@@ -199,3 +199,58 @@ class TestDegenerateCells:
             **changed,
         )
         assert different.stats.resumed_cells == 0
+
+
+class TestFlightRecorder:
+    """ISSUE 10: sweep journaling and cross-process metrics aggregation."""
+
+    def test_parallel_metrics_snapshot_is_byte_identical_to_sequential(self):
+        import json
+
+        from repro.obs import collecting, snapshot_bytes
+
+        with collecting() as recorder:
+            sequential = _sweep()
+        reference = snapshot_bytes(recorder.snapshot())
+        with collecting() as recorder:
+            parallel = _sweep(max_workers=2)
+        # Records match up to the one field a worker pool may change —
+        # wall-clock throughput (the digest-identity test above pins the rest).
+        strip = TestParallelWorkers._strip_wall_clock
+        assert [strip(self, r.report.as_dict()) for r in parallel.records] == [
+            strip(self, r.report.as_dict()) for r in sequential.records
+        ]
+        assert snapshot_bytes(recorder.snapshot()) == reference
+        counters = json.loads(reference.decode("utf-8"))["counters"]
+        assert counters["sweep.cells"] == 4.0
+        assert counters["stream.arrivals"] == 4 * 400.0
+
+    def test_journal_lifecycle_and_caller_owned_journal_resume(self, tmp_path):
+        from repro.obs import analyse_journal, read_journal
+        from repro.obs.journal import RunJournal
+
+        path = tmp_path / "sweep.jsonl"
+        store = tmp_path / "sweep.sqlite"
+        _sweep(store=store, journal=path)
+        view = read_journal(path)
+        assert view.truncated == 0
+        status = analyse_journal(view.events)
+        assert status.kind == "stream-sweep"
+        assert status.status == "completed"
+        assert status.total_cells == 4
+        assert status.completed == 4
+
+        # A caller-owned RunJournal is appended to, never closed, by the
+        # driver: the warm resume lands in the same file as a new run.
+        journal = RunJournal(path)
+        _sweep(store=store, resume=True, journal=journal)
+        journal.record("custom-note")  # still open — ours to close
+        journal.close()
+
+        view = read_journal(path)
+        assert view.truncated == 0
+        runs = view.runs()
+        assert len(runs) == 2
+        status = analyse_journal(view.events, run=runs[1])
+        assert status.completed == 0
+        assert status.skipped == 4

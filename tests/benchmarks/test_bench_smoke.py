@@ -297,6 +297,26 @@ def test_obs_overhead_smoke():
     assert recorder.snapshot()["counters"]["stream.arrivals"] == 400.0
 
 
+def test_quick_bench_journal_row_smoke():
+    """run_quick_bench.bench_journal: the flight-recorder row at toy size.
+
+    The ≥ 97 % journal-on/off throughput floor stays in the tier-2 bench
+    invocation (bench_smoke never asserts timing); this twin runs the row
+    with a deliberately slack floor and pins its structure: records are
+    byte-identical with the journal attached, every journal line parses
+    (no torn tail), and the folded fleet status accounts for every cell.
+    """
+    import importlib
+
+    module = importlib.import_module("run_quick_bench")
+    row = module.bench_journal(seeds_per_scenario=1, repeats=1, ratio_floor=0.25)
+    assert row["records_identical"] is True
+    assert row["journal_truncated_lines"] == 0
+    assert row["journal_events_per_second"] > 0
+    assert row["journal_events"] > row["journal_cells"] > 0
+    assert row["enabled_over_disabled_ratio"] >= 0.25
+
+
 def test_quick_bench_stream_row_smoke():
     """run_quick_bench.bench_stream: the streaming row's asserts hold at toy size.
 

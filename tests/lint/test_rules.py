@@ -74,6 +74,47 @@ class TestWallClock:
         )
         assert found(report, "wall-clock") == []
 
+    def test_flags_implicit_now_fallbacks(self, tmp_path):
+        """localtime()/ctime()/strftime(fmt) with no time argument read the
+        clock; journal timestamps must flow through repro.obs.clock."""
+        report = lint_snippet(
+            tmp_path,
+            "src/repro/obs/snippet.py",
+            """
+            import time
+            from time import gmtime
+
+            def stamp():
+                local = time.localtime()
+                label = time.ctime()
+                pretty = time.strftime("%Y-%m-%d")
+                utc = gmtime()
+                return local, label, pretty, utc
+            """,
+            rules=["wall-clock"],
+        )
+        findings = found(report, "wall-clock")
+        assert [f.line for f in findings] == [6, 7, 8, 9]
+
+    def test_explicit_time_arguments_are_pure_conversions(self, tmp_path):
+        report = lint_snippet(
+            tmp_path,
+            "src/repro/obs/snippet.py",
+            """
+            import time
+            from time import gmtime
+
+            def render(ts):
+                parts = time.localtime(ts)
+                label = time.ctime(ts)
+                pretty = time.strftime("%Y-%m-%d", parts)
+                utc = gmtime(ts)
+                return parts, label, pretty, utc
+            """,
+            rules=["wall-clock"],
+        )
+        assert found(report, "wall-clock") == []
+
     def test_baseline_suppresses_by_stripped_line_text(self, tmp_path):
         baseline = Baseline(
             entries=[

@@ -172,3 +172,91 @@ class TestObsReport:
     def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
         assert main(["obs", "report", str(tmp_path / "missing.json")]) == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestFlightRecorderCli:
+    """The PR 10 surface: --journal, repro-sched watch, obs export."""
+
+    @pytest.fixture(scope="class")
+    def journalled_campaign(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("journal")
+        journal = base / "camp.jsonl"
+        output = base / "camp.json"
+        assert main(
+            _CAMPAIGN
+            + ["--journal", str(journal), "--metrics", "--output", str(output)]
+        ) == 0
+        return journal, output
+
+    def test_campaign_journal_flag_writes_a_parseable_journal(
+        self, journalled_campaign
+    ):
+        from repro.obs import read_journal
+
+        journal, _ = journalled_campaign
+        view = read_journal(journal)
+        assert view.truncated == 0
+        names = [event["event"] for event in view]
+        assert names[0] == "run-started"
+        assert names[-1] == "run-finished"
+        assert "cell-completed" in names
+
+    def test_stream_journal_flag_announces_the_file(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        assert main(_STREAM + ["--journal", str(journal)]) == 0
+        assert f"journal appended to {journal}" in capsys.readouterr().out
+        assert journal.exists()
+
+    def test_watch_once_renders_fleet_status(self, journalled_campaign, capsys):
+        journal, _ = journalled_campaign
+        assert main(["watch", str(journal), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "— completed" in out
+        assert "progress:" in out and "(100.0%)" in out
+
+    def test_obs_report_renders_journal_timeline_and_phases(
+        self, journalled_campaign, capsys
+    ):
+        journal, _ = journalled_campaign
+        assert main(["obs", "report", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "journal" in out and "run(s)" in out
+        assert "run-started x1" in out and "run-finished x1" in out
+        assert "planning" in out and "compute" in out
+        assert "progress:" in out  # the fleet-status block per run
+
+    def test_obs_report_tolerates_torn_journal_tail(
+        self, journalled_campaign, tmp_path, capsys
+    ):
+        journal, _ = journalled_campaign
+        torn = tmp_path / "torn.jsonl"
+        torn.write_bytes(journal.read_bytes() + b'{"v": 1, "eve')
+        assert main(["obs", "report", str(torn)]) == 0
+        assert "run-finished x1" in capsys.readouterr().out
+
+    def test_obs_export_prometheus_from_campaign_output(
+        self, journalled_campaign, capsys
+    ):
+        _, output = journalled_campaign
+        assert main(["obs", "export", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_campaign_items_total counter" in out
+        assert "# EOF" not in out
+
+    def test_obs_export_openmetrics_to_file(self, journalled_campaign, tmp_path, capsys):
+        _, output = journalled_campaign
+        target = tmp_path / "metrics.om"
+        assert main(
+            ["obs", "export", str(output), "--format", "openmetrics",
+             "--output", str(target)]
+        ) == 0
+        assert f"exposition written to {target}" in capsys.readouterr().out
+        text = target.read_text()
+        assert text.endswith("# EOF\n")
+        assert "# TYPE repro_campaign_items counter" in text
+
+    def test_obs_export_rejects_non_snapshot_artefacts(self, tmp_path, capsys):
+        path = tmp_path / "mystery.json"
+        path.write_text(json.dumps({"something": "else"}))
+        assert main(["obs", "export", str(path)]) == 1
+        assert "no metrics snapshot" in capsys.readouterr().err

@@ -1,0 +1,68 @@
+"""Prometheus / OpenMetrics exposition of metrics snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRecorder
+
+
+def _snapshot():
+    recorder = MetricsRecorder()
+    recorder.count("campaign.items", 6.0)
+    recorder.gauge("campaign.in_flight", 2.0)
+    recorder.gauge("campaign.in_flight", 1.0)
+    recorder.observe("sweep.stretch", 1.5)
+    recorder.observe("sweep.stretch", 2.5)
+    return recorder.snapshot()
+
+
+def test_prometheus_rendering():
+    text = render_prometheus(_snapshot())
+    lines = text.splitlines()
+    assert "# TYPE repro_campaign_items_total counter" in lines
+    assert "repro_campaign_items_total 6" in lines
+    assert "repro_campaign_in_flight 1" in lines
+    assert "repro_campaign_in_flight_peak 2" in lines
+    assert "# TYPE repro_sweep_stretch summary" in lines
+    assert "repro_sweep_stretch_count 2" in lines
+    assert "repro_sweep_stretch_sum 4" in lines
+    assert "repro_sweep_stretch_min 1.5" in lines
+    assert "repro_sweep_stretch_max 2.5" in lines
+    assert "# EOF" not in lines
+    assert text.endswith("\n")
+
+
+def test_openmetrics_rendering():
+    text = render_prometheus(_snapshot(), fmt="openmetrics")
+    lines = text.splitlines()
+    # OpenMetrics names the counter family without the _total suffix in
+    # metadata; the sample still carries it.
+    assert "# TYPE repro_campaign_items counter" in lines
+    assert "repro_campaign_items_total 6" in lines
+    assert lines[-1] == "# EOF"
+
+
+def test_metric_names_are_sanitized():
+    recorder = MetricsRecorder()
+    recorder.count("lp.time.revised-dual (warm)", 1.0)
+    text = render_prometheus(recorder.snapshot())
+    assert "repro_lp_time_revised_dual__warm__total 1" in text.splitlines()
+
+
+def test_custom_prefix():
+    recorder = MetricsRecorder()
+    recorder.count("cells", 1.0)
+    assert "sched_cells_total 1" in render_prometheus(
+        recorder.snapshot(), prefix="sched_"
+    )
+
+
+def test_unknown_format_raises():
+    with pytest.raises(ValueError):
+        render_prometheus(_snapshot(), fmt="graphite")
+
+
+def test_empty_snapshot_renders_empty():
+    assert render_prometheus({"counters": {}, "gauges": {}, "histograms": {}}) == ""

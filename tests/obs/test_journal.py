@@ -1,0 +1,141 @@
+"""Run journal: append-only JSONL with crash tolerance and multi-run files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.journal import (
+    JOURNAL_VERSION,
+    RunJournal,
+    new_run_id,
+    read_journal,
+    tail_journal,
+)
+
+
+def test_round_trip_and_line_shape(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as journal:
+        run_id = journal.begin_run("campaign", "demo", {"total_cells": 3})
+        journal.record("cell-dispatched", cell="w#0", policies=["srpt"])
+        journal.record("cell-completed", cell="w#0", cells=1, elapsed=0.5)
+        journal.record("run-finished", status="completed")
+
+    view = read_journal(path)
+    assert view.truncated == 0
+    assert len(view) == 4
+    assert view.runs() == [run_id]
+    started = view.events[0]
+    assert started["event"] == "run-started"
+    assert started["v"] == JOURNAL_VERSION
+    assert started["config"] == {"total_cells": 3}
+    assert [event["seq"] for event in view] == [1, 2, 3, 4]
+    assert all(isinstance(event["ts"], float) for event in view)
+    # Canonical serialisation: sorted keys, one object per line.
+    first_line = path.read_text().splitlines()[0]
+    assert first_line == json.dumps(json.loads(first_line), sort_keys=True)
+
+
+def test_truncated_final_line_is_skipped(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as journal:
+        journal.begin_run("campaign", "demo")
+        journal.record("cell-completed", cell="w#0")
+    # Simulate a writer killed mid-append: a torn, newline-less tail.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"v": 1, "run": "demo", "seq": 3, "eve')
+
+    view = read_journal(path)
+    assert view.truncated == 1
+    assert [event["event"] for event in view] == ["run-started", "cell-completed"]
+
+
+def test_reopen_seals_torn_tail_before_appending(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as journal:
+        first = journal.begin_run("campaign", "demo")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"torn": ')
+
+    # The reopening writer must not concatenate its first event onto the
+    # torn line — _repair_tail seals it with a newline first.
+    with RunJournal(path) as journal:
+        second = journal.begin_run("campaign", "demo")
+        journal.record("run-finished", status="completed")
+
+    view = read_journal(path)
+    assert view.truncated == 1
+    assert view.runs() == [first, second]
+    assert [event["event"] for event in view] == [
+        "run-started",
+        "run-started",
+        "run-finished",
+    ]
+
+
+def test_resumed_run_appends_under_fresh_run_id(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with RunJournal(path) as journal:
+        cold = journal.begin_run("stream-sweep", "sweep")
+        journal.record("cell-completed", cell="a", cells=1)
+        journal.record("run-finished", status="completed")
+    with RunJournal(path) as journal:
+        warm = journal.begin_run("stream-sweep", "sweep")
+        journal.record("cell-skipped", cell="a", cells=1)
+        journal.record("run-finished", status="completed")
+
+    assert cold != warm
+    view = read_journal(path)
+    assert view.truncated == 0
+    assert view.runs() == [cold, warm]
+    warm_events = [event for event in view if event["run"] == warm]
+    assert [event["event"] for event in warm_events] == [
+        "run-started",
+        "cell-skipped",
+        "run-finished",
+    ]
+    # seq restarts per journal instance: each run section is self-ordered.
+    assert [event["seq"] for event in warm_events] == [1, 2, 3]
+
+
+def test_record_after_close_raises(tmp_path):
+    journal = RunJournal(tmp_path / "run.jsonl")
+    journal.begin_run("campaign", "demo")
+    journal.close()
+    with pytest.raises(ValueError):
+        journal.record("cell-completed")
+
+
+def test_new_run_ids_are_unique():
+    ids = {new_run_id("demo") for _ in range(10)}
+    assert len(ids) == 10
+    assert all(run_id.startswith("demo-") for run_id in ids)
+
+
+def test_tail_journal_defers_partial_final_line(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"event": "run-started", "run": "r1"}\n')
+        handle.write('{"event": "cell-comp')  # writer still mid-append
+
+    events, offset = tail_journal(path)
+    assert [event["event"] for event in events] == ["run-started"]
+
+    # The writer finishes the line: the next poll picks it up exactly once.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('leted", "run": "r1"}\n')
+    fresh, offset2 = tail_journal(path, offset)
+    assert [event["event"] for event in fresh] == ["cell-completed"]
+    assert offset2 > offset
+    # Nothing new: same offset back, no events re-delivered.
+    again, offset3 = tail_journal(path, offset2)
+    assert again == []
+    assert offset3 == offset2
+
+
+def test_tail_journal_missing_file(tmp_path):
+    events, offset = tail_journal(tmp_path / "absent.jsonl", 0)
+    assert events == []
+    assert offset == 0
